@@ -1,0 +1,105 @@
+package fsr
+
+import (
+	"bytes"
+	"testing"
+
+	"fsr/internal/core"
+	"fsr/internal/wire"
+)
+
+func TestAssemblerSinglePart(t *testing.T) {
+	a := newAssembler()
+	msg, done := a.add(core.Delivery{
+		Seq: 7, ID: wire.MsgID{Origin: 2, Local: 5}, Part: 0, Parts: 1, Body: []byte("x"),
+	})
+	if !done || msg.Seq != 7 || msg.Origin != 2 || msg.LogicalID != 5 || string(msg.Payload) != "x" {
+		t.Fatalf("got %+v done=%v", msg, done)
+	}
+	if len(a.partial) != 0 {
+		t.Error("partial state leaked")
+	}
+}
+
+func TestAssemblerMultiPart(t *testing.T) {
+	a := newAssembler()
+	parts := [][]byte{[]byte("aa"), []byte("bb"), []byte("c")}
+	for i, p := range parts[:2] {
+		if _, done := a.add(core.Delivery{
+			Seq: uint64(10 + i), ID: wire.MsgID{Origin: 1, Local: uint64(20 + i)},
+			Part: uint32(i), Parts: 3, Body: p,
+		}); done {
+			t.Fatalf("completed early at part %d", i)
+		}
+	}
+	msg, done := a.add(core.Delivery{
+		Seq: 12, ID: wire.MsgID{Origin: 1, Local: 22}, Part: 2, Parts: 3, Body: parts[2],
+	})
+	if !done {
+		t.Fatal("not completed on final part")
+	}
+	if msg.Seq != 12 || msg.Origin != 1 || msg.LogicalID != 20 {
+		t.Fatalf("header: %+v", msg)
+	}
+	if !bytes.Equal(msg.Payload, []byte("aabbc")) {
+		t.Fatalf("payload %q", msg.Payload)
+	}
+	if len(a.partial) != 0 {
+		t.Error("partial state leaked")
+	}
+}
+
+func TestAssemblerInterleavedOrigins(t *testing.T) {
+	a := newAssembler()
+	// Segments of two origins interleave in the total order; each must
+	// reassemble independently.
+	seq := uint64(1)
+	add := func(origin ProcID, local uint64, part, parts uint32, body string) (Message, bool) {
+		d := core.Delivery{
+			Seq: seq, ID: wire.MsgID{Origin: origin, Local: local},
+			Part: part, Parts: parts, Body: []byte(body),
+		}
+		seq++
+		return a.add(d)
+	}
+	if _, done := add(1, 0, 0, 2, "1a"); done {
+		t.Fatal("early")
+	}
+	if _, done := add(2, 0, 0, 2, "2a"); done {
+		t.Fatal("early")
+	}
+	m1, done := add(1, 1, 1, 2, "1b")
+	if !done || string(m1.Payload) != "1a1b" || m1.Origin != 1 {
+		t.Fatalf("m1: %+v", m1)
+	}
+	m2, done := add(2, 1, 1, 2, "2b")
+	if !done || string(m2.Payload) != "2a2b" || m2.Origin != 2 {
+		t.Fatalf("m2: %+v", m2)
+	}
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	if _, err := (Config{Self: 1}).withDefaults(); err == nil {
+		t.Error("empty members accepted")
+	}
+	if _, err := (Config{Self: 1, Members: []ProcID{1, 2}, T: -1}).withDefaults(); err == nil {
+		t.Error("negative T accepted")
+	}
+	c, err := (Config{Self: 1, Members: []ProcID{1, 2, 3}}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.T != 1 || c.MaxPendingOwn != 1024 {
+		t.Errorf("defaults: %+v", c)
+	}
+	if _, err := (Config{Self: 1, Members: []ProcID{1}, HeartbeatInterval: 50, FailureTimeout: 10}).withDefaults(); err == nil {
+		t.Error("timeout below heartbeat accepted")
+	}
+	v, err := (Config{Self: 9, Joiner: true}).initialView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Ring.N() != 1 || v.ID != 0 {
+		t.Errorf("joiner view: %+v", v)
+	}
+}

@@ -1,0 +1,69 @@
+// Command fsr-bench regenerates the tables and figures of the paper's
+// evaluation section on the simulated cluster and the round model, printing
+// each as a text series (see EXPERIMENTS.md for the recorded results).
+//
+// Usage:
+//
+//	fsr-bench -exp all
+//	fsr-bench -exp figure8
+//
+// Experiments: table1, figure6, figure7, figure8, figure9, classes,
+// tradeoff, latency, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fsr/internal/bench"
+	"fsr/internal/metrics"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1|figure6|figure7|figure8|figure9|classes|tradeoff|latency|segsize|stall|all)")
+	flag.Parse()
+	if err := run(*exp); err != nil {
+		fmt.Fprintf(os.Stderr, "fsr-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string) error {
+	type experiment struct {
+		name string
+		fn   func() (*metrics.Series, error)
+	}
+	experiments := []experiment{
+		{"table1", func() (*metrics.Series, error) { return bench.Table1(), nil }},
+		{"figure6", func() (*metrics.Series, error) { return bench.Figure6([]int{2, 3, 4, 5, 6, 7, 8, 9, 10}) }},
+		{"figure7", func() (*metrics.Series, error) {
+			return bench.Figure7([]float64{10, 20, 30, 40, 50, 60, 70, 75, 80, 90, 100})
+		}},
+		{"figure8", func() (*metrics.Series, error) { return bench.Figure8([]int{2, 3, 4, 5, 6, 7, 8, 9, 10}) }},
+		{"figure9", func() (*metrics.Series, error) { return bench.Figure9([]int{1, 2, 3, 4, 5}) }},
+		{"classes", func() (*metrics.Series, error) { return bench.Classes(6, 3, 100) }},
+		{"tradeoff", func() (*metrics.Series, error) { return bench.PrivilegeTradeoff(8, 150) }},
+		{"latency", func() (*metrics.Series, error) { return bench.LatencyFormula(8, 2) }},
+		{"segsize", func() (*metrics.Series, error) {
+			return bench.AblationSegmentSize([]int{1024, 2048, 4096, 8192, 16384})
+		}},
+		{"stall", func() (*metrics.Series, error) { return bench.AblationSegmentationStall() }},
+	}
+	ran := false
+	for _, e := range experiments {
+		if exp != "all" && exp != e.name {
+			continue
+		}
+		ran = true
+		s, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(s.String())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

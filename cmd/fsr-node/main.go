@@ -1,0 +1,124 @@
+// Command fsr-node runs one FSR group member over real TCP — the
+// multi-process deployment of the library. Start one process per member
+// with the same -peers map; each delivers the same message stream in the
+// same order.
+//
+// Example (three shells):
+//
+//	fsr-node -id 0 -peers '0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102' -send 1s
+//	fsr-node -id 1 -peers '0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102'
+//	fsr-node -id 2 -peers '0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102' -send 2s
+//
+// Each node prints its deliveries: `[seq] origin=N payload`.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"fsr"
+	"fsr/internal/ring"
+	"fsr/internal/transport/tcp"
+)
+
+func main() {
+	id := flag.Uint("id", 0, "this process's ID (must appear in -peers)")
+	peersFlag := flag.String("peers", "", "comma-separated id=host:port map for every member")
+	tol := flag.Int("t", 1, "number of tolerated failures")
+	send := flag.Duration("send", 0, "emit a demo broadcast this often (0 = silent)")
+	flag.Parse()
+	if err := run(fsr.ProcID(*id), *peersFlag, *tol, *send); err != nil {
+		fmt.Fprintf(os.Stderr, "fsr-node: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parsePeers(spec string) (map[ring.ProcID]string, []fsr.ProcID, error) {
+	addrs := make(map[ring.ProcID]string)
+	var members []fsr.ProcID
+	for _, part := range strings.Split(spec, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		n, err := strconv.ParseUint(id, 10, 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad peer id %q: %w", id, err)
+		}
+		addrs[ring.ProcID(n)] = addr
+		members = append(members, fsr.ProcID(n))
+	}
+	slices.Sort(members)
+	return addrs, members, nil
+}
+
+func run(self fsr.ProcID, peersFlag string, tol int, send time.Duration) error {
+	if peersFlag == "" {
+		return fmt.Errorf("-peers is required")
+	}
+	addrs, members, err := parsePeers(peersFlag)
+	if err != nil {
+		return err
+	}
+	listen, ok := addrs[self]
+	if !ok {
+		return fmt.Errorf("id %d not present in -peers", self)
+	}
+	delete(addrs, self)
+	tr, err := tcp.New(tcp.Config{Self: self, ListenAddr: listen, Peers: addrs})
+	if err != nil {
+		return err
+	}
+	node, err := fsr.NewNode(fsr.Config{Self: self, Members: members, T: tol}, tr)
+	if err != nil {
+		_ = tr.Close()
+		return err
+	}
+	defer node.Stop()
+	fmt.Printf("fsr-node %d up: members=%v leader=%d listen=%s\n", self, members, members[0], listen)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if send > 0 {
+		go func() {
+			ticker := time.NewTicker(send)
+			defer ticker.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					payload := fmt.Sprintf("hello %d from node %d", i, self)
+					if err := node.Broadcast(ctx, []byte(payload)); err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		for v := range node.Views() {
+			fmt.Printf("view %d installed: members=%v t=%d\n", v.ID, v.Members, v.T)
+		}
+	}()
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Println("shutting down")
+			return nil
+		case m, ok := <-node.Messages():
+			if !ok {
+				return node.Err()
+			}
+			fmt.Printf("[%d] origin=%d %s\n", m.Seq, m.Origin, m.Payload)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package fsr
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fsr/internal/core"
+	"fsr/internal/ring"
+)
+
+// ProcID identifies one process in the group.
+type ProcID = ring.ProcID
+
+// Config parameterizes a Node.
+type Config struct {
+	// Self is this process's ID. Required.
+	Self ProcID
+
+	// Members is the initial view in ring order: Members[0] is the leader
+	// (fixed sequencer), Members[1..T] the backups. Required unless Joiner
+	// is set.
+	Members []ProcID
+
+	// T is the number of process failures to tolerate; the T ring
+	// positions after the leader act as backups. Each installed view uses
+	// min(T, n-1). Default 1.
+	T int
+
+	// SegmentSize caps one segment's payload bytes; larger broadcasts are
+	// split so uniform frame sizes keep large messages from stalling small
+	// ones (paper §4.1). Default core.DefaultSegmentSize (8 KiB).
+	SegmentSize int
+
+	// MaxPiggyback bounds acknowledgments piggybacked per frame
+	// (paper §4.2.2). Default core.DefaultMaxPiggyback.
+	MaxPiggyback int
+
+	// MaxPendingOwn bounds own segments queued for initiation before
+	// Broadcast blocks (backpressure). Default 1024.
+	MaxPendingOwn int
+
+	// HeartbeatInterval is the failure-detector beat period. Default 50ms.
+	HeartbeatInterval time.Duration
+
+	// FailureTimeout is the silence threshold before a peer is declared
+	// crashed. Must exceed HeartbeatInterval. Default 500ms.
+	FailureTimeout time.Duration
+
+	// ChangeTimeout restarts a stalled view change. Default 1s.
+	ChangeTimeout time.Duration
+
+	// Joiner starts the node outside the group; call Node.Join to enter.
+	// Members is then the contact list rather than an initial view.
+	Joiner bool
+}
+
+// ErrStopped is returned by Broadcast after Stop or eviction from the group.
+var ErrStopped = errors.New("fsr: node stopped")
+
+func (c Config) withDefaults() (Config, error) {
+	if c.T == 0 {
+		c.T = 1
+	}
+	if c.T < 0 {
+		return c, fmt.Errorf("fsr: negative T %d", c.T)
+	}
+	if c.MaxPendingOwn <= 0 {
+		c.MaxPendingOwn = 1024
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if c.FailureTimeout <= 0 {
+		c.FailureTimeout = 500 * time.Millisecond
+	}
+	if c.FailureTimeout <= c.HeartbeatInterval {
+		return c, fmt.Errorf("fsr: FailureTimeout %v must exceed HeartbeatInterval %v",
+			c.FailureTimeout, c.HeartbeatInterval)
+	}
+	if c.ChangeTimeout <= 0 {
+		c.ChangeTimeout = time.Second
+	}
+	if !c.Joiner && len(c.Members) == 0 {
+		return c, fmt.Errorf("fsr: empty initial membership")
+	}
+	return c, nil
+}
+
+// initialView builds the first view from the config.
+func (c Config) initialView() (core.View, error) {
+	if c.Joiner {
+		r, err := ring.New([]ring.ProcID{c.Self}, 0)
+		if err != nil {
+			return core.View{}, err
+		}
+		return core.View{ID: 0, Ring: r}, nil
+	}
+	r, err := ring.New(c.Members, min(c.T, len(c.Members)-1))
+	if err != nil {
+		return core.View{}, fmt.Errorf("fsr: invalid membership: %w", err)
+	}
+	return core.View{ID: 1, Ring: r}, nil
+}

@@ -1,0 +1,159 @@
+// Replicated bank: demonstrates FSR's fairness under the workload from the
+// paper's §2.3 — two heavy senders on opposite sides of the ring. Each node
+// runs a full replica of a ledger; transfers are TO-broadcast. The example
+// checks (1) conservation: the total balance never changes at any replica,
+// despite concurrent transfers, and (2) fairness: the two flooding senders
+// get interleaved ~1:1 in the delivery order instead of one starving the
+// other (the failure mode of privilege/token protocols).
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"fsr"
+	"fsr/internal/transport/mem"
+)
+
+const (
+	accounts       = 8
+	initialBalance = 1000
+	perSender      = 50
+	recordPad      = 4096 // audit payload per transfer: realistic record size
+)
+
+// transfer moves amount from one account to another.
+type transfer struct {
+	From, To uint32
+	Amount   uint32
+}
+
+func (t transfer) encode() []byte {
+	buf := make([]byte, 12+recordPad)
+	binary.LittleEndian.PutUint32(buf[0:], t.From)
+	binary.LittleEndian.PutUint32(buf[4:], t.To)
+	binary.LittleEndian.PutUint32(buf[8:], t.Amount)
+	return buf
+}
+
+func decodeTransfer(b []byte) (transfer, bool) {
+	if len(b) != 12+recordPad {
+		return transfer{}, false
+	}
+	return transfer{
+		From:   binary.LittleEndian.Uint32(b[0:]),
+		To:     binary.LittleEndian.Uint32(b[4:]),
+		Amount: binary.LittleEndian.Uint32(b[8:]),
+	}, true
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bank: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const nodes = 6
+	// A per-hop link latency keeps both tellers backlogged concurrently —
+	// on an instantaneous network one teller's queue would drain before
+	// the other even filled, and there would be no contention for the
+	// fairness mechanism to arbitrate.
+	network := mem.NewNetwork(mem.Options{
+		Latency:   500 * time.Microsecond,
+		Bandwidth: 100e6, // Fast Ethernet, as in the paper's testbed
+	})
+	cluster, err := fsr.NewLocalCluster(fsr.ClusterConfig{N: nodes, T: 1}, network)
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	// Two flooding tellers on opposite sides of the ring.
+	tellers := []int{2, 5}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for _, teller := range tellers {
+		wg.Add(1)
+		go func(teller int) {
+			defer wg.Done()
+			for i := range perSender {
+				tr := transfer{
+					From:   uint32((teller + i) % accounts),
+					To:     uint32((teller + i + 1) % accounts),
+					Amount: 1 + uint32(i%7),
+				}
+				if err := cluster.Node(teller).Broadcast(ctx, tr.encode()); err != nil {
+					fmt.Fprintf(os.Stderr, "broadcast: %v\n", err)
+					return
+				}
+			}
+		}(teller)
+	}
+	wg.Wait()
+
+	total := len(tellers) * perSender
+	// Apply the ledger at every replica and verify conservation plus
+	// identical order; track interleaving at replica 0.
+	var firstOrder []fsr.ProcID
+	for node := 0; node < nodes; node++ {
+		balances := make([]int64, accounts)
+		for i := range balances {
+			balances[i] = initialBalance
+		}
+		var order []fsr.ProcID
+		for len(order) < total {
+			m := <-cluster.Node(node).Messages()
+			tr, ok := decodeTransfer(m.Payload)
+			if !ok {
+				return fmt.Errorf("bad payload at node %d", node)
+			}
+			balances[tr.From] -= int64(tr.Amount)
+			balances[tr.To] += int64(tr.Amount)
+			order = append(order, m.Origin)
+		}
+		var sum int64
+		for _, b := range balances {
+			sum += b
+		}
+		if sum != accounts*initialBalance {
+			return fmt.Errorf("node %d: total balance %d, want %d", node, sum, accounts*initialBalance)
+		}
+		if node == 0 {
+			firstOrder = order
+			continue
+		}
+		for i := range order {
+			if order[i] != firstOrder[i] {
+				return fmt.Errorf("node %d: order diverges at %d", node, i)
+			}
+		}
+	}
+	fmt.Printf("%d transfers from tellers %v applied; total balance conserved at all %d replicas ✔\n",
+		total, tellers, nodes)
+
+	// Fairness: in every prefix of the common order, the two tellers'
+	// counts stay within a small constant of each other.
+	counts := map[fsr.ProcID]int{}
+	maxGap := 0
+	for _, origin := range firstOrder {
+		counts[origin]++
+		gap := counts[fsr.ProcID(tellers[0])] - counts[fsr.ProcID(tellers[1])]
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	if maxGap > 15 {
+		return fmt.Errorf("fairness violated: interleaving gap %d", maxGap)
+	}
+	fmt.Printf("fairness: teller interleaving gap never exceeded %d (perSender=%d) ✔\n", maxGap, perSender)
+	return nil
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+
+	"fsr/internal/core"
+)
+
+// TestAblationSegmentSizeMonotone: throughput grows with segment size (the
+// fixed per-frame cost amortizes), and the default 8 KiB sits at the
+// calibrated ~79 Mb/s.
+func TestAblationSegmentSizeMonotone(t *testing.T) {
+	s, err := AblationSegmentSize([]int{1024, 4096, 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y <= s.Points[i-1].Y {
+			t.Fatalf("throughput not increasing with segment size: %+v", s.Points)
+		}
+	}
+	last := s.Points[len(s.Points)-1]
+	if last.Y < 73 || last.Y > 85 {
+		t.Errorf("8 KiB segment throughput %.1f, want ~79", last.Y)
+	}
+}
+
+// TestAblationSegmentationStall: the §4.1 claim. Without segmentation a
+// 1 MB bulk stream must inflate sporadic small-message latency severely;
+// with uniform 8 KiB segments the small messages interleave.
+func TestAblationSegmentationStall(t *testing.T) {
+	s, err := AblationSegmentationStall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segmented, unsegmented float64
+	for _, p := range s.Points {
+		switch p.Label {
+		case "segmented":
+			segmented = p.Y
+		case "unsegmented":
+			unsegmented = p.Y
+		}
+	}
+	if segmented <= 0 || unsegmented <= 0 {
+		t.Fatalf("missing points: %+v", s.Points)
+	}
+	if unsegmented < 3*segmented {
+		t.Errorf("segmentation should cut small-message latency by >=3x under bulk load: segmented %.1fms vs unsegmented %.1fms",
+			segmented, unsegmented)
+	}
+	_ = core.DefaultSegmentSize
+}

@@ -1,0 +1,318 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 5) plus the Section 2 protocol-class comparison, on
+// the simulated cluster (internal/netsim) and the round model
+// (internal/model). Each experiment returns a metrics.Series whose rows
+// correspond to the points the paper plots; EXPERIMENTS.md records the
+// side-by-side numbers.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fsr/internal/core"
+	"fsr/internal/metrics"
+	"fsr/internal/model"
+	"fsr/internal/netsim"
+	"fsr/internal/wire"
+)
+
+// MessageSize is the paper's benchmark payload: 100 KB application
+// messages (§5.1).
+const MessageSize = 100 * 1024
+
+// Table1 measures raw point-to-point goodput of the simulated 100 Mb/s
+// link under netperf-style TCP and UDP streaming — the paper's Table 1
+// (TCP 94 Mb/s, UDP 93 Mb/s).
+func Table1() *metrics.Series {
+	s := &metrics.Series{Name: "Table 1: raw network performance (Netperf)",
+		XLabel: "MSS (bytes)", YLabel: "goodput (Mb/s)"}
+	tcp := netsim.RawGoodput(netsim.DefaultBandwidth, netsim.TCPSegmentPayload,
+		netsim.TCPFrameOverhead, time.Second)
+	udp := netsim.RawGoodput(netsim.DefaultBandwidth, netsim.UDPDatagramPayload,
+		netsim.UDPFrameOverhead, time.Second)
+	s.Add(netsim.TCPSegmentPayload, tcp/1e6, "TCP")
+	s.Add(netsim.UDPDatagramPayload, udp/1e6, "UDP")
+	return s
+}
+
+// singleMessageLatency runs one 100 KB broadcast from `sender` on an
+// otherwise idle n-process ring and returns the time until the last
+// process delivers the last segment.
+func singleMessageLatency(n, t, sender int, size int) (time.Duration, error) {
+	c, err := netsim.NewCluster(n, netsim.Config{T: t})
+	if err != nil {
+		return 0, err
+	}
+	var last time.Duration
+	c.OnDeliver = func(pos int, d core.Delivery, now time.Duration) {
+		if now > last {
+			last = now
+		}
+	}
+	if _, err := c.Broadcast(sender, make([]byte, size)); err != nil {
+		return 0, err
+	}
+	c.Run(0)
+	if c.Err() != nil {
+		return 0, c.Err()
+	}
+	return last, nil
+}
+
+// Figure6 reproduces "latency as a function of the number of processes":
+// contention-free 100 KB broadcasts, n = 2..10, latency averaged over the
+// sender's ring position (the paper averages the latencies observed at
+// each sender). Expected shape: linear in n.
+func Figure6(ns []int) (*metrics.Series, error) {
+	s := &metrics.Series{Name: "Figure 6: latency vs number of processes",
+		XLabel: "processes", YLabel: "latency (ms)"}
+	for _, n := range ns {
+		var total time.Duration
+		for sender := 0; sender < n; sender++ {
+			lat, err := singleMessageLatency(n, 1, sender, MessageSize)
+			if err != nil {
+				return nil, err
+			}
+			total += lat
+		}
+		avg := total / time.Duration(n)
+		s.Add(float64(n), float64(avg.Microseconds())/1000, fmt.Sprintf("n=%d", n))
+	}
+	return s, nil
+}
+
+// throttledRun drives an n-to-n workload where each sender offers
+// aggregate/n bits per second of 100 KB messages for the given horizon.
+// It returns the achieved delivered throughput (Mb/s, at the last ring
+// position) and the mean completion latency of the messages that finished.
+func throttledRun(n int, aggregate float64, horizon time.Duration) (float64, time.Duration, error) {
+	c, err := netsim.NewCluster(n, netsim.Config{T: 1})
+	if err != nil {
+		return 0, 0, err
+	}
+	type key struct {
+		origin wire.MsgID
+	}
+	sentAt := make(map[key]time.Duration)
+	remaining := make(map[key]int) // deliveries of the final segment left
+	var latencies []time.Duration
+	var bytes int
+	warmup := horizon / 4
+	c.OnDeliver = func(pos int, d core.Delivery, now time.Duration) {
+		if pos == n-1 && now > warmup {
+			bytes += len(d.Body)
+		}
+		if d.Part != d.Parts-1 {
+			return
+		}
+		k := key{origin: wire.MsgID{Origin: d.ID.Origin, Local: d.ID.Local - uint64(d.Part)}}
+		if _, ok := sentAt[k]; !ok {
+			return
+		}
+		remaining[k]--
+		if remaining[k] == 0 {
+			latencies = append(latencies, now-sentAt[k])
+			delete(remaining, k)
+			delete(sentAt, k)
+		}
+	}
+	perSender := aggregate / float64(n)
+	interval := time.Duration(float64(MessageSize*8) / perSender * float64(time.Second))
+	payload := make([]byte, MessageSize)
+	for sender := 0; sender < n; sender++ {
+		sender := sender
+		var send func()
+		send = func() {
+			if c.Loop.Now() >= horizon {
+				return
+			}
+			id, err := c.Broadcast(sender, payload)
+			if err != nil {
+				return
+			}
+			sentAt[key{origin: id}] = c.Loop.Now()
+			remaining[key{origin: id}] = n
+			c.Loop.After(interval, send)
+		}
+		// Stagger starts so senders do not phase-lock.
+		c.Loop.At(time.Duration(sender)*interval/time.Duration(n), send)
+	}
+	c.Run(horizon)
+	if c.Err() != nil {
+		return 0, 0, c.Err()
+	}
+	mbps := float64(bytes) * 8 / (horizon - warmup).Seconds() / 1e6
+	return mbps, metrics.Summarize(latencies).Mean, nil
+}
+
+// Figure7 reproduces "latency as a function of the throughput": 5
+// processes, n-to-n 100 KB broadcasts, senders throttled to a sweep of
+// offered loads. Expected shape: flat latency until the ~79 Mb/s
+// saturation point, then a sharp queueing blow-up.
+func Figure7(offeredMbps []float64) (*metrics.Series, error) {
+	s := &metrics.Series{Name: "Figure 7: latency vs throughput (n=5)",
+		XLabel: "throughput (Mb/s)", YLabel: "latency (ms)"}
+	for _, load := range offeredMbps {
+		mbps, lat, err := throttledRun(5, load*1e6, 4*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(mbps, float64(lat.Microseconds())/1000, fmt.Sprintf("offered=%.0f", load))
+	}
+	return s, nil
+}
+
+// saturatedThroughput measures delivered payload rate with k saturating
+// senders on an n-process ring: a periodic source keeps every sender's
+// own-queue topped up, so the ring runs at capacity and the delivered
+// rate is pinned by the per-node delivery pipeline.
+func saturatedThroughput(n, k int, horizon time.Duration) (float64, error) {
+	c, err := netsim.NewCluster(n, netsim.Config{T: 1})
+	if err != nil {
+		return 0, err
+	}
+	payload := make([]byte, MessageSize)
+	warmup := horizon / 4
+	var bytes int
+	c.OnDeliver = func(pos int, d core.Delivery, now time.Duration) {
+		if pos == n-1 && now > warmup {
+			bytes += len(d.Body)
+		}
+	}
+	SaturateSenders(c, SaturationSenders(n, k), payload)
+	c.Run(horizon)
+	if c.Err() != nil {
+		return 0, c.Err()
+	}
+	return float64(bytes) * 8 / (horizon - warmup).Seconds() / 1e6, nil
+}
+
+// SaturationSenders picks the sender positions for a k-to-n saturation
+// run: every position when k = n, otherwise positions 1..k. The leader is
+// excluded from partial sender sets because its broadcasts skip pass A and
+// are paced only by the wire, so a saturating leader can overdrive the
+// ring and starve the other origins' pass-A progress — a regime the
+// paper's round model (one send per process per round) cannot enter, and
+// for which the paper's own remedy is leader rotation (§4.3.1).
+// EXPERIMENTS.md discusses the effect.
+func SaturationSenders(n, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		if k == n {
+			out[i] = i
+		} else {
+			out[i] = 1 + i
+		}
+	}
+	return out
+}
+
+// SaturateSenders installs a periodic source at each listed ring position
+// that keeps its engine's own-queue topped up.
+func SaturateSenders(c *netsim.Cluster, senders []int, payload []byte) {
+	const topUpEvery = 2 * time.Millisecond
+	for _, s := range senders {
+		s := s
+		var top func()
+		top = func() {
+			for c.PendingOwn(s) < 8 {
+				if _, err := c.Broadcast(s, payload); err != nil {
+					return
+				}
+			}
+			c.Loop.After(topUpEvery, top)
+		}
+		top()
+	}
+}
+
+// Figure8 reproduces "throughput as a function of the number of
+// processes": n-to-n saturating 100 KB broadcasts, n = 2..10. Expected
+// shape: flat at ~79 Mb/s, independent of n.
+func Figure8(ns []int) (*metrics.Series, error) {
+	s := &metrics.Series{Name: "Figure 8: throughput vs number of processes",
+		XLabel: "processes", YLabel: "throughput (Mb/s)"}
+	for _, n := range ns {
+		mbps, err := saturatedThroughput(n, n, 3*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(float64(n), mbps, fmt.Sprintf("n=%d", n))
+	}
+	return s, nil
+}
+
+// Figure9 reproduces "throughput as a function of the number of senders":
+// k-to-5 saturating 100 KB broadcasts, k = 1..5. Expected shape: flat at
+// ~79 Mb/s, independent of k.
+func Figure9(ks []int) (*metrics.Series, error) {
+	s := &metrics.Series{Name: "Figure 9: throughput vs number of senders (n=5)",
+		XLabel: "senders", YLabel: "throughput (Mb/s)"}
+	for _, k := range ks {
+		mbps, err := saturatedThroughput(5, k, 3*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(float64(k), mbps, fmt.Sprintf("k=%d", k))
+	}
+	return s, nil
+}
+
+// Classes reproduces the Section 2 comparison (Figures 1-3 made
+// quantitative): round-model throughput of every protocol class on the
+// k-to-n pattern. FSR is the only class that reaches one completed
+// broadcast per round on every pattern.
+func Classes(n, k, perSender int) (*metrics.Series, error) {
+	s := &metrics.Series{Name: fmt.Sprintf("Protocol classes: %d-to-%d round-model throughput", k, n),
+		XLabel: "class#", YLabel: "broadcasts/round"}
+	for i, p := range model.Protocols() {
+		res, err := model.Run(p.Name, p.New(n), n, model.SenderSet(k), perSender, 50_000_000)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(float64(i), res.Throughput, p.Name)
+	}
+	return s, nil
+}
+
+// PrivilegeTradeoff quantifies the §2.3 fairness/throughput trade-off that
+// FSR eliminates: two senders half a ring apart, fair (quantum 1) and
+// unfair (unbounded quantum) privilege vs FSR.
+func PrivilegeTradeoff(n, perSender int) (*metrics.Series, error) {
+	s := &metrics.Series{Name: fmt.Sprintf("Privilege trade-off: 2 opposite senders, n=%d", n),
+		XLabel: "variant#", YLabel: "broadcasts/round"}
+	senders := model.OppositeSenders(n)
+	runs := []struct {
+		label string
+		sys   model.System
+	}{
+		{"privilege-fair(q=1)", model.NewPrivilegeQuantum(n, 1)},
+		{"privilege-unfair(q=inf)", model.NewPrivilegeQuantum(n, 0)},
+		{"fsr", model.NewFSR(n, 1)},
+	}
+	for i, r := range runs {
+		res, err := model.Run(r.label, r.sys, n, senders, perSender, 50_000_000)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(float64(i), res.Throughput, r.label)
+	}
+	return s, nil
+}
+
+// LatencyFormula tabulates §4.3.1's L(i) = 2n + t - i - 1 as measured on
+// the round model against the closed form.
+func LatencyFormula(n, t int) (*metrics.Series, error) {
+	s := &metrics.Series{Name: fmt.Sprintf("Latency formula L(i)=2n+t-i-1 (n=%d t=%d)", n, t),
+		XLabel: "sender position", YLabel: "rounds"}
+	for i := 0; i < n; i++ {
+		sys := model.NewFSR(n, t)
+		res, err := model.Run("fsr", sys, n, []int{i}, 1, 100000)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(float64(i), float64(res.Rounds), fmt.Sprintf("i=%d", i))
+	}
+	return s, nil
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"fsr/internal/ring"
+	"fsr/internal/wire"
+)
+
+// testRing drives a ring of engines in lockstep rounds: in each round every
+// process emits at most one frame and receives at most one frame — exactly
+// the paper's modified round-based model (Section 3), so round counts are
+// directly comparable with the analytical latency formula.
+type testRing struct {
+	t       *testing.T
+	engines []*Engine // indexed by ring position
+	view    View
+}
+
+func newTestRing(t *testing.T, n, tol int) *testRing {
+	t.Helper()
+	members := make([]ring.ProcID, n)
+	for i := range members {
+		members[i] = ring.ProcID(i)
+	}
+	v := View{ID: 1, Ring: ring.MustNew(members, tol)}
+	tr := &testRing{t: t, view: v}
+	for _, id := range members {
+		e, err := NewEngine(Config{Self: id}, v)
+		if err != nil {
+			t.Fatalf("NewEngine(%d): %v", id, err)
+		}
+		tr.engines = append(tr.engines, e)
+	}
+	return tr
+}
+
+// round moves one frame per process to its successor; returns frames moved.
+func (tr *testRing) round() int {
+	type hop struct {
+		to int
+		f  *wire.Frame
+	}
+	var hops []hop
+	n := len(tr.engines)
+	for pos, e := range tr.engines {
+		if f, ok := e.NextFrame(); ok {
+			hops = append(hops, hop{to: (pos + 1) % n, f: f})
+		}
+	}
+	for _, h := range hops {
+		if err := tr.engines[h.to].HandleFrame(h.f); err != nil {
+			tr.t.Fatalf("HandleFrame at pos %d: %v", h.to, err)
+		}
+	}
+	return len(hops)
+}
+
+// runQuiet runs rounds until no engine has outbound traffic.
+func (tr *testRing) runQuiet(maxRounds int) int {
+	for r := 1; r <= maxRounds; r++ {
+		if tr.round() == 0 {
+			return r - 1
+		}
+	}
+	tr.t.Fatalf("ring not quiet after %d rounds", maxRounds)
+	return 0
+}
+
+// drain collects pending deliveries per position.
+func (tr *testRing) drain(sink [][]Delivery) {
+	for pos, e := range tr.engines {
+		sink[pos] = append(sink[pos], e.Deliveries()...)
+	}
+}
+
+func TestNewEngineNotMember(t *testing.T) {
+	v := View{ID: 1, Ring: ring.MustNew([]ring.ProcID{1, 2}, 0)}
+	if _, err := NewEngine(Config{Self: 99}, v); err == nil {
+		t.Fatal("non-member accepted")
+	}
+}
+
+func TestBroadcastAfterStop(t *testing.T) {
+	tr := newTestRing(t, 3, 1)
+	tr.engines[0].Stop()
+	if _, err := tr.engines[0].Broadcast([]byte("x")); err == nil {
+		t.Fatal("Broadcast after Stop succeeded")
+	}
+}
+
+func TestSingleProcessRing(t *testing.T) {
+	tr := newTestRing(t, 1, 0)
+	e := tr.engines[0]
+	for i := range 3 {
+		if _, err := e.Broadcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := e.Deliveries()
+	if len(ds) != 3 {
+		t.Fatalf("delivered %d, want 3", len(ds))
+	}
+	for i, d := range ds {
+		if d.Seq != uint64(i+1) || d.Body[0] != byte(i) {
+			t.Errorf("delivery %d = %+v", i, d)
+		}
+	}
+}
+
+// TestSingleBroadcastAllPositions checks, for a sweep of ring shapes and
+// every sender position, that one broadcast is delivered by every process
+// exactly once with the right body, and that the number of rounds to
+// completion equals the paper's L(i) = 2n + t - i - 1 (leader: n + t - 1).
+func TestSingleBroadcastAllPositions(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		for tol := 0; tol < n; tol++ {
+			for s := 0; s < n; s++ {
+				tr := newTestRing(t, n, tol)
+				body := []byte(fmt.Sprintf("msg-%d-%d-%d", n, tol, s))
+				if _, err := tr.engines[s].Broadcast(body); err != nil {
+					t.Fatal(err)
+				}
+				deliveredAt := make([]int, n) // round of delivery, 0 = none
+				round := 0
+				for ; round < 10*n+10; round++ {
+					if tr.round() == 0 {
+						break
+					}
+					for pos, e := range tr.engines {
+						for _, d := range e.Deliveries() {
+							if deliveredAt[pos] != 0 {
+								t.Fatalf("n=%d t=%d s=%d: pos %d delivered twice", n, tol, s, pos)
+							}
+							if !bytes.Equal(d.Body, body) || d.Seq != 1 {
+								t.Fatalf("n=%d t=%d s=%d: bad delivery %+v", n, tol, s, d)
+							}
+							deliveredAt[pos] = round + 1
+						}
+					}
+				}
+				last := 0
+				for pos, r := range deliveredAt {
+					if r == 0 {
+						t.Fatalf("n=%d t=%d s=%d: pos %d never delivered", n, tol, s, pos)
+					}
+					last = max(last, r)
+				}
+				if want := tr.view.Ring.Latency(s); last != want {
+					t.Errorf("n=%d t=%d s=%d: completed in %d rounds, want L=%d",
+						n, tol, s, last, want)
+				}
+				// After quiescence every engine must have pruned all
+				// per-segment state (ack accounting is exact).
+				for pos, e := range tr.engines {
+					if len(e.pend) != 0 {
+						t.Errorf("n=%d t=%d s=%d: pos %d retains %d pend entries",
+							n, tol, s, pos, len(e.pend))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestThroughputEfficient reproduces §4.3.2: with a saturating sender, after
+// the initial latency the ring completes one TO-broadcast per round
+// (throughput >= 1 in the round model), independent of n, t and the number
+// of senders.
+func TestThroughputEfficient(t *testing.T) {
+	cases := []struct{ n, tol, senders int }{
+		{4, 1, 1}, {4, 1, 4}, {4, 1, 2},
+		{8, 2, 1}, {8, 2, 3}, {8, 2, 8},
+		{5, 0, 5}, {10, 4, 7},
+	}
+	for _, c := range cases {
+		tr := newTestRing(t, c.n, c.tol)
+		const perSender = 30
+		for s := 0; s < c.senders; s++ {
+			for range perSender {
+				if _, err := tr.engines[s].Broadcast([]byte{byte(s)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		total := c.senders * perSender
+		rounds := tr.runQuiet(100 * total)
+		// All broadcasts complete; the last engine to deliver defines
+		// completion. Budget: initial latency + 1 round per message.
+		budget := 2*c.n + c.tol + total + c.n // slack for ack drains
+		if rounds > budget {
+			t.Errorf("n=%d t=%d k=%d: %d messages took %d rounds, budget %d (throughput < 1)",
+				c.n, c.tol, c.senders, total, rounds, budget)
+		}
+		for pos, e := range tr.engines {
+			if got := e.Stats().Delivered; got != uint64(total) {
+				t.Errorf("n=%d t=%d k=%d: pos %d delivered %d, want %d",
+					c.n, c.tol, c.senders, pos, got, total)
+			}
+		}
+	}
+}
+
+// TestTotalOrderAgreement floods several senders and checks the two core
+// properties: agreement (same set everywhere) and total order (same order
+// everywhere), plus contiguous sequence numbers and per-origin FIFO.
+func TestTotalOrderAgreement(t *testing.T) {
+	tr := newTestRing(t, 6, 2)
+	const perSender = 40
+	for s := range 6 {
+		for i := range perSender {
+			if _, err := tr.engines[s].Broadcast([]byte{byte(s), byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sink := make([][]Delivery, 6)
+	for r := 0; r < 20000; r++ {
+		moved := tr.round()
+		tr.drain(sink)
+		if moved == 0 {
+			break
+		}
+	}
+	assertAgreement(t, sink, 6*perSender)
+}
+
+// assertAgreement checks agreement, total order, contiguous seqs, FIFO.
+func assertAgreement(t *testing.T, sink [][]Delivery, wantTotal int) {
+	t.Helper()
+	ref := sink[0]
+	if wantTotal >= 0 && len(ref) != wantTotal {
+		t.Fatalf("pos 0 delivered %d, want %d", len(ref), wantTotal)
+	}
+	for i, d := range ref {
+		if d.Seq != uint64(i+1) {
+			t.Fatalf("pos 0 delivery %d has seq %d (not contiguous)", i, d.Seq)
+		}
+	}
+	lastLocal := map[ring.ProcID]uint64{}
+	for _, d := range ref {
+		if last, ok := lastLocal[d.ID.Origin]; ok && d.ID.Local <= last {
+			t.Fatalf("per-origin FIFO violated for %d: %d after %d",
+				d.ID.Origin, d.ID.Local, last)
+		}
+		lastLocal[d.ID.Origin] = d.ID.Local
+	}
+	for pos := 1; pos < len(sink); pos++ {
+		if len(sink[pos]) != len(ref) {
+			t.Fatalf("pos %d delivered %d, pos 0 delivered %d (agreement)",
+				pos, len(sink[pos]), len(ref))
+		}
+		for i := range ref {
+			if sink[pos][i].ID != ref[i].ID || sink[pos][i].Seq != ref[i].Seq {
+				t.Fatalf("pos %d delivery %d = %v/%d, pos 0 = %v/%d (total order)",
+					pos, i, sink[pos][i].ID, sink[pos][i].Seq, ref[i].ID, ref[i].Seq)
+			}
+		}
+	}
+}
+
+// TestSegmentation broadcasts a payload far above SegmentSize and checks the
+// segment structure and in-order reassembly data.
+func TestSegmentation(t *testing.T) {
+	tr := newTestRing(t, 4, 1)
+	e := tr.engines[2]
+	payload := make([]byte, 100*1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	id, err := e.Broadcast(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.runQuiet(10000)
+	wantParts := (len(payload) + DefaultSegmentSize - 1) / DefaultSegmentSize
+	for pos, eng := range tr.engines {
+		ds := eng.Deliveries()
+		if len(ds) != wantParts {
+			t.Fatalf("pos %d delivered %d segments, want %d", pos, len(ds), wantParts)
+		}
+		var got []byte
+		for i, d := range ds {
+			if d.Part != uint32(i) || d.Parts != uint32(wantParts) {
+				t.Fatalf("pos %d segment %d: Part=%d Parts=%d", pos, i, d.Part, d.Parts)
+			}
+			if d.ID.Origin != id.Origin || d.ID.Local != id.Local+uint64(i) {
+				t.Fatalf("pos %d segment %d: ID=%v, first=%v", pos, i, d.ID, id)
+			}
+			got = append(got, d.Body...)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("pos %d reassembled payload differs", pos)
+		}
+	}
+}
+
+func TestEmptyPayloadBroadcast(t *testing.T) {
+	tr := newTestRing(t, 3, 1)
+	if _, err := tr.engines[1].Broadcast(nil); err != nil {
+		t.Fatal(err)
+	}
+	tr.runQuiet(100)
+	for pos, e := range tr.engines {
+		ds := e.Deliveries()
+		if len(ds) != 1 || len(ds[0].Body) != 0 || ds[0].Parts != 1 {
+			t.Fatalf("pos %d: %+v", pos, ds)
+		}
+	}
+}
+
+// TestStaleViewFramesDropped feeds a frame from a different view epoch.
+func TestStaleViewFramesDropped(t *testing.T) {
+	tr := newTestRing(t, 3, 1)
+	e := tr.engines[1]
+	f := &wire.Frame{ViewID: 999, Data: []wire.DataItem{{ID: wire.MsgID{Origin: 0, Local: 0}, Body: []byte("x")}}}
+	if err := e.HandleFrame(f); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().StaleFrames != 1 {
+		t.Errorf("StaleFrames = %d, want 1", e.Stats().StaleFrames)
+	}
+	if e.HasOutbound() {
+		t.Error("stale frame generated outbound traffic")
+	}
+}
+
+// TestAckForUnknownSegmentErrors asserts the protocol-violation detector.
+func TestAckForUnknownSegmentErrors(t *testing.T) {
+	tr := newTestRing(t, 3, 1)
+	f := &wire.Frame{ViewID: 1, Acks: []wire.AckItem{{ID: wire.MsgID{Origin: 0, Local: 7}, Seq: 1, Hops: 2}}}
+	if err := tr.engines[1].HandleFrame(f); err == nil {
+		t.Fatal("ack for unknown segment accepted")
+	}
+}
+
+// TestPassBNonMemberOriginErrors covers the defensive membership check.
+func TestPassBNonMemberOriginErrors(t *testing.T) {
+	tr := newTestRing(t, 3, 1)
+	f := &wire.Frame{ViewID: 1, Data: []wire.DataItem{
+		{ID: wire.MsgID{Origin: 77, Local: 0}, Seq: 5, Body: []byte("x")},
+	}}
+	if err := tr.engines[1].HandleFrame(f); err == nil {
+		t.Fatal("pass B from non-member accepted")
+	}
+}
+
+// TestLowLoadStandaloneAcks: a single quiet broadcast must push its ack out
+// without waiting for data to piggyback on (paper: low-load latency).
+func TestLowLoadStandaloneAcks(t *testing.T) {
+	tr := newTestRing(t, 5, 1)
+	if _, err := tr.engines[3].Broadcast([]byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	tr.runQuiet(1000)
+	var standalone uint64
+	for _, e := range tr.engines {
+		standalone += e.Stats().StandaloneAcks
+	}
+	if standalone == 0 {
+		t.Error("no standalone ack frames in a contention-free run")
+	}
+}
+
+// TestHighLoadPiggybacksAcks: under saturation, acks should mostly ride on
+// data frames rather than consuming send slots of their own.
+func TestHighLoadPiggybacksAcks(t *testing.T) {
+	tr := newTestRing(t, 5, 1)
+	for s := range 5 {
+		for range 50 {
+			if _, err := tr.engines[s].Broadcast([]byte{byte(s)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tr.runQuiet(200000)
+	var frames, standalone uint64
+	for _, e := range tr.engines {
+		frames += e.Stats().FramesOut
+		standalone += e.Stats().StandaloneAcks
+	}
+	if frac := float64(standalone) / float64(frames); frac > 0.25 {
+		t.Errorf("standalone-ack frames are %.0f%% of traffic under load", frac*100)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	tr := newTestRing(t, 4, 1)
+	if _, err := tr.engines[0].Broadcast([]byte("lead")); err != nil {
+		t.Fatal(err)
+	}
+	tr.runQuiet(100)
+	leader := tr.engines[0].Stats()
+	if leader.Sequenced != 1 {
+		t.Errorf("leader Sequenced = %d, want 1", leader.Sequenced)
+	}
+	if leader.OwnSent != 1 {
+		t.Errorf("leader OwnSent = %d, want 1", leader.OwnSent)
+	}
+	for pos, e := range tr.engines {
+		if e.Stats().Delivered != 1 {
+			t.Errorf("pos %d Delivered = %d", pos, e.Stats().Delivered)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"fsr/internal/ring"
+	"fsr/internal/wire"
+)
+
+// TestFairnessFigure5 reconstructs the paper's Figure 5 exactly: a process
+// wants to initiate a TO-broadcast while its incoming buffer holds
+// [m3(p2), m2(p4), m5(p3), m6(p3)] and its forward list is {p1, p4, p5}.
+// The send order must be: m3(p2), m5(p3) (earliest message of each origin
+// not yet in the list), then the own message, after which the list resets
+// and m2(p4), m6(p3) follow.
+func TestFairnessFigure5(t *testing.T) {
+	members := []ring.ProcID{0, 1, 2, 3, 4, 5}
+	v := View{ID: 1, Ring: ring.MustNew(members, 1)}
+	e, err := NewEngine(Config{Self: 5}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(origin ring.ProcID, local uint64) wire.DataItem {
+		return wire.DataItem{ID: wire.MsgID{Origin: origin, Local: local}, Parts: 1, Body: []byte{byte(origin)}}
+	}
+	e.relayQ = []wire.DataItem{mk(2, 3), mk(4, 2), mk(3, 5), mk(3, 6)}
+	e.forward = map[ring.ProcID]bool{1: true, 4: true, 0: true} // p5 is self; use p0 for the paper's p5
+	if _, err := e.Broadcast([]byte("own")); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []wire.MsgID
+	for range 5 {
+		f, ok := e.NextFrame()
+		if !ok || len(f.Data) != 1 {
+			t.Fatalf("expected a data frame, got %+v", f)
+		}
+		got = append(got, f.Data[0].ID)
+	}
+	want := []wire.MsgID{
+		{Origin: 2, Local: 3}, // not in list
+		{Origin: 3, Local: 5}, // not in list (earliest of p3)
+		{Origin: 5, Local: 0}, // own message; list resets
+		{Origin: 4, Local: 2}, // remaining relays in FIFO order
+		{Origin: 3, Local: 6},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("send order[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	if len(e.forward) != 2 { // p4 and p3 forwarded since the own send
+		t.Errorf("forward list after own send has %d entries, want 2", len(e.forward))
+	}
+}
+
+// TestFairnessEqualShares runs the paper's motivating scenario — two
+// processes on opposite sides of the ring broadcasting bursts — and checks
+// that over any prefix of the delivery order the two senders' counts stay
+// balanced (the privilege-protocol pathology this design removes).
+func TestFairnessEqualShares(t *testing.T) {
+	tr := newTestRing(t, 6, 1)
+	const perSender = 60
+	a, b := tr.engines[2], tr.engines[5]
+	for range perSender {
+		if _, err := a.Broadcast([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Broadcast([]byte("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.runQuiet(100000)
+	ds := tr.engines[0].Deliveries()
+	if len(ds) != 2*perSender {
+		t.Fatalf("delivered %d, want %d", len(ds), 2*perSender)
+	}
+	counts := map[ring.ProcID]int{}
+	for i, d := range ds {
+		counts[d.ID.Origin]++
+		// In any prefix the two senders may differ by a small constant
+		// (ring distance), never drift apart.
+		diff := counts[2] - counts[5]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 4 {
+			t.Fatalf("after %d deliveries counts diverged: p2=%d p5=%d", i+1, counts[2], counts[5])
+		}
+	}
+	if counts[2] != perSender || counts[5] != perSender {
+		t.Errorf("final counts p2=%d p5=%d, want %d each", counts[2], counts[5], perSender)
+	}
+}
+
+// TestFairnessAllSenders saturates every process and checks the interleaving
+// stays balanced across all origins.
+func TestFairnessAllSenders(t *testing.T) {
+	const n, perSender = 5, 40
+	tr := newTestRing(t, n, 1)
+	for s := range n {
+		for range perSender {
+			if _, err := tr.engines[s].Broadcast([]byte{byte(s)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tr.runQuiet(200000)
+	ds := tr.engines[1].Deliveries()
+	counts := map[ring.ProcID]int{}
+	for _, d := range ds {
+		counts[d.ID.Origin]++
+		var lo, hi int
+		lo = 1 << 30
+		for s := range n {
+			c := counts[ring.ProcID(s)]
+			lo = min(lo, c)
+			hi = max(hi, c)
+		}
+		if hi-lo > n+2 {
+			t.Fatalf("origin counts diverged beyond ring distance: %v", counts)
+		}
+	}
+	for s := range n {
+		if counts[ring.ProcID(s)] != perSender {
+			t.Errorf("origin %d delivered %d, want %d", s, counts[ring.ProcID(s)], perSender)
+		}
+	}
+}
+
+// TestNoSenderStarvation: one process floods while another sends a single
+// message; the single message must be delivered within a bounded number of
+// rounds, not after the flood drains.
+func TestNoSenderStarvation(t *testing.T) {
+	tr := newTestRing(t, 5, 1)
+	flooder, quiet := tr.engines[1], tr.engines[3]
+	const flood = 200
+	for range flood {
+		if _, err := flooder.Broadcast([]byte("flood")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the flood get going.
+	for range 10 {
+		tr.round()
+	}
+	if _, err := quiet.Broadcast([]byte("urgent")); err != nil {
+		t.Fatal(err)
+	}
+	deliveredAt := -1
+	for r := 0; r < 100000; r++ {
+		if tr.round() == 0 {
+			break
+		}
+		for _, d := range tr.engines[0].Deliveries() {
+			if d.ID.Origin == 3 && deliveredAt < 0 {
+				deliveredAt = r
+			}
+		}
+	}
+	if deliveredAt < 0 {
+		t.Fatal("urgent message never delivered")
+	}
+	// Bounded by a couple of ring traversals, not by the flood length.
+	if deliveredAt > 60 {
+		t.Errorf("urgent message waited %d rounds behind a %d-message flood", deliveredAt, flood)
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fsr/internal/ring"
+	"fsr/internal/wire"
+)
+
+// TestInvariantsQuick drives random rings with random broadcast schedules
+// (interleaved with protocol rounds, so messages overlap arbitrarily) and
+// checks the TO-broadcast specification: agreement, total order, integrity
+// (no duplicates, only broadcast messages delivered), validity, per-origin
+// FIFO, and complete state cleanup at quiescence.
+func TestInvariantsQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		tol := rng.Intn(n)
+		tr := newTestRing(t, n, tol)
+		sink := make([][]Delivery, n)
+		broadcasts := 0
+		// Random schedule: interleave broadcasts and rounds.
+		for step := 0; step < 60; step++ {
+			if rng.Intn(2) == 0 {
+				s := rng.Intn(n)
+				payload := make([]byte, rng.Intn(64))
+				rng.Read(payload)
+				if _, err := tr.engines[s].Broadcast(payload); err != nil {
+					return false
+				}
+				broadcasts++
+			} else {
+				tr.round()
+				tr.drain(sink)
+			}
+		}
+		for r := 0; r < 100000; r++ {
+			if tr.round() == 0 {
+				break
+			}
+			tr.drain(sink)
+		}
+		tr.drain(sink)
+		// Agreement + total order + contiguity + FIFO.
+		ref := sink[0]
+		if len(ref) != broadcasts {
+			return false
+		}
+		lastLocal := map[ring.ProcID]uint64{}
+		for i, d := range ref {
+			if d.Seq != uint64(i+1) {
+				return false
+			}
+			if last, ok := lastLocal[d.ID.Origin]; ok && d.ID.Local <= last {
+				return false
+			}
+			lastLocal[d.ID.Origin] = d.ID.Local
+		}
+		for pos := 1; pos < n; pos++ {
+			if len(sink[pos]) != len(ref) {
+				return false
+			}
+			for i := range ref {
+				if sink[pos][i].ID != ref[i].ID || sink[pos][i].Seq != ref[i].Seq {
+					return false
+				}
+			}
+		}
+		// Quiescent cleanup: every ack was accounted for.
+		for _, e := range tr.engines {
+			if len(e.pend) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUniformityUnderCrash checks the uniform-agreement property directly:
+// run with random crashes (within t) at a random time; any segment delivered
+// by ANY process before the crash — including ones that then crash — must be
+// delivered by all survivors. This is the property that distinguishes
+// uniform TO-broadcast from the non-uniform variant.
+func TestUniformityUnderCrash(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := range 60 {
+		n := 3 + rng.Intn(6)
+		tol := 1 + rng.Intn(n-2)
+		tr := newTestRing(t, n, tol)
+		for s := range n {
+			for i := range 10 {
+				if _, err := tr.engines[s].Broadcast([]byte{byte(s), byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		sink := make([][]Delivery, n)
+		pre := 1 + rng.Intn(50)
+		for range pre {
+			tr.round()
+			tr.drain(sink)
+		}
+		nCrash := 1 + rng.Intn(tol)
+		crashed := map[int]bool{}
+		for _, p := range rng.Perm(n)[:nCrash] {
+			crashed[p] = true
+		}
+		// Everything delivered anywhere (even at about-to-crash processes).
+		needed := map[string]bool{}
+		for pos := range tr.engines {
+			for _, d := range sink[pos] {
+				needed[d.ID.String()] = true
+			}
+		}
+		survivors := crashAndRecover(t, tr, crashed)
+		got := make(map[ring.ProcID]map[string]bool)
+		for _, e := range survivors {
+			got[e.Self()] = map[string]bool{}
+			// Deliveries recorded before the crash at survivors count too
+			// (test ring IDs equal their original slot index).
+			for _, d := range sink[int(e.Self())] {
+				got[e.Self()][d.ID.String()] = true
+			}
+		}
+		for r := 0; r < 200000; r++ {
+			if tr.round() == 0 {
+				break
+			}
+			for _, e := range tr.engines {
+				for _, d := range e.Deliveries() {
+					got[e.Self()][d.ID.String()] = true
+				}
+			}
+		}
+		for _, e := range tr.engines {
+			for _, d := range e.Deliveries() {
+				got[e.Self()][d.ID.String()] = true
+			}
+		}
+		for _, e := range survivors {
+			for id := range needed {
+				if !got[e.Self()][id] {
+					t.Fatalf("trial %d (n=%d t=%d crash=%v pre=%d): survivor %d missing %s delivered pre-crash",
+						trial, n, tol, crashed, pre, e.Self(), id)
+				}
+			}
+		}
+	}
+}
+
+func benchRingThroughput(b *testing.B, n, tol, senders int) {
+	members := make([]ring.ProcID, n)
+	for i := range members {
+		members[i] = ring.ProcID(i)
+	}
+	v := View{ID: 1, Ring: ring.MustNew(members, tol)}
+	engines := make([]*Engine, n)
+	for i, id := range members {
+		e, err := NewEngine(Config{Self: id}, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engines[i] = e
+	}
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent := 0
+	for sent < b.N {
+		for s := 0; s < senders && sent < b.N; s++ {
+			if _, err := engines[s].Broadcast(payload); err != nil {
+				b.Fatal(err)
+			}
+			sent++
+		}
+		// One protocol round.
+		for pos, e := range engines {
+			if f, ok := e.NextFrame(); ok {
+				if err := engines[(pos+1)%n].HandleFrame(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		for _, e := range engines {
+			e.Deliveries()
+		}
+	}
+	// Drain.
+	for {
+		moved := 0
+		for pos, e := range engines {
+			if f, ok := e.NextFrame(); ok {
+				moved++
+				if err := engines[(pos+1)%n].HandleFrame(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+			e.Deliveries()
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+func BenchmarkEngineRing5OneSender(b *testing.B)  { benchRingThroughput(b, 5, 1, 1) }
+func BenchmarkEngineRing5AllSenders(b *testing.B) { benchRingThroughput(b, 5, 1, 5) }
+func BenchmarkEngineRing10(b *testing.B)          { benchRingThroughput(b, 10, 2, 10) }
+
+func BenchmarkEngineHandleFrameHotPath(b *testing.B) {
+	// Measure the per-hop cost at a standard relay process.
+	members := []ring.ProcID{0, 1, 2, 3, 4}
+	v := View{ID: 1, Ring: ring.MustNew(members, 1)}
+	relay, err := NewEngine(Config{Self: 3}, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := make([]byte, 8192)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &wire.Frame{
+			ViewID: 1,
+			Data:   []wire.DataItem{{ID: wire.MsgID{Origin: 4, Local: uint64(i)}, Parts: 1, Body: body}},
+		}
+		if err := relay.HandleFrame(f); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := relay.NextFrame(); !ok {
+			b.Fatal("no outbound")
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// View-change recovery (paper §4.2.1).
+//
+// When the VSC layer installs a new view it runs a flush: every survivor
+// contributes a RecoveryState snapshot; the coordinator merges them with
+// MergeRecovery into an agreed synchronization (the contiguous run of
+// sequenced segments that slower survivors still need, exactly as the paper
+// prescribes: "the new leader must resend all message and sequence number
+// pairs that have not yet been TO-delivered [and] an ack of the latest
+// TO-delivered message"); and InstallView applies the result, after which
+// every survivor re-broadcasts its own not-yet-sequenced segments ("all
+// processes TO-broadcast any message … TO-broadcast in the view vr but not
+// yet TO-delivered").
+
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"fsr/internal/wire"
+)
+
+// SequencedMsg is one segment that already carries a sequence number,
+// exchanged during the flush.
+type SequencedMsg struct {
+	ID    wire.MsgID
+	Seq   uint64
+	Part  uint32
+	Parts uint32
+	Body  []byte
+}
+
+// PendingMsg is one own segment that may not have been sequenced yet.
+type PendingMsg struct {
+	ID    wire.MsgID
+	Part  uint32
+	Parts uint32
+	Body  []byte
+}
+
+// RecoveryState is one process's contribution to the view-change flush.
+type RecoveryState struct {
+	// NextDeliver is the first sequence number this process has not
+	// delivered.
+	NextDeliver uint64
+	// Sequenced holds every segment this process knows with an assigned
+	// sequence number that may still be undelivered somewhere (delivered
+	// segments are included from the recovery buffer).
+	Sequenced []SequencedMsg
+	// OwnPending holds this process's own segments that it has broadcast
+	// but not delivered.
+	OwnPending []PendingMsg
+}
+
+// Snapshot captures this process's flush contribution. The engine must not
+// receive further frames of the old view afterwards (the wrapper stops
+// pumping before flushing; stale frames would be dropped anyway).
+func (e *Engine) Snapshot() RecoveryState {
+	rs := RecoveryState{NextDeliver: e.nextDel}
+	for seq, st := range e.bySeq {
+		if !st.haveBody {
+			continue
+		}
+		rs.Sequenced = append(rs.Sequenced, SequencedMsg{
+			ID: st.id, Seq: seq, Part: st.part, Parts: st.parts, Body: st.body,
+		})
+	}
+	slices.SortFunc(rs.Sequenced, func(a, b SequencedMsg) int {
+		switch {
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		default:
+			return 0
+		}
+	})
+	for _, st := range e.pend {
+		if st.own && !st.delivered {
+			rs.OwnPending = append(rs.OwnPending, PendingMsg{
+				ID: st.id, Part: st.part, Parts: st.parts, Body: st.body,
+			})
+		}
+	}
+	slices.SortFunc(rs.OwnPending, func(a, b PendingMsg) int {
+		switch {
+		case a.ID.Local < b.ID.Local:
+			return -1
+		case a.ID.Local > b.ID.Local:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return rs
+}
+
+// Sync is the agreed view-change synchronization computed by the new
+// coordinator from all survivors' RecoveryStates.
+type Sync struct {
+	// StartSeq is the lowest NextDeliver among survivors: the first
+	// sequence number some survivor still needs.
+	StartSeq uint64
+	// Sequenced is the contiguous run of segments with sequence numbers
+	// StartSeq, StartSeq+1, ... that survive the change and keep their
+	// numbers. Segments beyond the first gap were provably undelivered
+	// everywhere (delivery is in-order, and anything delivered was stable
+	// at t+1 processes of which at most t crashed) and are dropped; their
+	// origins re-broadcast them in the new view.
+	Sequenced []SequencedMsg
+}
+
+// MaxSeq returns the highest sequence number preserved by the sync, or
+// StartSeq-1 when none.
+func (s *Sync) MaxSeq() uint64 {
+	if len(s.Sequenced) == 0 {
+		return s.StartSeq - 1
+	}
+	return s.Sequenced[len(s.Sequenced)-1].Seq
+}
+
+// Contains reports whether the sync preserves segment id.
+func (s *Sync) Contains(id wire.MsgID) bool {
+	for i := range s.Sequenced {
+		if s.Sequenced[i].ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// MergeRecovery merges the survivors' flush contributions into the agreed
+// Sync. It fails if two survivors disagree on the segment a sequence number
+// names — impossible under the protocol, so it indicates corruption.
+func MergeRecovery(states []RecoveryState) (*Sync, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("core: merging zero recovery states")
+	}
+	start := states[0].NextDeliver
+	maxDelivered := states[0].NextDeliver
+	for _, rs := range states[1:] {
+		start = min(start, rs.NextDeliver)
+		maxDelivered = max(maxDelivered, rs.NextDeliver)
+	}
+	bySeq := make(map[uint64]SequencedMsg)
+	for _, rs := range states {
+		for _, m := range rs.Sequenced {
+			if m.Seq < start {
+				continue // everyone already delivered it
+			}
+			if prev, ok := bySeq[m.Seq]; ok {
+				if prev.ID != m.ID {
+					return nil, fmt.Errorf("core: recovery conflict at seq %d: %v vs %v",
+						m.Seq, prev.ID, m.ID)
+				}
+				continue
+			}
+			bySeq[m.Seq] = m
+		}
+	}
+	sync := &Sync{StartSeq: start}
+	for seq := start; ; seq++ {
+		m, ok := bySeq[seq]
+		if !ok {
+			// First gap. Anything at or above it was never delivered
+			// anywhere; but a gap below maxDelivered-1 would mean some
+			// survivor delivered past a hole, which is impossible.
+			if seq < maxDelivered {
+				return nil, fmt.Errorf("core: recovery gap at seq %d below delivered %d",
+					seq, maxDelivered-1)
+			}
+			break
+		}
+		sync.Sequenced = append(sync.Sequenced, m)
+	}
+	return sync, nil
+}
+
+// Rebroadcast lists this process's own pending segments that the sync does
+// not preserve: the caller must re-Broadcast their logical messages in the
+// new view. Segments of one logical message are grouped and returned whole
+// (re-segmentation happens in the new Broadcast call).
+func (rs *RecoveryState) Rebroadcast(sync *Sync) []PendingMsg {
+	var out []PendingMsg
+	for _, m := range rs.OwnPending {
+		if !sync.Contains(m.ID) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// InstallView resets the engine onto a new view, applying the agreed sync.
+// In-flight old-view traffic is discarded; preserved sequenced segments
+// become deliverable immediately (the flush guarantees every new-view member
+// holds them, which is stability in the strongest sense). The caller then
+// re-broadcasts what Rebroadcast returned.
+func (e *Engine) InstallView(v View, sync *Sync) error {
+	pos, ok := v.Ring.Position(e.cfg.Self)
+	if !ok {
+		return fmt.Errorf("%w: id=%d view=%d", ErrNotMember, e.cfg.Self, v.ID)
+	}
+	// Own undelivered segments that the sync does not preserve must survive
+	// the wipe: the origin re-initiates them in the new view (validity).
+	// This also covers broadcasts accepted after the flush snapshot was
+	// taken — they never reached any snapshot, so only the engine itself
+	// can carry them across.
+	var preserve []PendingMsg
+	for _, st := range e.pend {
+		if st.own && !st.delivered && !sync.Contains(st.id) {
+			preserve = append(preserve, PendingMsg{
+				ID: st.id, Part: st.part, Parts: st.parts, Body: st.body,
+			})
+		}
+	}
+	slices.SortFunc(preserve, func(a, b PendingMsg) int {
+		switch {
+		case a.ID.Local < b.ID.Local:
+			return -1
+		case a.ID.Local > b.ID.Local:
+			return 1
+		default:
+			return 0
+		}
+	})
+
+	e.view = v
+	e.self = pos
+	e.relayQ = nil
+	e.ownQ = nil
+	e.ackQ = nil
+	clear(e.forward)
+	e.pend = make(map[wire.MsgID]*msgState)
+	e.bySeq = make(map[uint64]*msgState)
+
+	// A joiner that has never delivered starts at the agreed base; the
+	// application layer is responsible for state transfer up to it.
+	if e.nextDel < sync.StartSeq {
+		e.nextDel = sync.StartSeq
+	}
+	e.oldest = e.nextDel
+	e.nextSeq = sync.MaxSeq() + 1
+
+	for _, m := range sync.Sequenced {
+		if m.Seq < e.nextDel {
+			continue // already delivered here
+		}
+		st := e.ensure(m.ID)
+		st.seq = m.Seq
+		st.part = m.Part
+		st.parts = m.Parts
+		st.body = m.Body
+		st.haveBody = true
+		st.eligible = true
+		st.own = m.ID.Origin == e.cfg.Self
+		e.bySeq[m.Seq] = st
+	}
+	e.tryDeliver()
+	// No old-view acks will arrive for sync-installed segments; drop their
+	// pending records as soon as they are delivered.
+	for id, st := range e.pend {
+		if st.delivered {
+			delete(e.pend, id)
+		}
+	}
+	for _, m := range preserve {
+		if err := e.ReBroadcast(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReBroadcast re-enqueues an own segment that the view change dropped (it
+// was not preserved by the sync, hence provably undelivered everywhere),
+// keeping its original identity so that multi-segment logical messages
+// reassemble correctly across views. The new leader assigns it a fresh
+// sequence number. Idempotent: segments already delivered or already queued
+// are left alone, so InstallView's automatic preservation and an explicit
+// flush-driven rebroadcast never duplicate a message.
+func (e *Engine) ReBroadcast(m PendingMsg) error {
+	if e.stopped {
+		return ErrStopped
+	}
+	st := e.ensure(m.ID)
+	if st.delivered || st.queued {
+		return nil
+	}
+	st.body = m.Body
+	st.haveBody = true
+	st.own = true
+	st.part = m.Part
+	st.parts = m.Parts
+	if e.view.Ring.N() == 1 {
+		e.assignSeq(st)
+		st.eligible = true
+		e.tryDeliver()
+		return nil
+	}
+	st.queued = true
+	e.ownQ = append(e.ownQ, wire.DataItem{ID: m.ID, Part: m.Part, Parts: m.Parts, Body: m.Body})
+	return nil
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fsr/internal/ring"
+	"fsr/internal/wire"
+)
+
+// crashAndRecover stops the given positions mid-run, flushes the survivors,
+// merges, installs view 2 on a ring of the survivors (original order kept),
+// and re-broadcasts what the sync dropped. Returns the survivor engines in
+// new ring order.
+func crashAndRecover(t *testing.T, tr *testRing, crashed map[int]bool) []*Engine {
+	t.Helper()
+	var members []ring.ProcID
+	var survivors []*Engine
+	for pos, e := range tr.engines {
+		if crashed[pos] {
+			continue
+		}
+		members = append(members, e.Self())
+		survivors = append(survivors, e)
+	}
+	tol := min(tr.view.Ring.T(), len(members)-1)
+	newView := View{ID: tr.view.ID + 1, Ring: ring.MustNew(members, tol)}
+
+	var states []RecoveryState
+	for _, e := range survivors {
+		states = append(states, e.Snapshot())
+	}
+	sync, err := MergeRecovery(states)
+	if err != nil {
+		t.Fatalf("MergeRecovery: %v", err)
+	}
+	for i, e := range survivors {
+		if err := e.InstallView(newView, sync); err != nil {
+			t.Fatalf("InstallView at %d: %v", e.Self(), err)
+		}
+		for _, m := range states[i].Rebroadcast(sync) {
+			if err := e.ReBroadcast(m); err != nil {
+				t.Fatalf("ReBroadcast at %d: %v", e.Self(), err)
+			}
+		}
+	}
+	tr.engines = survivors
+	tr.view = newView
+	return survivors
+}
+
+// runRecoveryScenario floods the ring, runs a few rounds, crashes a set of
+// positions, recovers, drains to quiet and asserts agreement, total order,
+// no duplicates, per-origin FIFO and no loss of anything delivered anywhere
+// before the crash.
+func runRecoveryScenario(t *testing.T, n, tol int, crashPos []int, preRounds int) {
+	t.Helper()
+	tr := newTestRing(t, n, tol)
+	const perSender = 15
+	for s := range n {
+		for i := range perSender {
+			payload := []byte(fmt.Sprintf("m-%d-%d", s, i))
+			if _, err := tr.engines[s].Broadcast(payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sink := make(map[ring.ProcID][]Delivery)
+	drainAll := func() {
+		for _, e := range tr.engines {
+			sink[e.Self()] = append(sink[e.Self()], e.Deliveries()...)
+		}
+	}
+	for range preRounds {
+		tr.round()
+		drainAll()
+	}
+	crashed := map[int]bool{}
+	for _, p := range crashPos {
+		crashed[p] = true
+	}
+	// Record what anyone delivered before the crash: all of it must survive.
+	preDelivered := map[wire.MsgID]bool{}
+	for pos, e := range tr.engines {
+		if crashed[pos] {
+			continue
+		}
+		for _, d := range sink[e.Self()] {
+			preDelivered[d.ID] = true
+		}
+	}
+	survivors := crashAndRecover(t, tr, crashed)
+	drainAll()
+	for r := 0; r < 200000; r++ {
+		if tr.round() == 0 {
+			break
+		}
+		drainAll()
+	}
+	drainAll()
+
+	// Survivors must agree on one delivery order covering all survivor
+	// messages plus everything delivered pre-crash.
+	ref := sink[survivors[0].Self()]
+	seen := map[wire.MsgID]int{}
+	lastLocal := map[ring.ProcID]uint64{}
+	for _, d := range ref {
+		seen[d.ID]++
+		if seen[d.ID] > 1 {
+			t.Fatalf("duplicate delivery of %v", d.ID)
+		}
+		if last, ok := lastLocal[d.ID.Origin]; ok && d.ID.Local <= last {
+			t.Fatalf("per-origin FIFO violated for origin %d", d.ID.Origin)
+		}
+		lastLocal[d.ID.Origin] = d.ID.Local
+	}
+	for id := range preDelivered {
+		if seen[id] == 0 {
+			t.Fatalf("message %v delivered pre-crash was lost", id)
+		}
+	}
+	// Every survivor's own messages must be delivered (validity).
+	for _, e := range survivors {
+		for i := uint64(0); i < perSender; i++ {
+			id := wire.MsgID{Origin: e.Self(), Local: i}
+			if seen[id] == 0 {
+				t.Fatalf("survivor %d's message %v lost", e.Self(), id)
+			}
+		}
+	}
+	for _, e := range survivors[1:] {
+		got := sink[e.Self()]
+		if len(got) != len(ref) {
+			t.Fatalf("survivor %d delivered %d, survivor %d delivered %d",
+				e.Self(), len(got), survivors[0].Self(), len(ref))
+		}
+		for i := range ref {
+			if got[i].ID != ref[i].ID {
+				t.Fatalf("order mismatch at %d: %v vs %v", i, got[i].ID, ref[i].ID)
+			}
+		}
+	}
+}
+
+func TestRecoveryCrashLeader(t *testing.T)        { runRecoveryScenario(t, 5, 2, []int{0}, 7) }
+func TestRecoveryCrashBackup(t *testing.T)        { runRecoveryScenario(t, 5, 2, []int{1}, 9) }
+func TestRecoveryCrashStandard(t *testing.T)      { runRecoveryScenario(t, 5, 2, []int{4}, 11) }
+func TestRecoveryCrashTwo(t *testing.T)           { runRecoveryScenario(t, 6, 2, []int{0, 3}, 8) }
+func TestRecoveryCrashLeaderAndBack(t *testing.T) { runRecoveryScenario(t, 6, 2, []int{0, 1}, 13) }
+func TestRecoveryEarlyCrash(t *testing.T)         { runRecoveryScenario(t, 4, 1, []int{2}, 1) }
+func TestRecoveryLateCrash(t *testing.T)          { runRecoveryScenario(t, 4, 1, []int{0}, 60) }
+
+// TestRecoveryRandomized fuzzes crash timing and victim sets.
+func TestRecoveryRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := range 40 {
+		n := 3 + rng.Intn(6)
+		tol := 1 + rng.Intn(n-2)
+		nCrash := 1 + rng.Intn(tol)
+		perm := rng.Perm(n)[:nCrash]
+		pre := 1 + rng.Intn(40)
+		t.Run(fmt.Sprintf("trial%d_n%d_t%d", trial, n, tol), func(t *testing.T) {
+			runRecoveryScenario(t, n, tol, perm, pre)
+		})
+	}
+}
+
+func TestMergeRecoveryValidation(t *testing.T) {
+	if _, err := MergeRecovery(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	// Conflicting IDs at one seq must be rejected.
+	a := RecoveryState{NextDeliver: 1, Sequenced: []SequencedMsg{{ID: wire.MsgID{Origin: 1, Local: 0}, Seq: 1, Parts: 1}}}
+	b := RecoveryState{NextDeliver: 1, Sequenced: []SequencedMsg{{ID: wire.MsgID{Origin: 2, Local: 0}, Seq: 1, Parts: 1}}}
+	if _, err := MergeRecovery([]RecoveryState{a, b}); err == nil {
+		t.Error("conflicting recovery states accepted")
+	}
+	// A gap below someone's delivery cursor is corruption.
+	c := RecoveryState{NextDeliver: 5}
+	d := RecoveryState{NextDeliver: 1}
+	if _, err := MergeRecovery([]RecoveryState{c, d}); err == nil {
+		t.Error("gap below delivered cursor accepted")
+	}
+}
+
+func TestMergeRecoveryDropsBeyondGap(t *testing.T) {
+	mk := func(seq uint64) SequencedMsg {
+		return SequencedMsg{ID: wire.MsgID{Origin: 1, Local: seq}, Seq: seq, Parts: 1, Body: []byte{1}}
+	}
+	a := RecoveryState{NextDeliver: 1, Sequenced: []SequencedMsg{mk(1), mk(2), mk(4)}}
+	sync, err := MergeRecovery([]RecoveryState{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sync.Sequenced) != 2 || sync.MaxSeq() != 2 {
+		t.Fatalf("sync kept %d msgs, max %d; want 2, 2", len(sync.Sequenced), sync.MaxSeq())
+	}
+	if sync.Contains(wire.MsgID{Origin: 1, Local: 4}) {
+		t.Error("segment beyond the gap preserved")
+	}
+}
+
+func TestInstallViewNotMember(t *testing.T) {
+	tr := newTestRing(t, 3, 1)
+	v2 := View{ID: 2, Ring: ring.MustNew([]ring.ProcID{0, 1}, 1)}
+	err := tr.engines[2].InstallView(v2, &Sync{StartSeq: 1})
+	if err == nil {
+		t.Fatal("InstallView for excluded member succeeded")
+	}
+}
+
+// TestJoinerCatchesUp: a fresh process joins via InstallView and must
+// deliver the preserved suffix plus all future traffic in agreement.
+func TestJoinerCatchesUp(t *testing.T) {
+	tr := newTestRing(t, 3, 1)
+	for i := range 5 {
+		if _, err := tr.engines[1].Broadcast([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := make(map[ring.ProcID][]Delivery)
+	drain := func() {
+		for _, e := range tr.engines {
+			sink[e.Self()] = append(sink[e.Self()], e.Deliveries()...)
+		}
+	}
+	for range 6 {
+		tr.round()
+		drain()
+	}
+	// Join process 9.
+	var states []RecoveryState
+	for _, e := range tr.engines {
+		states = append(states, e.Snapshot())
+	}
+	sync, err := MergeRecovery(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []ring.ProcID{0, 1, 2, 9}
+	v2 := View{ID: 2, Ring: ring.MustNew(members, 1)}
+	joiner, err := NewEngine(Config{Self: 9}, View{ID: 0, Ring: ring.MustNew([]ring.ProcID{9}, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range tr.engines {
+		if err := e.InstallView(v2, sync); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range states[i].Rebroadcast(sync) {
+			if err := e.ReBroadcast(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := joiner.InstallView(v2, sync); err != nil {
+		t.Fatal(err)
+	}
+	tr.engines = append(tr.engines, joiner)
+	tr.view = v2
+	if _, err := joiner.Broadcast([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10000; r++ {
+		if tr.round() == 0 {
+			break
+		}
+		drain()
+	}
+	drain()
+	// The joiner's deliveries must be a suffix of an old member's sequence.
+	old := sink[0]
+	nw := sink[9]
+	if len(nw) == 0 {
+		t.Fatal("joiner delivered nothing")
+	}
+	off := len(old) - len(nw)
+	if off < 0 {
+		t.Fatalf("joiner delivered more (%d) than an original member (%d)", len(nw), len(old))
+	}
+	for i := range nw {
+		if nw[i].ID != old[off+i].ID {
+			t.Fatalf("joiner order mismatch at %d: %v vs %v", i, nw[i].ID, old[off+i].ID)
+		}
+	}
+	found := false
+	for _, d := range nw {
+		if d.ID.Origin == 9 && bytes.Equal(d.Body, []byte("hi")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("joiner's own broadcast not delivered")
+	}
+}

@@ -1,0 +1,216 @@
+// Package fd implements the failure detection module of the paper's system
+// model (Section 3): each process has access to a Perfect failure detector P
+// (Chandra & Toueg). In the cluster environments the paper targets —
+// fail-stop processes on a synchronous switched LAN — a heartbeat detector
+// with a generous timeout implements P: it is complete (a crashed process
+// stops heartbeating and is eventually suspected) and accurate (a live
+// process's heartbeats keep arriving before the timeout).
+//
+// The detector core is a pure state machine advanced by Tick(now) and
+// HandleHeartbeat(from, now), so tests control time exactly; Runner wraps it
+// with a real-time goroutine for production use.
+package fd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"fsr/internal/ring"
+	"fsr/internal/wire"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultInterval = 50 * time.Millisecond
+	DefaultTimeout  = 500 * time.Millisecond
+)
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Self is this process's ID (never monitored, never suspected).
+	Self ring.ProcID
+	// Interval is the heartbeat emission period.
+	Interval time.Duration
+	// Timeout is the silence threshold after which a peer is suspected.
+	// Must be comfortably above Interval plus worst-case scheduling jitter
+	// for the accuracy half of P to hold.
+	Timeout time.Duration
+	// Send emits one heartbeat payload to a peer. Errors are ignored: a
+	// dead link is exactly what the timeout detects.
+	Send func(to ring.ProcID, payload []byte)
+	// Suspect is invoked exactly once per peer when it is declared
+	// crashed. Called from Tick's goroutine.
+	Suspect func(p ring.ProcID)
+}
+
+// Detector is the pure failure-detector state machine. Not goroutine-safe;
+// Runner adds locking for real-time use.
+type Detector struct {
+	cfg      Config
+	lastSeen map[ring.ProcID]time.Time
+	suspects map[ring.ProcID]bool
+	lastBeat time.Time
+}
+
+// New builds a detector with no monitored peers yet.
+func New(cfg Config) (*Detector, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.Timeout <= cfg.Interval {
+		return nil, fmt.Errorf("fd: timeout %v must exceed interval %v", cfg.Timeout, cfg.Interval)
+	}
+	if cfg.Send == nil || cfg.Suspect == nil {
+		return nil, fmt.Errorf("fd: Send and Suspect callbacks are required")
+	}
+	return &Detector{
+		cfg:      cfg,
+		lastSeen: make(map[ring.ProcID]time.Time),
+		suspects: make(map[ring.ProcID]bool),
+	}, nil
+}
+
+// SetPeers replaces the monitored peer set (typically on view change). New
+// peers get a fresh grace period starting at now; suspicions of processes
+// no longer in the set are forgotten.
+func (d *Detector) SetPeers(peers []ring.ProcID, now time.Time) {
+	seen := make(map[ring.ProcID]time.Time, len(peers))
+	susp := make(map[ring.ProcID]bool)
+	for _, p := range peers {
+		if p == d.cfg.Self {
+			continue
+		}
+		if t, ok := d.lastSeen[p]; ok {
+			seen[p] = t
+		} else {
+			seen[p] = now
+		}
+		if d.suspects[p] {
+			susp[p] = true
+		}
+	}
+	d.lastSeen = seen
+	d.suspects = susp
+}
+
+// HandleHeartbeat records proof of life from a peer. Heartbeats from
+// processes already suspected are ignored: P never revises a suspicion
+// (strong accuracy makes that sound in the fail-stop model).
+func (d *Detector) HandleHeartbeat(from ring.ProcID, now time.Time) {
+	if d.suspects[from] {
+		return
+	}
+	if _, monitored := d.lastSeen[from]; monitored {
+		d.lastSeen[from] = now
+	}
+}
+
+// Tick advances time: it emits heartbeats on the configured cadence and
+// declares silent peers crashed.
+func (d *Detector) Tick(now time.Time) {
+	if d.lastBeat.IsZero() || now.Sub(d.lastBeat) >= d.cfg.Interval {
+		d.lastBeat = now
+		hb := Encode(d.cfg.Self)
+		for p := range d.lastSeen {
+			if !d.suspects[p] {
+				d.cfg.Send(p, hb)
+			}
+		}
+	}
+	for p, last := range d.lastSeen {
+		if !d.suspects[p] && now.Sub(last) > d.cfg.Timeout {
+			d.suspects[p] = true
+			d.cfg.Suspect(p)
+		}
+	}
+}
+
+// Suspected reports whether p is currently suspected.
+func (d *Detector) Suspected(p ring.ProcID) bool { return d.suspects[p] }
+
+// Encode builds the heartbeat payload for a sender (KindFD + ProcID).
+func Encode(self ring.ProcID) []byte {
+	buf := make([]byte, 5)
+	buf[0] = wire.KindFD
+	binary.LittleEndian.PutUint32(buf[1:], uint32(self))
+	return buf
+}
+
+// Decode parses a heartbeat payload.
+func Decode(payload []byte) (ring.ProcID, error) {
+	if len(payload) != 5 || payload[0] != wire.KindFD {
+		return 0, fmt.Errorf("fd: bad heartbeat payload (%d bytes)", len(payload))
+	}
+	return ring.ProcID(binary.LittleEndian.Uint32(payload[1:])), nil
+}
+
+// Runner drives a Detector in real time with an internal goroutine. All
+// Detector access is serialized by the Runner's lock, so HandleHeartbeat may
+// be called from transport goroutines.
+type Runner struct {
+	mu   sync.Mutex
+	d    *Detector
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewRunner wraps a detector. Call Start to begin ticking.
+func NewRunner(d *Detector) *Runner {
+	return &Runner{d: d, done: make(chan struct{})}
+}
+
+// Start launches the ticking goroutine.
+func (r *Runner) Start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		ticker := time.NewTicker(r.d.cfg.Interval / 2)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.done:
+				return
+			case now := <-ticker.C:
+				r.mu.Lock()
+				r.d.Tick(now)
+				r.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// HandleHeartbeat forwards a heartbeat to the detector, thread-safely.
+func (r *Runner) HandleHeartbeat(from ring.ProcID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.d.HandleHeartbeat(from, time.Now())
+}
+
+// SetPeers forwards to the detector, thread-safely.
+func (r *Runner) SetPeers(peers []ring.ProcID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.d.SetPeers(peers, time.Now())
+}
+
+// Suspected forwards to the detector, thread-safely.
+func (r *Runner) Suspected(p ring.ProcID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.d.Suspected(p)
+}
+
+// Stop halts the ticking goroutine and waits for it.
+func (r *Runner) Stop() {
+	select {
+	case <-r.done:
+	default:
+		close(r.done)
+	}
+	r.wg.Wait()
+}

@@ -1,0 +1,134 @@
+// Communication-history protocols (paper §2.4): sender-based ordering with
+// logical clocks (Lamport-style, as in Newtop or Total). Processes may
+// send at any time; every message carries the sender's logical clock, and a
+// process TO-delivers message m once it has heard a clock >= m's from every
+// other process — then no earlier message can still arrive, and (clock,
+// origin) gives the total order. A process that has nothing to say must
+// eventually emit an empty message so others can make progress, which is
+// where the class's quadratic message complexity — and its poor throughput
+// in the round model — comes from.
+
+package model
+
+import "sort"
+
+type chMsg struct {
+	lc     int
+	origin int
+	id     int // -1 for a heartbeat
+}
+
+type chProc struct {
+	lc       int
+	latest   []int   // highest clock heard per process
+	stored   []chMsg // received, not yet delivered
+	needBeat bool    // owe the group a clock bump
+	queued   []int   // own ids waiting for a send slot
+}
+
+type commHistory struct {
+	nt      *Net
+	del     [][]int
+	procs   []*chProc
+	pending int
+	dcount  map[int]int
+}
+
+// NewCommHistory builds a communication-history system.
+func NewCommHistory(n int) System {
+	s := &commHistory{
+		nt:     NewNet(n),
+		del:    make([][]int, n),
+		dcount: make(map[int]int),
+	}
+	for range n {
+		s.procs = append(s.procs, &chProc{latest: make([]int, n)})
+	}
+	return s
+}
+
+func (s *commHistory) Broadcast(p int, id int) {
+	s.pending++
+	s.procs[p].queued = append(s.procs[p].queued, id)
+}
+
+func (s *commHistory) Step() {
+	// Send phase: every process with data sends its next message; a
+	// process owing a clock bump heartbeats instead.
+	for p, pr := range s.procs {
+		switch {
+		case len(pr.queued) > 0:
+			pr.lc++
+			id := pr.queued[0]
+			pr.queued = pr.queued[1:]
+			m := chMsg{lc: pr.lc, origin: p, id: id}
+			pr.stored = append(pr.stored, m)
+			pr.latest[p] = pr.lc
+			s.nt.Broadcast(p, Msg{Kind: "ch", Payload: m})
+			pr.needBeat = false
+		case pr.needBeat:
+			pr.lc++
+			pr.latest[p] = pr.lc
+			s.nt.Broadcast(p, Msg{Kind: "ch", Payload: chMsg{lc: pr.lc, origin: p, id: -1}})
+			pr.needBeat = false
+		}
+	}
+	s.nt.Step(func(p int, m Msg) {
+		cm := m.Payload.(chMsg)
+		pr := s.procs[p]
+		if cm.lc > pr.lc {
+			pr.lc = cm.lc
+		}
+		if cm.lc > pr.latest[cm.origin] {
+			pr.latest[cm.origin] = cm.lc
+		}
+		if cm.id >= 0 {
+			pr.stored = append(pr.stored, cm)
+			// A data message obliges a clock response so the group can
+			// establish its stability.
+			if len(pr.queued) == 0 {
+				pr.needBeat = true
+			}
+		}
+		s.tryDeliver(p)
+	})
+	for p := range s.procs {
+		s.tryDeliver(p)
+	}
+}
+
+// tryDeliver releases every stored message whose clock every process has
+// passed, in (clock, origin) order.
+func (s *commHistory) tryDeliver(p int) {
+	pr := s.procs[p]
+	sort.Slice(pr.stored, func(i, j int) bool {
+		if pr.stored[i].lc != pr.stored[j].lc {
+			return pr.stored[i].lc < pr.stored[j].lc
+		}
+		return pr.stored[i].origin < pr.stored[j].origin
+	})
+	for len(pr.stored) > 0 {
+		m := pr.stored[0]
+		for q := range s.procs {
+			if pr.latest[q] < m.lc {
+				return // q may still have an earlier message in flight
+			}
+		}
+		pr.stored = pr.stored[1:]
+		s.del[p] = append(s.del[p], m.id)
+		s.dcount[m.id]++
+		if s.dcount[m.id] == len(s.procs) {
+			s.pending--
+		}
+	}
+}
+
+func (s *commHistory) Delivered(p int) []int {
+	d := s.del[p]
+	s.del[p] = nil
+	return d
+}
+
+func (s *commHistory) Busy() bool { return s.pending > 0 }
+
+func (s *commHistory) Round() int { return s.nt.Round() }

@@ -1,0 +1,96 @@
+// Destination-agreement protocols (paper §2.5): the delivery order results
+// from an agreement — a consensus instance — among the destinations. This
+// models the classic Chandra-Toueg-style reduction in its failure-free fast
+// path: the sender broadcasts its message; a coordinator proposes the next
+// position in the order; every destination votes; the coordinator announces
+// the decision. Even without failures that is two broadcast phases plus a
+// vote-collection phase per message, with all n-1 votes serializing through
+// the coordinator's single receive slot — the paper's "relatively bad
+// performance because of the high number of messages" made concrete.
+
+package model
+
+type destAgreement struct {
+	nt  *Net
+	del []*orderedDeliverer
+
+	nextSeq int
+	votes   map[int]int // seq -> votes received (coordinator)
+	open    map[int]int // seq -> id, agreement in progress
+}
+
+type daPayload struct{ seq, id int }
+
+// NewDestAgreement builds a destination-agreement system; process 0
+// coordinates every instance (the failure-free fast path of a rotating-
+// coordinator consensus).
+func NewDestAgreement(n int) System {
+	s := &destAgreement{
+		nt:    NewNet(n),
+		votes: make(map[int]int),
+		open:  make(map[int]int),
+	}
+	for range n {
+		s.del = append(s.del, newOrderedDeliverer())
+	}
+	return s
+}
+
+func (s *destAgreement) Broadcast(p int, id int) {
+	if p == 0 {
+		s.propose(id)
+		return
+	}
+	s.nt.Unicast(p, 0, Msg{Kind: "submit", Payload: id})
+}
+
+func (s *destAgreement) propose(id int) {
+	s.nextSeq++
+	seq := s.nextSeq
+	if s.nt.N() == 1 {
+		s.del[0].markEligible(seq, id)
+		return
+	}
+	s.open[seq] = id
+	s.votes[seq] = 0
+	s.nt.Broadcast(0, Msg{Kind: "propose", Payload: daPayload{seq: seq, id: id}})
+}
+
+func (s *destAgreement) Step() {
+	s.nt.Step(func(p int, m Msg) {
+		switch m.Kind {
+		case "submit": // at the coordinator
+			s.propose(m.Payload.(int))
+		case "propose":
+			s.nt.Unicast(p, 0, Msg{Kind: "vote", Payload: m.Payload})
+		case "vote": // at the coordinator
+			pl := m.Payload.(daPayload)
+			s.votes[pl.seq]++
+			if s.votes[pl.seq] == s.nt.N()-1 {
+				delete(s.votes, pl.seq)
+				delete(s.open, pl.seq)
+				s.del[0].markEligible(pl.seq, pl.id)
+				s.nt.Broadcast(0, Msg{Kind: "decide", Payload: pl})
+			}
+		case "decide":
+			pl := m.Payload.(daPayload)
+			s.del[p].markEligible(pl.seq, pl.id)
+		}
+	})
+}
+
+func (s *destAgreement) Delivered(p int) []int { return s.del[p].drain() }
+
+func (s *destAgreement) Busy() bool {
+	if s.nt.Busy() || len(s.open) > 0 {
+		return true
+	}
+	for _, d := range s.del {
+		if d.pendingEligible() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *destAgreement) Round() int { return s.nt.Round() }

@@ -1,0 +1,104 @@
+// Fixed sequencer (paper §2.1, Figure 1), uniform variant: the sender
+// unicasts its message to the sequencer; the sequencer assigns the next
+// sequence number and broadcasts (m, seq); every process unicasts an ack
+// back to the sequencer; once all n-1 acks are in, the sequencer broadcasts
+// "stable" and everyone delivers in sequence order.
+//
+// The round model exposes the class's weakness directly: the sequencer can
+// receive only one message per round, so the n-1 acks (which cannot be
+// piggybacked unless everyone broadcasts all the time, paper footnote 2)
+// plus every payload serialize through its single receive slot — throughput
+// collapses to roughly 1/n.
+
+package model
+
+type fixedSeq struct {
+	nt  *Net
+	del []*orderedDeliverer
+
+	nextSeq int
+	acks    map[int]int // seq -> acks received (sequencer)
+	pending map[int]int // seq -> id, not yet stable (sequencer view)
+	done    int         // messages known fully delivered
+	issued  int
+}
+
+type fsPayload struct{ seq, id int }
+
+// NewFixedSeq builds a fixed-sequencer system; process 0 is the sequencer.
+func NewFixedSeq(n int) System {
+	s := &fixedSeq{
+		nt:      NewNet(n),
+		acks:    make(map[int]int),
+		pending: make(map[int]int),
+	}
+	for range n {
+		s.del = append(s.del, newOrderedDeliverer())
+	}
+	return s
+}
+
+func (s *fixedSeq) Broadcast(p int, id int) {
+	s.issued++
+	if p == 0 {
+		s.sequence(id)
+		return
+	}
+	s.nt.Unicast(p, 0, Msg{Kind: "data", Payload: id})
+}
+
+// sequence runs the sequencer-side assignment for one message.
+func (s *fixedSeq) sequence(id int) {
+	s.nextSeq++
+	seq := s.nextSeq
+	if s.nt.N() == 1 {
+		s.del[0].markEligible(seq, id)
+		s.done++
+		return
+	}
+	s.pending[seq] = id
+	s.acks[seq] = 0
+	s.nt.Broadcast(0, Msg{Kind: "seq", Payload: fsPayload{seq: seq, id: id}})
+}
+
+func (s *fixedSeq) Step() {
+	s.nt.Step(func(p int, m Msg) {
+		switch m.Kind {
+		case "data": // at the sequencer
+			s.sequence(m.Payload.(int))
+		case "seq":
+			pl := m.Payload.(fsPayload)
+			// Store and ack; delivery waits for stability.
+			s.nt.Unicast(p, 0, Msg{Kind: "ack", Payload: pl})
+		case "ack": // at the sequencer
+			pl := m.Payload.(fsPayload)
+			s.acks[pl.seq]++
+			if s.acks[pl.seq] == s.nt.N()-1 {
+				delete(s.acks, pl.seq)
+				delete(s.pending, pl.seq)
+				s.del[0].markEligible(pl.seq, pl.id)
+				s.nt.Broadcast(0, Msg{Kind: "stable", Payload: pl})
+				s.done++
+			}
+		case "stable":
+			pl := m.Payload.(fsPayload)
+			s.del[p].markEligible(pl.seq, pl.id)
+		}
+	})
+}
+
+func (s *fixedSeq) Delivered(p int) []int { return s.del[p].drain() }
+
+func (s *fixedSeq) Busy() bool {
+	if s.nt.Busy() || len(s.pending) > 0 {
+		return true
+	}
+	for _, d := range s.del {
+		if d.pendingEligible() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *fixedSeq) Round() int { return s.nt.Round() }

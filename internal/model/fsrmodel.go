@@ -1,0 +1,108 @@
+// FSR on the round model: a thin adapter over the real protocol engine
+// (internal/core), so the analytical results measure the actual
+// implementation, not a re-sketch. Per round each engine emits at most one
+// frame to its ring successor and consumes at most one inbound frame —
+// exactly the paper's model.
+
+package model
+
+import (
+	"fmt"
+
+	"fsr/internal/core"
+	"fsr/internal/ring"
+	"fsr/internal/wire"
+)
+
+// fsrSystem runs n core engines in lockstep rounds.
+type fsrSystem struct {
+	nt      *Net
+	engines []*core.Engine
+	del     [][]int
+	ids     map[wire.MsgID]int // segment -> workload id
+	pending int                // broadcasts not yet delivered everywhere
+	dcount  map[int]int        // id -> processes that delivered it
+}
+
+// NewFSR builds an FSR instance with t backups on the round model.
+func NewFSR(n, t int) System {
+	members := make([]ring.ProcID, n)
+	for i := range members {
+		members[i] = ring.ProcID(i)
+	}
+	v := core.View{ID: 1, Ring: ring.MustNew(members, min(t, n-1))}
+	s := &fsrSystem{
+		nt:     NewNet(n),
+		del:    make([][]int, n),
+		ids:    make(map[wire.MsgID]int),
+		dcount: make(map[int]int),
+	}
+	for _, id := range members {
+		e, err := core.NewEngine(core.Config{Self: id}, v)
+		if err != nil {
+			panic(fmt.Sprintf("model: %v", err)) // static config, cannot fail
+		}
+		s.engines = append(s.engines, e)
+	}
+	return s
+}
+
+func (s *fsrSystem) Broadcast(p int, id int) {
+	mid, err := s.engines[p].Broadcast([]byte{1}) // one segment per message
+	if err != nil {
+		panic(fmt.Sprintf("model: %v", err))
+	}
+	s.ids[mid] = id
+	s.pending++
+	s.collect(p) // single-process groups deliver inline
+}
+
+func (s *fsrSystem) Step() {
+	// Sends happen at the start of the round, receptions at its end —
+	// the paper's round structure, so completion counts match L(i).
+	n := len(s.engines)
+	for p, e := range s.engines {
+		if f, ok := e.NextFrame(); ok {
+			s.nt.Unicast(p, (p+1)%n, Msg{Kind: "frame", Payload: f})
+		}
+		s.collect(p)
+	}
+	s.nt.Step(func(p int, m Msg) {
+		f := m.Payload.(*wire.Frame)
+		if err := s.engines[p].HandleFrame(f); err != nil {
+			panic(fmt.Sprintf("model: engine %d: %v", p, err))
+		}
+		s.collect(p)
+	})
+}
+
+func (s *fsrSystem) collect(p int) {
+	for _, d := range s.engines[p].Deliveries() {
+		id := s.ids[d.ID]
+		s.del[p] = append(s.del[p], id)
+		s.dcount[id]++
+		if s.dcount[id] == len(s.engines) {
+			s.pending--
+		}
+	}
+}
+
+func (s *fsrSystem) Delivered(p int) []int {
+	d := s.del[p]
+	s.del[p] = nil
+	return d
+}
+
+func (s *fsrSystem) Busy() bool {
+	if s.pending > 0 || s.nt.Busy() {
+		return true
+	}
+	for _, e := range s.engines {
+		if e.HasOutbound() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *fsrSystem) Round() int { return s.nt.Round() }

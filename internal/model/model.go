@@ -1,0 +1,188 @@
+// Package model implements the paper's modified round-based computation
+// model (Section 3) and, on top of it, the five classes of total order
+// broadcast protocols surveyed in Section 2 plus FSR itself.
+//
+// The model: in each round r every process (1) computes its message for the
+// round, (2) unicasts or best-effort broadcasts it, and (3) receives a
+// single message sent in some round <= r. A broadcast is one send that
+// reaches every destination, but a destination still consumes its single
+// per-round reception on it — this is exactly the constraint that makes
+// moving-sequencer protocols unable to reach throughput 1 (the token
+// competes with data for the receive slot, paper §2.2) and the fixed
+// sequencer a bottleneck (n-1 acks serialize through one receive slot,
+// §2.1).
+//
+// Throughput is measured as completed TO-broadcasts per round; a protocol
+// is throughput efficient when that ratio reaches 1 (§1, §4.3.2).
+//
+// The baseline implementations are failure-free round-model renderings of
+// each class's communication pattern — enough to reproduce the paper's
+// comparative analysis; fault tolerance is modeled only by FSR (whose
+// round-model adapter reuses the real engine from internal/core).
+package model
+
+import "fmt"
+
+// Msg is one round-model message.
+type Msg struct {
+	From    int
+	Kind    string // protocol-specific tag; for tracing and tests
+	Payload any
+}
+
+// send is an outbox entry: one transmission, possibly to many destinations.
+type send struct {
+	to  []int
+	msg Msg
+}
+
+// Net is the round-based network: per-process outboxes (one transmission
+// leaves per round) and inboxes (one reception arrives per round).
+type Net struct {
+	n     int
+	out   [][]send
+	in    [][]Msg
+	round int
+}
+
+// NewNet builds a network of n processes.
+func NewNet(n int) *Net {
+	return &Net{n: n, out: make([][]send, n), in: make([][]Msg, n)}
+}
+
+// N returns the process count.
+func (nt *Net) N() int { return nt.n }
+
+// Round returns the number of completed rounds.
+func (nt *Net) Round() int { return nt.round }
+
+// Unicast queues a message from -> to for the next available send slot.
+func (nt *Net) Unicast(from, to int, m Msg) {
+	m.From = from
+	nt.out[from] = append(nt.out[from], send{to: []int{to}, msg: m})
+}
+
+// Broadcast queues a best-effort broadcast from -> every other process.
+func (nt *Net) Broadcast(from int, m Msg) {
+	m.From = from
+	dsts := make([]int, 0, nt.n-1)
+	for p := 0; p < nt.n; p++ {
+		if p != from {
+			dsts = append(dsts, p)
+		}
+	}
+	nt.out[from] = append(nt.out[from], send{to: dsts, msg: m})
+}
+
+// Busy reports whether any message is still queued or in flight.
+func (nt *Net) Busy() bool {
+	for p := 0; p < nt.n; p++ {
+		if len(nt.out[p]) > 0 || len(nt.in[p]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Step runs one round: every process's first queued transmission leaves,
+// then every process receives the single oldest queued inbound message.
+// receive is invoked for each process that got a message this round.
+func (nt *Net) Step(receive func(p int, m Msg)) {
+	nt.round++
+	// Sends first: messages sent in round r are receivable at its end.
+	for p := 0; p < nt.n; p++ {
+		if len(nt.out[p]) == 0 {
+			continue
+		}
+		s := nt.out[p][0]
+		nt.out[p] = nt.out[p][1:]
+		for _, dst := range s.to {
+			nt.in[dst] = append(nt.in[dst], s.msg)
+		}
+	}
+	for p := 0; p < nt.n; p++ {
+		if len(nt.in[p]) == 0 {
+			continue
+		}
+		m := nt.in[p][0]
+		nt.in[p] = nt.in[p][1:]
+		receive(p, m)
+	}
+}
+
+// System is one protocol instance on the round model.
+type System interface {
+	// Broadcast enqueues TO-broadcast of message id at process p. IDs are
+	// arbitrary but unique per run.
+	Broadcast(p int, id int)
+	// Step executes one round.
+	Step()
+	// Delivered drains process p's TO-deliveries, in delivery order.
+	Delivered(p int) []int
+	// Busy reports whether protocol work is still pending.
+	Busy() bool
+	// Round returns the number of completed rounds.
+	Round() int
+}
+
+// Protocol names a protocol class and builds instances of it.
+type Protocol struct {
+	Name string
+	New  func(n int) System
+}
+
+// Protocols lists every implemented class, FSR last — the paper's Section 2
+// taxonomy plus its contribution.
+func Protocols() []Protocol {
+	return []Protocol{
+		{Name: "fixed-sequencer", New: func(n int) System { return NewFixedSeq(n) }},
+		{Name: "moving-sequencer", New: func(n int) System { return NewMovingSeq(n) }},
+		{Name: "privilege", New: func(n int) System { return NewPrivilege(n) }},
+		{Name: "communication-history", New: func(n int) System { return NewCommHistory(n) }},
+		{Name: "destination-agreement", New: func(n int) System { return NewDestAgreement(n) }},
+		{Name: "fsr", New: func(n int) System { return NewFSR(n, 1) }},
+	}
+}
+
+// ProtocolByName finds a protocol class.
+func ProtocolByName(name string) (Protocol, error) {
+	for _, p := range Protocols() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Protocol{}, fmt.Errorf("model: unknown protocol %q", name)
+}
+
+// deliverInOrder is the shared in-order delivery gate: out holds eligible
+// (seq -> id) entries; ids are appended to dst in contiguous seq order.
+type orderedDeliverer struct {
+	next     int
+	eligible map[int]int
+	out      []int
+}
+
+func newOrderedDeliverer() *orderedDeliverer {
+	return &orderedDeliverer{next: 1, eligible: make(map[int]int)}
+}
+
+func (o *orderedDeliverer) markEligible(seq, id int) {
+	o.eligible[seq] = id
+	for {
+		id, ok := o.eligible[o.next]
+		if !ok {
+			return
+		}
+		delete(o.eligible, o.next)
+		o.out = append(o.out, id)
+		o.next++
+	}
+}
+
+func (o *orderedDeliverer) drain() []int {
+	d := o.out
+	o.out = nil
+	return d
+}
+
+func (o *orderedDeliverer) pendingEligible() bool { return len(o.eligible) > 0 }

@@ -1,0 +1,288 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestAllProtocolsCorrectness checks the TO-broadcast specification —
+// agreement, total order, integrity, completeness (all verified inside
+// Run) — for every protocol class on a sweep of k-to-n workloads.
+func TestAllProtocolsCorrectness(t *testing.T) {
+	for _, proto := range Protocols() {
+		for _, n := range []int{1, 2, 3, 5, 8} {
+			for _, k := range []int{1, 2, n} {
+				if k > n {
+					continue
+				}
+				name := fmt.Sprintf("%s/n%d/k%d", proto.Name, n, k)
+				t.Run(name, func(t *testing.T) {
+					sys := proto.New(n)
+					if _, err := Run(proto.Name, sys, n, SenderSet(k), 6, 1_000_000); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAllProtocolsRandomWorkloads fuzzes sender sets and message counts.
+func TestAllProtocolsRandomWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, proto := range Protocols() {
+		for trial := range 10 {
+			n := 2 + rng.Intn(7)
+			k := 1 + rng.Intn(n)
+			per := 1 + rng.Intn(10)
+			senders := rng.Perm(n)[:k]
+			name := fmt.Sprintf("%s/trial%d", proto.Name, trial)
+			t.Run(name, func(t *testing.T) {
+				sys := proto.New(n)
+				if _, err := Run(proto.Name, sys, n, senders, per, 1_000_000); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// mustRun is a helper returning the throughput of a workload.
+func mustRun(t *testing.T, proto Protocol, n int, senders []int, per int) *Result {
+	t.Helper()
+	res, err := Run(proto.Name, proto.New(n), n, senders, per, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func proto(t *testing.T, name string) Protocol {
+	t.Helper()
+	p, err := ProtocolByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFSRThroughputEfficient reproduces §4.3.2: FSR completes at least one
+// broadcast per round on average, for every broadcast pattern, independent
+// of n, t and the number of senders.
+func TestFSRThroughputEfficient(t *testing.T) {
+	fsr := proto(t, "fsr")
+	const per = 300
+	for _, n := range []int{3, 5, 10} {
+		for _, k := range []int{1, 2, n} {
+			res := mustRun(t, fsr, n, SenderSet(k), per)
+			if res.Throughput < 0.95 {
+				t.Errorf("FSR n=%d k=%d: throughput %.3f < 1 (rounds=%d)",
+					n, k, res.Throughput, res.Rounds)
+			}
+		}
+	}
+}
+
+// TestFSRLatencyFormula verifies L(i) = 2n + t - i - 1 on the round model
+// through the public workload driver (the engine-level test checks the
+// same thing; this pins the adapter's round accounting).
+func TestFSRLatencyFormula(t *testing.T) {
+	for _, n := range []int{2, 5, 9} {
+		for _, s := range []int{0, 1, n - 1} {
+			sys := NewFSR(n, 1)
+			res, err := Run("fsr", sys, n, []int{s}, 1, 100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 2*n + 1 - s - 1
+			if s == 0 {
+				want = n + 1 - 1
+			}
+			if res.Rounds != want {
+				t.Errorf("n=%d s=%d: completed in %d rounds, want %d", n, s, res.Rounds, want)
+			}
+		}
+	}
+}
+
+// TestFixedSequencerBottleneck reproduces §2.1: the sequencer's single
+// receive slot serializes payloads and n-1 acks, so throughput falls
+// roughly as 1/n.
+func TestFixedSequencerBottleneck(t *testing.T) {
+	fs := proto(t, "fixed-sequencer")
+	const per = 200
+	for _, n := range []int{4, 8} {
+		res := mustRun(t, fs, n, SenderSet(1), per)
+		limit := 1.5 / float64(n)
+		if res.Throughput > limit {
+			t.Errorf("fixed sequencer n=%d: throughput %.3f, expected sequencer-bound <= %.3f",
+				n, res.Throughput, limit)
+		}
+	}
+	// And it degrades with n — the scalability failure FSR avoids.
+	small := mustRun(t, fs, 4, SenderSet(1), per)
+	large := mustRun(t, fs, 8, SenderSet(1), per)
+	if large.Throughput >= small.Throughput {
+		t.Errorf("fixed sequencer should degrade with n: n=4 %.3f vs n=8 %.3f",
+			small.Throughput, large.Throughput)
+	}
+}
+
+// TestMovingSequencerBelowOne reproduces §2.2 / Figure 2: better than the
+// fixed sequencer, but in the 1-to-n pattern the token competes with the
+// data broadcasts for each process's single receive slot, so the protocol
+// cannot deliver one message per round ("it is impossible for the moving
+// sequencer protocol to deliver one message per round").
+func TestMovingSequencerBelowOne(t *testing.T) {
+	ms := proto(t, "moving-sequencer")
+	fs := proto(t, "fixed-sequencer")
+	const n, per = 5, 200
+	resMS := mustRun(t, ms, n, SenderSet(1), per)
+	resFS := mustRun(t, fs, n, SenderSet(1), per)
+	if resMS.Throughput >= 0.99 {
+		t.Errorf("moving sequencer 1-to-n throughput %.3f, must stay below 1", resMS.Throughput)
+	}
+	if resMS.Throughput <= resFS.Throughput {
+		t.Errorf("moving sequencer (%.3f) should beat fixed sequencer (%.3f)",
+			resMS.Throughput, resFS.Throughput)
+	}
+	// FSR reaches 1 on the same pattern — the paper's core improvement.
+	resFSR := mustRun(t, proto(t, "fsr"), n, SenderSet(1), per)
+	if resFSR.Throughput <= resMS.Throughput {
+		t.Errorf("FSR (%.3f) should beat the moving sequencer (%.3f) on 1-to-n",
+			resFSR.Throughput, resMS.Throughput)
+	}
+}
+
+// TestPrivilegeTradeoff reproduces §2.3: the fair variant (quantum 1)
+// collapses when two senders sit on opposite sides of the ring — the token
+// commutes — while the unfair variant keeps throughput by starving one
+// sender. FSR gets both: throughput AND fairness.
+func TestPrivilegeTradeoff(t *testing.T) {
+	const n, per = 8, 200
+	// 1-to-n: privilege is fine (the token parks at the only sender).
+	fair, err := Run("privilege", NewPrivilegeQuantum(n, 1), n, SenderSet(1), per, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fair.Throughput < 0.9 {
+		t.Errorf("privilege 1-to-n: throughput %.3f, want ~1", fair.Throughput)
+	}
+	// 2 opposite senders, fair quantum: the token commutes, throughput
+	// collapses well below 1.
+	opp, err := Run("privilege", NewPrivilegeQuantum(n, 1), n, OppositeSenders(n), per, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opp.Throughput > 0.6 {
+		t.Errorf("fair privilege with opposite senders: throughput %.3f, expected collapse", opp.Throughput)
+	}
+	// Unbounded quantum restores throughput (sender 0 hogs the token) —
+	// that is the unfairness half of the trade-off.
+	unfair, err := Run("privilege", NewPrivilegeQuantum(n, 0), n, OppositeSenders(n), per, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unfair.Throughput < 0.9 {
+		t.Errorf("unfair privilege: throughput %.3f, want ~1", unfair.Throughput)
+	}
+	// FSR: same workload, no trade-off (throughput ~1 with fairness built
+	// in; fairness itself is asserted in the core package tests).
+	fsrRes := mustRun(t, proto(t, "fsr"), n, OppositeSenders(n), per)
+	if fsrRes.Throughput < 0.95 {
+		t.Errorf("FSR with opposite senders: throughput %.3f, want ~1", fsrRes.Throughput)
+	}
+	if fsrRes.Throughput < 1.5*opp.Throughput {
+		t.Errorf("FSR (%.3f) should dominate fair privilege (%.3f) on opposite senders",
+			fsrRes.Throughput, opp.Throughput)
+	}
+}
+
+// TestCommHistoryQuadratic reproduces §2.4: the class needs a quadratic
+// number of messages — every data message obliges every other process to
+// answer with a clock-bearing message. With a single sender the receive
+// slots fill with those answers and throughput collapses to ~1/(n-1).
+// (With all n broadcasting constantly the clocks ride the data and the
+// class does fine — which is why the paper calls out the pattern
+// dependence, not the n-to-n case.)
+func TestCommHistoryQuadratic(t *testing.T) {
+	ch := proto(t, "communication-history")
+	const per = 120
+	for _, n := range []int{4, 8} {
+		res := mustRun(t, ch, n, SenderSet(1), per)
+		limit := 2.0 / float64(n-1)
+		if res.Throughput > limit {
+			t.Errorf("communication history n=%d 1-to-n: throughput %.3f, expected <= %.3f",
+				n, res.Throughput, limit)
+		}
+	}
+}
+
+// TestDestAgreementExpensive reproduces §2.5: per-message agreement is the
+// most expensive pattern of all the classes.
+func TestDestAgreementExpensive(t *testing.T) {
+	da := proto(t, "destination-agreement")
+	fs := proto(t, "fixed-sequencer")
+	const n, per = 5, 150
+	resDA := mustRun(t, da, n, SenderSet(2), per)
+	resFS := mustRun(t, fs, n, SenderSet(2), per)
+	if resDA.Throughput > resFS.Throughput {
+		t.Errorf("destination agreement (%.3f) should not beat fixed sequencer (%.3f)",
+			resDA.Throughput, resFS.Throughput)
+	}
+	if resDA.Throughput > 0.4 {
+		t.Errorf("destination agreement throughput %.3f, expected far below 1", resDA.Throughput)
+	}
+}
+
+// TestFSRDominatesAllClasses is the paper's headline comparison (§1, §2):
+// on the mixed k-to-n pattern, FSR beats every surveyed class.
+func TestFSRDominatesAllClasses(t *testing.T) {
+	const n, k, per = 6, 3, 150
+	fsrRes := mustRun(t, proto(t, "fsr"), n, SenderSet(k), per)
+	for _, p := range Protocols() {
+		if p.Name == "fsr" {
+			continue
+		}
+		res := mustRun(t, p, n, SenderSet(k), per)
+		if res.Throughput > fsrRes.Throughput*1.02 {
+			t.Errorf("%s throughput %.3f exceeds FSR %.3f on %d-to-%d",
+				p.Name, res.Throughput, fsrRes.Throughput, k, n)
+		}
+	}
+}
+
+func TestProtocolByName(t *testing.T) {
+	if _, err := ProtocolByName("fsr"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProtocolByName("nope"); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestSenderHelpers(t *testing.T) {
+	if got := SenderSet(3); len(got) != 3 || got[2] != 2 {
+		t.Errorf("SenderSet: %v", got)
+	}
+	if got := OppositeSenders(8); got[0] != 0 || got[1] != 4 {
+		t.Errorf("OppositeSenders: %v", got)
+	}
+}
+
+func BenchmarkRoundModelFSR(b *testing.B) {
+	sys := NewFSR(5, 1)
+	delivered := 0
+	for i := 0; delivered < b.N; i++ {
+		sys.Broadcast(i%5, i)
+		sys.Step()
+		for p := range 5 {
+			if p == 0 {
+				delivered += len(sys.Delivered(p))
+			} else {
+				sys.Delivered(p)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Moving sequencer (paper §2.2, Figure 2): senders best-effort broadcast
+// their message to everyone; a token circulates on a logical ring; the
+// token holder assigns sequence numbers to unsequenced messages it has
+// stored. The token itself gathers the acknowledgments: once it has
+// traveled n-1 hops past an assignment, every process has stored the
+// sequenced message (uniform stability), and each process delivers it on
+// its next token visit — i.e. during the token's second revolution.
+//
+// The class improves on the fixed sequencer by spreading sequencing load,
+// but the paper's point shows up directly in the round model: the token
+// competes with data broadcasts for each process's single receive slot, so
+// the protocol cannot deliver one message per round (Figure 2).
+
+package model
+
+type msEntry struct {
+	seq, id int
+	hops    int // token hops since the assignment was made
+}
+
+type msToken struct {
+	entries []*msEntry
+}
+
+type movingSeq struct {
+	nt  *Net
+	del []*orderedDeliverer
+
+	unseq    [][]int // per process: stored raw messages awaiting a token visit
+	assigned map[int]bool
+	nextSeq  int
+	pending  int
+}
+
+// NewMovingSeq builds a moving-sequencer system; the token starts at
+// process 0.
+func NewMovingSeq(n int) System {
+	s := &movingSeq{nt: NewNet(n), unseq: make([][]int, n), assigned: make(map[int]bool)}
+	for range n {
+		s.del = append(s.del, newOrderedDeliverer())
+	}
+	s.nt.Unicast(0, 1%n, Msg{Kind: "token", Payload: &msToken{}})
+	return s
+}
+
+func (s *movingSeq) Broadcast(p int, id int) {
+	s.pending++
+	s.unseq[p] = append(s.unseq[p], id)
+	s.nt.Broadcast(p, Msg{Kind: "data", Payload: id})
+}
+
+func (s *movingSeq) Step() {
+	n := s.nt.N()
+	s.nt.Step(func(p int, m Msg) {
+		switch m.Kind {
+		case "data":
+			s.unseq[p] = append(s.unseq[p], m.Payload.(int))
+		case "token":
+			tok := m.Payload.(*msToken)
+			// Advance the ack window: each hop means one more process has
+			// stored every carried assignment.
+			live := tok.entries[:0]
+			for _, e := range tok.entries {
+				e.hops++
+				// In the window [n-1, 2n-2] the token visits every process
+				// exactly once: stability has been reached, deliver here.
+				if e.hops >= n-1 {
+					s.del[p].markEligible(e.seq, e.id)
+				}
+				if e.hops >= 2*(n-1) {
+					s.pending-- // everyone has delivered
+					continue
+				}
+				live = append(live, e)
+			}
+			tok.entries = live
+			// Sequence this holder's stored raw messages. Every process
+			// stores every broadcast, so skip what an earlier holder
+			// already assigned (in the real protocol the assignment
+			// broadcast purges the receive queues).
+			for _, id := range s.unseq[p] {
+				if s.assigned[id] {
+					continue
+				}
+				s.assigned[id] = true
+				s.nextSeq++
+				tok.entries = append(tok.entries, &msEntry{seq: s.nextSeq, id: id})
+			}
+			s.unseq[p] = nil
+			s.nt.Unicast(p, (p+1)%n, Msg{Kind: "token", Payload: tok})
+		}
+	})
+}
+
+func (s *movingSeq) Delivered(p int) []int { return s.del[p].drain() }
+
+// Busy ignores the perpetually circulating token: work remains only while
+// some broadcast has not been delivered everywhere.
+func (s *movingSeq) Busy() bool { return s.pending > 0 }
+
+func (s *movingSeq) Round() int { return s.nt.Round() }

@@ -1,0 +1,143 @@
+// Privilege-based protocols (paper §2.3, Figure 3): a token circulates on a
+// logical ring and only its holder may broadcast (and order) messages. The
+// holder stamps each message with the token's sequence counter and
+// broadcasts it with the token hand-off piggybacked; processes deliver
+// sequenced broadcasts in sequence order (sender-side ordering — the
+// non-uniform core of Totem-style protocols; the uniform upgrade adds a
+// token revolution before delivery and changes none of the throughput
+// conclusions).
+//
+// Quantum is the fairness knob the paper discusses: how many messages a
+// holder may broadcast per token tenure. An infinite quantum gives maximal
+// throughput and starves other senders; quantum 1 is fair but forces the
+// token to commute between distant senders — the §2.3 trade-off ("either
+// one of the processes keeps the token, which is unfair, or the token is
+// constantly passed ... which drastically reduces the throughput"). FSR's
+// whole point is removing this trade-off.
+
+package model
+
+type privilege struct {
+	nt      *Net
+	del     []*orderedDeliverer
+	quantum int
+
+	own      [][]int // per process: queued own messages
+	sent     []int   // per process: sends in the current token tenure
+	holder   int     // the token's position (meaningful when hasToken)
+	hasToken bool    // token resident at holder (not in flight)
+	nextSeq  int
+	pending  int
+	dcount   map[int]int
+}
+
+type privData struct {
+	seq, id   int
+	tokenNext int // -1: no token piggybacked; else the next holder
+}
+
+// NewPrivilege builds the fair variant (quantum 1); process 0 starts with
+// the token.
+func NewPrivilege(n int) System { return NewPrivilegeQuantum(n, 1) }
+
+// NewPrivilegeQuantum builds a privilege system with the given tenure
+// quantum (<= 0 means unbounded — the unfair variant).
+func NewPrivilegeQuantum(n, quantum int) System {
+	s := &privilege{
+		nt:      NewNet(n),
+		quantum: quantum,
+		own:     make([][]int, n),
+		sent:    make([]int, n),
+		dcount:  make(map[int]int),
+	}
+	for range n {
+		s.del = append(s.del, newOrderedDeliverer())
+	}
+	s.holder = 0
+	s.hasToken = true
+	return s
+}
+
+// privToken is the bare token hand-off (no data to piggyback on).
+type privToken struct{}
+
+func (s *privilege) Broadcast(p int, id int) {
+	s.pending++
+	s.own[p] = append(s.own[p], id)
+}
+
+func (s *privilege) Step() {
+	// A resident token acts at the start of the round: the holder
+	// broadcasts its next message (token piggybacked if the quantum is
+	// spent) or forwards the token if it has nothing to send.
+	if s.hasToken {
+		s.act()
+	}
+	s.nt.Step(func(p int, m Msg) {
+		switch m.Kind {
+		case "data":
+			d := m.Payload.(*privData)
+			s.deliver(p, d)
+			if d.tokenNext == p {
+				s.hasToken = true
+				s.holder = p
+			}
+		case "token":
+			s.hasToken = true
+			s.holder = p
+		}
+	})
+}
+
+// act performs the holder's one send for this round. The token moves only
+// when some other process is waiting for it (demand is signalled by
+// request messages in real implementations; the model reads it directly).
+func (s *privilege) act() {
+	p := s.holder
+	n := s.nt.N()
+	demand := false
+	for q := range n {
+		if q != p && len(s.own[q]) > 0 {
+			demand = true
+			break
+		}
+	}
+	if len(s.own[p]) == 0 {
+		if demand {
+			s.hasToken = false
+			s.sent[p] = 0
+			s.nt.Unicast(p, (p+1)%n, Msg{Kind: "token", Payload: privToken{}})
+		}
+		return
+	}
+	id := s.own[p][0]
+	s.own[p] = s.own[p][1:]
+	s.sent[p]++
+	s.nextSeq++
+	d := &privData{seq: s.nextSeq, id: id, tokenNext: -1}
+	// Hand the token off (piggybacked on the data broadcast) when the
+	// fairness quantum is spent — or the queue drained — and someone is
+	// waiting.
+	if demand && ((s.quantum > 0 && s.sent[p] >= s.quantum) || len(s.own[p]) == 0) {
+		d.tokenNext = (p + 1) % n
+		s.sent[p] = 0
+		s.hasToken = false
+	}
+	s.nt.Broadcast(p, Msg{Kind: "data", Payload: d})
+	// The sender delivers its own message immediately (it holds the order).
+	s.deliver(p, d)
+}
+
+func (s *privilege) deliver(p int, d *privData) {
+	s.del[p].markEligible(d.seq, d.id)
+	s.dcount[d.id]++
+	if s.dcount[d.id] == s.nt.N() {
+		s.pending--
+	}
+}
+
+func (s *privilege) Delivered(p int) []int { return s.del[p].drain() }
+
+func (s *privilege) Busy() bool { return s.pending > 0 }
+
+func (s *privilege) Round() int { return s.nt.Round() }

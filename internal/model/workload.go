@@ -1,0 +1,100 @@
+// Workload driver and metrics for the round model: k-to-n broadcast
+// patterns (paper §5.1) measured in completed TO-broadcasts per round.
+
+package model
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Result summarizes one round-model run.
+type Result struct {
+	Protocol  string
+	N         int
+	Senders   []int
+	PerSender int
+	Rounds    int
+	// Throughput is completed TO-broadcasts per round — the paper's
+	// central metric; >= 1 is "throughput efficient".
+	Throughput float64
+	// Order is the common delivery order (ids), identical at every
+	// process (verified).
+	Order []int
+}
+
+// Run drives a k-to-n burst workload on sys: every listed sender enqueues
+// perSender messages at round 0, then the system runs to quiescence.
+// It verifies agreement, total order and completeness, and returns the
+// metrics.
+func Run(name string, sys System, n int, senders []int, perSender, maxRounds int) (*Result, error) {
+	ids := make(map[int]bool)
+	for _, p := range senders {
+		for i := range perSender {
+			id := p*1_000_000 + i
+			ids[id] = true
+			sys.Broadcast(p, id)
+		}
+	}
+	delivered := make([][]int, n)
+	for p := range n {
+		delivered[p] = sys.Delivered(p) // single-process systems deliver inline
+	}
+	for sys.Busy() {
+		if sys.Round() >= maxRounds {
+			return nil, fmt.Errorf("model: %s not quiescent after %d rounds", name, maxRounds)
+		}
+		sys.Step()
+		for p := range n {
+			delivered[p] = append(delivered[p], sys.Delivered(p)...)
+		}
+	}
+	total := len(senders) * perSender
+	ref := delivered[0]
+	if len(ref) != total {
+		return nil, fmt.Errorf("model: %s delivered %d of %d at process 0", name, len(ref), total)
+	}
+	seen := make(map[int]bool, len(ref))
+	for _, id := range ref {
+		if !ids[id] {
+			return nil, fmt.Errorf("model: %s delivered unknown id %d", name, id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("model: %s delivered id %d twice", name, id)
+		}
+		seen[id] = true
+	}
+	for p := 1; p < n; p++ {
+		if !slices.Equal(delivered[p], ref) {
+			return nil, fmt.Errorf("model: %s order differs between process 0 and %d", name, p)
+		}
+	}
+	rounds := sys.Round()
+	thr := 0.0
+	if rounds > 0 {
+		thr = float64(total) / float64(rounds)
+	}
+	return &Result{
+		Protocol:   name,
+		N:          n,
+		Senders:    slices.Clone(senders),
+		PerSender:  perSender,
+		Rounds:     rounds,
+		Throughput: thr,
+		Order:      ref,
+	}, nil
+}
+
+// SenderSet builds the canonical k-to-n sender lists used in the paper's
+// benchmarks: the first k processes.
+func SenderSet(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// OppositeSenders places two senders half a ring apart — the paper's §2.3
+// fairness stress for privilege-based protocols.
+func OppositeSenders(n int) []int { return []int{0, n / 2} }

@@ -1,0 +1,186 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"fsr/internal/core"
+)
+
+func TestSingleBroadcastDeliversEverywhere(t *testing.T) {
+	c, err := NewCluster(5, Config{T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := map[int]int{}
+	c.OnDeliver = func(pos int, d core.Delivery, now time.Duration) {
+		delivered[pos]++
+	}
+	payload := make([]byte, 1000)
+	if _, err := c.Broadcast(2, payload); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(0)
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	for pos := range 5 {
+		if delivered[pos] != 1 {
+			t.Errorf("pos %d delivered %d times", pos, delivered[pos])
+		}
+	}
+}
+
+func TestLatencyScalesLinearlyWithHops(t *testing.T) {
+	// Contention-free latency of one small message should grow linearly in
+	// the number of processes — the simulated Figure 6 shape.
+	var lat []time.Duration
+	for _, n := range []int{2, 4, 6, 8, 10} {
+		c, err := NewCluster(n, Config{T: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last time.Duration
+		c.OnDeliver = func(pos int, d core.Delivery, now time.Duration) {
+			last = max(last, now)
+		}
+		if _, err := c.Broadcast(1, make([]byte, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		c.Run(0)
+		if c.Err() != nil {
+			t.Fatal(c.Err())
+		}
+		lat = append(lat, last)
+	}
+	for i := 1; i < len(lat); i++ {
+		if lat[i] <= lat[i-1] {
+			t.Fatalf("latency not increasing: %v", lat)
+		}
+	}
+	// Linearity: the increment per 2 extra processes stays within 2x of
+	// the first increment.
+	d0 := lat[1] - lat[0]
+	for i := 2; i < len(lat); i++ {
+		d := lat[i] - lat[i-1]
+		if d > 2*d0 || d0 > 2*d {
+			t.Fatalf("increments not roughly constant: %v", lat)
+		}
+	}
+}
+
+func TestSaturatedRingReaches79Mbps(t *testing.T) {
+	// The calibration target: a saturated 5-node ring delivers ~79 Mb/s of
+	// application payload at every process (paper Figure 8).
+	c, err := NewCluster(5, Config{T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100*1024)
+	var bytesAt0 int
+	const warmup = 500 * time.Millisecond
+	c.OnDeliver = func(pos int, d core.Delivery, now time.Duration) {
+		if pos == 0 && now > warmup {
+			bytesAt0 += len(d.Body)
+		}
+		// Closed-loop saturating source: keep every sender topped up.
+		if d.Part == uint32(d.Parts-1) {
+			for s := range 5 {
+				if c.PendingOwn(s) < 4 {
+					if _, err := c.Broadcast(s, payload); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}
+	}
+	for s := range 5 {
+		if _, err := c.Broadcast(s, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const horizon = 3 * time.Second
+	c.Run(horizon)
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	mbps := float64(bytesAt0) * 8 / (horizon - warmup).Seconds() / 1e6
+	if mbps < 74 || mbps > 84 {
+		t.Fatalf("saturated throughput = %.1f Mb/s, want ~79", mbps)
+	}
+}
+
+func TestThroughputIndependentOfSenderCount(t *testing.T) {
+	// Figure 9 shape: k senders, k = 1 and k = 5, same aggregate rate.
+	rate := func(k int) float64 {
+		c, err := NewCluster(5, Config{T: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, 100*1024)
+		var bytes int
+		const warmup = 500 * time.Millisecond
+		c.OnDeliver = func(pos int, d core.Delivery, now time.Duration) {
+			if pos == 4 && now > warmup {
+				bytes += len(d.Body)
+			}
+			if d.Part == uint32(d.Parts-1) {
+				for s := range k {
+					if c.PendingOwn(s) < 4 {
+						if _, err := c.Broadcast(s, payload); err != nil {
+							t.Error(err)
+						}
+					}
+				}
+			}
+		}
+		for s := range k {
+			if _, err := c.Broadcast(s, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const horizon = 2 * time.Second
+		c.Run(horizon)
+		if c.Err() != nil {
+			t.Fatal(c.Err())
+		}
+		return float64(bytes) * 8 / (horizon - warmup).Seconds() / 1e6
+	}
+	r1, r5 := rate(1), rate(5)
+	if r1 < 70 || r5 < 70 {
+		t.Fatalf("rates too low: k=1 %.1f, k=5 %.1f", r1, r5)
+	}
+	if diff := r1 - r5; diff > 8 || diff < -8 {
+		t.Fatalf("throughput depends on k: k=1 %.1f vs k=5 %.1f Mb/s", r1, r5)
+	}
+}
+
+func TestRawGoodputMatchesTable1(t *testing.T) {
+	tcp := RawGoodput(DefaultBandwidth, TCPSegmentPayload, TCPFrameOverhead, time.Second) / 1e6
+	udp := RawGoodput(DefaultBandwidth, UDPDatagramPayload, UDPFrameOverhead, time.Second) / 1e6
+	if tcp < 92 || tcp > 96 {
+		t.Errorf("TCP goodput %.1f Mb/s, want ~94 (Table 1)", tcp)
+	}
+	if udp < 92 || udp > 97 {
+		t.Errorf("UDP goodput %.1f Mb/s, want ~93-96 (Table 1)", udp)
+	}
+	if udp <= tcp {
+		t.Errorf("UDP (%.1f) should exceed TCP (%.1f): less header overhead", udp, tcp)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0, Config{}); err == nil {
+		t.Error("zero-size cluster accepted")
+	}
+	if c, err := NewCluster(1, Config{}); err != nil || c.N() != 1 {
+		t.Errorf("singleton cluster: %v", err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Bandwidth != DefaultBandwidth || cfg.RxFixed != DefaultRxFixed || cfg.DeliverPerByte != DefaultDeliverPerByte {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}

@@ -1,0 +1,88 @@
+// Package sim provides a minimal discrete-event simulation loop with a
+// virtual clock: events fire in timestamp order (FIFO among equal
+// timestamps), and time jumps instantaneously between events. It underpins
+// internal/netsim, which models the paper's cluster testbed.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Loop is a single-threaded discrete-event executor. The zero value is
+// ready to use.
+type Loop struct {
+	pq  eventHeap
+	now time.Duration
+	seq uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // insertion order: stable tiebreak for equal timestamps
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// Pending returns the number of scheduled events.
+func (l *Loop) Pending() int { return len(l.pq) }
+
+// At schedules fn at absolute virtual time t (clamped to now if in the
+// past).
+func (l *Loop) At(t time.Duration, fn func()) {
+	if t < l.now {
+		t = l.now
+	}
+	l.seq++
+	heap.Push(&l.pq, event{at: t, seq: l.seq, fn: fn})
+}
+
+// After schedules fn d after the current virtual time.
+func (l *Loop) After(d time.Duration, fn func()) { l.At(l.now+d, fn) }
+
+// Step executes the next event; it reports false when none remain.
+func (l *Loop) Step() bool {
+	if len(l.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&l.pq).(event)
+	l.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or virtual time would exceed
+// until (0 means no limit). It returns the number of events executed.
+func (l *Loop) Run(until time.Duration) int {
+	n := 0
+	for len(l.pq) > 0 {
+		if until > 0 && l.pq[0].at > until {
+			l.now = until
+			return n
+		}
+		l.Step()
+		n++
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var l Loop
+	var got []int
+	l.At(30*time.Millisecond, func() { got = append(got, 3) })
+	l.At(10*time.Millisecond, func() { got = append(got, 1) })
+	l.At(20*time.Millisecond, func() { got = append(got, 2) })
+	l.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order: %v", got)
+	}
+	if l.Now() != 30*time.Millisecond {
+		t.Errorf("now = %v", l.Now())
+	}
+}
+
+func TestEqualTimestampsAreFIFO(t *testing.T) {
+	var l Loop
+	var got []int
+	for i := range 10 {
+		i := i
+		l.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	l.Run(0)
+	for i, g := range got {
+		if g != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	var l Loop
+	var at time.Duration
+	l.At(5*time.Millisecond, func() {
+		l.After(7*time.Millisecond, func() { at = l.Now() })
+	})
+	l.Run(0)
+	if at != 12*time.Millisecond {
+		t.Errorf("fired at %v, want 12ms", at)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	var l Loop
+	fired := time.Duration(-1)
+	l.At(10*time.Millisecond, func() {
+		l.At(time.Millisecond, func() { fired = l.Now() }) // in the past
+	})
+	l.Run(0)
+	if fired != 10*time.Millisecond {
+		t.Errorf("past event fired at %v", fired)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	var l Loop
+	count := 0
+	for i := 1; i <= 10; i++ {
+		l.At(time.Duration(i)*time.Second, func() { count++ })
+	}
+	n := l.Run(5 * time.Second)
+	if n != 5 || count != 5 {
+		t.Fatalf("executed %d/%d, want 5", n, count)
+	}
+	if l.Now() != 5*time.Second {
+		t.Errorf("now = %v", l.Now())
+	}
+	if l.Pending() != 5 {
+		t.Errorf("pending = %d", l.Pending())
+	}
+	// Resuming picks the remaining events up.
+	l.Run(0)
+	if count != 10 {
+		t.Errorf("after resume count = %d", count)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var l Loop
+	if l.Step() {
+		t.Error("Step on empty loop returned true")
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event chain where each event schedules the next: simulates the
+	// usual netsim pattern. 1000 hops of 1ms each.
+	var l Loop
+	hops := 0
+	var hop func()
+	hop = func() {
+		hops++
+		if hops < 1000 {
+			l.After(time.Millisecond, hop)
+		}
+	}
+	l.After(time.Millisecond, hop)
+	l.Run(0)
+	if hops != 1000 {
+		t.Fatalf("hops = %d", hops)
+	}
+	if l.Now() != time.Second {
+		t.Errorf("now = %v, want 1s", l.Now())
+	}
+}
+
+func BenchmarkEventLoop(b *testing.B) {
+	var l Loop
+	var next func()
+	i := 0
+	next = func() {
+		i++
+		if i < b.N {
+			l.After(time.Microsecond, next)
+		}
+	}
+	l.After(time.Microsecond, next)
+	b.ResetTimer()
+	l.Run(0)
+}

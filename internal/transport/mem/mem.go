@@ -1,0 +1,240 @@
+// Package mem implements the transport interface in process memory: a
+// Network hub connecting any number of endpoints with reliable FIFO
+// unbounded queues, optional per-hop latency, and fault injection (crash,
+// directed link cuts) for tests.
+//
+// Delivery model: each endpoint has one dispatch goroutine that invokes the
+// installed handler serially, preserving global arrival order at that
+// endpoint (and therefore per-sender FIFO). Send never blocks: queues grow
+// as needed, mirroring kernel socket buffers plus sender-side user-space
+// queues; flow control belongs to the layer above (the node applies
+// backpressure on Broadcast).
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fsr/internal/ring"
+	"fsr/internal/transport"
+)
+
+// Options configures a Network.
+type Options struct {
+	// Latency is an optional fixed one-way delivery delay applied to every
+	// payload. Zero means immediate handoff.
+	Latency time.Duration
+	// Bandwidth, when positive, serializes each endpoint's outbound
+	// payloads at this rate (bits per second): Send blocks while the
+	// simulated NIC transmits, which is the backpressure a full kernel
+	// socket buffer provides on a real network. Without it the protocol's
+	// fairness machinery has nothing to arbitrate — queues drain
+	// instantly.
+	Bandwidth float64
+}
+
+// Network is the in-memory hub. Endpoints join and leave dynamically; the
+// zero value is not usable, call NewNetwork.
+type Network struct {
+	opts Options
+
+	mu    sync.Mutex
+	peers map[ring.ProcID]*Endpoint
+	cut   map[[2]ring.ProcID]bool // directed severed links
+}
+
+// NewNetwork creates an empty hub.
+func NewNetwork(opts Options) *Network {
+	return &Network{
+		opts:  opts,
+		peers: make(map[ring.ProcID]*Endpoint),
+		cut:   make(map[[2]ring.ProcID]bool),
+	}
+}
+
+// Join registers a new endpoint for id.
+func (n *Network) Join(id ring.ProcID) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.peers[id]; dup {
+		return nil, fmt.Errorf("mem: %w: duplicate join of %d", transport.ErrUnknownPeer, id)
+	}
+	ep := &Endpoint{net: n, id: id}
+	ep.cond = sync.NewCond(&ep.mu)
+	ep.wg.Add(1)
+	go ep.dispatchLoop()
+	n.peers[id] = ep
+	return ep, nil
+}
+
+// Crash forcibly closes id's endpoint, dropping queued traffic — fail-stop
+// semantics for fault-injection tests.
+func (n *Network) Crash(id ring.ProcID) {
+	n.mu.Lock()
+	ep := n.peers[id]
+	n.mu.Unlock()
+	if ep != nil {
+		_ = ep.Close()
+	}
+}
+
+// CutLink severs the directed link from -> to: subsequent sends vanish
+// silently (the receiver-side FD notices the silence).
+func (n *Network) CutLink(from, to ring.ProcID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[[2]ring.ProcID{from, to}] = true
+}
+
+// HealLink restores a severed directed link.
+func (n *Network) HealLink(from, to ring.ProcID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, [2]ring.ProcID{from, to})
+}
+
+// lookup returns the destination endpoint if the link is up.
+func (n *Network) lookup(from, to ring.ProcID) (*Endpoint, bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cut[[2]ring.ProcID{from, to}] {
+		return nil, true, nil // link down: silent drop
+	}
+	ep, ok := n.peers[to]
+	if !ok {
+		return nil, false, fmt.Errorf("mem: send to %d: %w", to, transport.ErrUnknownPeer)
+	}
+	return ep, false, nil
+}
+
+// remove detaches a closed endpoint from the hub.
+func (n *Network) remove(id ring.ProcID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.peers, id)
+}
+
+// Endpoint is one process's attachment to the Network.
+type Endpoint struct {
+	net *Network
+	id  ring.ProcID
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []item
+	handler transport.Handler
+	closed  bool
+	txFree  time.Time // simulated NIC availability (Bandwidth > 0)
+	wg      sync.WaitGroup
+}
+
+type item struct {
+	from    ring.ProcID
+	payload []byte
+	due     time.Time
+}
+
+var _ transport.Transport = (*Endpoint)(nil)
+
+// Self implements transport.Transport.
+func (e *Endpoint) Self() ring.ProcID { return e.id }
+
+// SetHandler implements transport.Transport. Payloads that arrived before
+// the handler was installed are dispatched once it is.
+func (e *Endpoint) SetHandler(h transport.Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+	e.cond.Broadcast()
+}
+
+// Send implements transport.Transport.
+func (e *Endpoint) Send(to ring.ProcID, payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return transport.ErrClosed
+	}
+	e.mu.Unlock()
+	dst, linkDown, err := e.net.lookup(e.id, to)
+	if err != nil {
+		return err
+	}
+	if linkDown {
+		return nil // partitioned: message lost on the wire
+	}
+	now := time.Now()
+	sent := now
+	if bw := e.net.opts.Bandwidth; bw > 0 {
+		tx := time.Duration(float64(len(payload)) * 8 / bw * float64(time.Second))
+		e.mu.Lock()
+		start := e.txFree
+		if start.Before(now) {
+			start = now
+		}
+		e.txFree = start.Add(tx)
+		sent = e.txFree
+		e.mu.Unlock()
+		time.Sleep(time.Until(sent))
+	}
+	var due time.Time
+	if e.net.opts.Latency > 0 {
+		due = sent.Add(e.net.opts.Latency)
+	}
+	dst.enqueue(item{from: e.id, payload: payload, due: due})
+	return nil
+}
+
+func (e *Endpoint) enqueue(it item) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return // crashing receiver drops traffic
+	}
+	e.queue = append(e.queue, it)
+	e.cond.Signal()
+}
+
+// dispatchLoop delivers queued payloads serially to the handler.
+func (e *Endpoint) dispatchLoop() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for !e.closed && (len(e.queue) == 0 || e.handler == nil) {
+			e.cond.Wait()
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		it := e.queue[0]
+		e.queue = e.queue[:copy(e.queue, e.queue[1:])]
+		h := e.handler
+		e.mu.Unlock()
+
+		if !it.due.IsZero() {
+			if d := time.Until(it.due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		h(it.from, it.payload)
+	}
+}
+
+// Close implements transport.Transport. It stops dispatch, discards queued
+// payloads, and detaches from the hub. Safe to call twice.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.queue = nil
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.net.remove(e.id)
+	e.wg.Wait()
+	return nil
+}

@@ -1,0 +1,285 @@
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fsr/internal/ring"
+	"fsr/internal/transport"
+)
+
+// collector buffers received payloads for assertions.
+type collector struct {
+	mu   sync.Mutex
+	got  []string
+	cond *sync.Cond
+}
+
+func newCollector() *collector {
+	c := &collector{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *collector) handler(from ring.ProcID, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, fmt.Sprintf("%d:%s", from, payload))
+	c.cond.Broadcast()
+}
+
+func (c *collector) waitN(t *testing.T, n int) []string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.got) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: have %d payloads, want %d: %v", len(c.got), n, c.got)
+		}
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		c.mu.Lock()
+	}
+	return append([]string(nil), c.got...)
+}
+
+func TestSendReceiveFIFO(t *testing.T) {
+	n := NewNetwork(Options{})
+	a, err := n.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Join(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+	c := newCollector()
+	b.SetHandler(c.handler)
+	for i := range 100 {
+		if err := a.Send(2, []byte(fmt.Sprintf("m%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.waitN(t, 100)
+	for i, g := range got {
+		if want := fmt.Sprintf("1:m%03d", i); g != want {
+			t.Fatalf("payload %d = %q, want %q (FIFO violated)", i, g, want)
+		}
+	}
+}
+
+func TestHandlerInstalledLate(t *testing.T) {
+	n := NewNetwork(Options{})
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send(2, []byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	c := newCollector()
+	b.SetHandler(c.handler) // buffered payload must now flow
+	got := c.waitN(t, 1)
+	if got[0] != "1:early" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDuplicateJoinRejected(t *testing.T) {
+	n := NewNetwork(Options{})
+	ep, _ := n.Join(7)
+	defer ep.Close()
+	if _, err := n.Join(7); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+}
+
+func TestSendToUnknownPeer(t *testing.T) {
+	n := NewNetwork(Options{})
+	a, _ := n.Join(1)
+	defer a.Close()
+	if err := a.Send(99, []byte("x")); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	n := NewNetwork(Options{})
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	defer b.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte("x")); err != transport.ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestCrashDropsTraffic(t *testing.T) {
+	n := NewNetwork(Options{})
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	defer a.Close()
+	c := newCollector()
+	b.SetHandler(c.handler)
+	n.Crash(2)
+	if err := a.Send(2, []byte("x")); err == nil {
+		t.Fatal("send to crashed peer succeeded")
+	}
+	_ = b
+}
+
+func TestCutAndHealLink(t *testing.T) {
+	n := NewNetwork(Options{})
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	defer a.Close()
+	defer b.Close()
+	c := newCollector()
+	b.SetHandler(c.handler)
+	n.CutLink(1, 2)
+	if err := a.Send(2, []byte("lost")); err != nil {
+		t.Fatalf("send over cut link errored: %v", err)
+	}
+	n.HealLink(1, 2)
+	if err := a.Send(2, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	got := c.waitN(t, 1)
+	if got[0] != "1:alive" {
+		t.Fatalf("got %v; cut-link payload leaked or order wrong", got)
+	}
+}
+
+func TestCutLinkIsDirected(t *testing.T) {
+	n := NewNetwork(Options{})
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	defer a.Close()
+	defer b.Close()
+	ca, cb := newCollector(), newCollector()
+	a.SetHandler(ca.handler)
+	b.SetHandler(cb.handler)
+	n.CutLink(1, 2)
+	if err := b.Send(1, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	got := ca.waitN(t, 1)
+	if got[0] != "2:back" {
+		t.Fatalf("reverse direction affected by cut: %v", got)
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	n := NewNetwork(Options{Latency: lat})
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	defer a.Close()
+	defer b.Close()
+	c := newCollector()
+	b.SetHandler(c.handler)
+	start := time.Now()
+	if err := a.Send(2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.waitN(t, 1)
+	if el := time.Since(start); el < lat {
+		t.Errorf("delivered after %v, want >= %v", el, lat)
+	}
+}
+
+func TestManyToOneConcurrent(t *testing.T) {
+	n := NewNetwork(Options{})
+	dst, _ := n.Join(0)
+	defer dst.Close()
+	c := newCollector()
+	dst.SetHandler(c.handler)
+	const senders, per = 8, 50
+	var wg sync.WaitGroup
+	for s := 1; s <= senders; s++ {
+		ep, err := n.Join(ring.ProcID(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		wg.Add(1)
+		go func(ep *Endpoint) {
+			defer wg.Done()
+			for i := range per {
+				if err := ep.Send(0, []byte(fmt.Sprintf("%04d", i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(ep)
+	}
+	wg.Wait()
+	got := c.waitN(t, senders*per)
+	// Per-sender FIFO must hold even under interleaving.
+	next := map[string]int{}
+	for _, g := range got {
+		var from, seq int
+		if _, err := fmt.Sscanf(g, "%d:%04d", &from, &seq); err != nil {
+			t.Fatalf("bad payload %q", g)
+		}
+		key := fmt.Sprint(from)
+		if seq != next[key] {
+			t.Fatalf("sender %d out of order: got %d want %d", from, seq, next[key])
+		}
+		next[key]++
+	}
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	// 1 Mb/s: a 12.5 KB payload occupies the simulated NIC for ~100ms, so
+	// two back-to-back sends must take >= ~200ms end to end.
+	n := NewNetwork(Options{Bandwidth: 1e6})
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	defer a.Close()
+	defer b.Close()
+	c := newCollector()
+	b.SetHandler(c.handler)
+	payload := make([]byte, 12500)
+	start := time.Now()
+	if err := a.Send(2, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, payload); err != nil {
+		t.Fatal(err)
+	}
+	c.waitN(t, 2)
+	if el := time.Since(start); el < 180*time.Millisecond {
+		t.Errorf("two 100ms transmissions completed in %v; pacing not applied", el)
+	}
+}
+
+func TestBandwidthZeroMeansUnlimited(t *testing.T) {
+	n := NewNetwork(Options{})
+	a, _ := n.Join(1)
+	b, _ := n.Join(2)
+	defer a.Close()
+	defer b.Close()
+	c := newCollector()
+	b.SetHandler(c.handler)
+	start := time.Now()
+	for range 50 {
+		if err := a.Send(2, make([]byte, 100000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.waitN(t, 50)
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("unlimited network took %v for 50 sends", el)
+	}
+}

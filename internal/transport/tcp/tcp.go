@@ -1,0 +1,289 @@
+// Package tcp implements the transport interface over real TCP sockets
+// (stdlib net only): length-prefixed frames on one dialed connection per
+// destination, which preserves per-destination FIFO exactly like the
+// paper's point-to-point channels.
+//
+// Topology is static: every endpoint knows the listen address of every
+// peer. Outbound connections are dialed lazily on first Send and re-dialed
+// after failures; inbound connections are identified by a 4-byte ProcID
+// handshake. A write failure surfaces as an error from Send — the failure
+// detector above decides what it means.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"fsr/internal/ring"
+	"fsr/internal/transport"
+)
+
+// MaxFrameSize bounds a single frame on the wire; larger announcements are
+// treated as protocol corruption and drop the connection.
+const MaxFrameSize = 16 << 20
+
+// Config describes one TCP endpoint.
+type Config struct {
+	// Self is this process's ID.
+	Self ring.ProcID
+	// ListenAddr is the local address to accept peers on, e.g.
+	// "127.0.0.1:7001". Required.
+	ListenAddr string
+	// Peers maps every other process to its listen address.
+	Peers map[ring.ProcID]string
+	// DialTimeout bounds one connection attempt. Defaults to 3s.
+	DialTimeout time.Duration
+}
+
+// Transport is a TCP-backed transport endpoint.
+type Transport struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	handler transport.Handler
+	conns   map[ring.ProcID]net.Conn // outbound, dialed
+	inbound map[net.Conn]struct{}    // accepted, closed with the endpoint
+	pending [][2]any                 // buffered inbound before SetHandler: [from, payload]
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New starts listening and returns the endpoint.
+func New(cfg Config) (*Transport, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %s: %w", cfg.ListenAddr, err)
+	}
+	t := &Transport{
+		cfg:     cfg,
+		ln:      ln,
+		conns:   make(map[ring.ProcID]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// SetPeers replaces the peer address map. Intended for bootstrap flows
+// where endpoints bind ephemeral ports first and exchange addresses
+// afterwards; existing connections are unaffected.
+func (t *Transport) SetPeers(peers map[ring.ProcID]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.Peers = peers
+}
+
+// Self implements transport.Transport.
+func (t *Transport) Self() ring.ProcID { return t.cfg.Self }
+
+// SetHandler implements transport.Transport.
+func (t *Transport) SetHandler(h transport.Handler) {
+	t.mu.Lock()
+	pending := t.pending
+	t.pending = nil
+	t.handler = h
+	t.mu.Unlock()
+	for _, p := range pending {
+		h(p[0].(ring.ProcID), p[1].([]byte))
+	}
+}
+
+// Send implements transport.Transport: it frames payload and writes it on
+// the (possibly freshly dialed) connection to the peer. Writes to one peer
+// are serialized; a failed write closes the connection and returns the
+// error after one redial attempt.
+func (t *Transport) Send(to ring.ProcID, payload []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return transport.ErrClosed
+	}
+	t.mu.Unlock()
+	if err := t.trySend(to, payload); err == nil {
+		return nil
+	}
+	// One redial: the previous connection may have died idle.
+	t.dropConn(to)
+	return t.trySend(to, payload)
+}
+
+func (t *Transport) trySend(to ring.ProcID, payload []byte) error {
+	conn, err := t.connTo(to)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
+	// Serialize writes per connection under the transport lock: frames are
+	// small relative to socket buffers, and n is small in this domain.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return transport.ErrClosed
+	}
+	if _, err := conn.Write(hdr); err != nil {
+		return fmt.Errorf("tcp: write header to %d: %w", to, err)
+	}
+	if _, err := conn.Write(payload); err != nil {
+		return fmt.Errorf("tcp: write payload to %d: %w", to, err)
+	}
+	return nil
+}
+
+// connTo returns (dialing if necessary) the outbound connection to a peer.
+func (t *Transport) connTo(to ring.ProcID) (net.Conn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.cfg.Peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcp: peer %d: %w", to, transport.ErrUnknownPeer)
+	}
+	c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial %d@%s: %w", to, addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	// Handshake: announce who we are.
+	id := make([]byte, 4)
+	binary.LittleEndian.PutUint32(id, uint32(t.cfg.Self))
+	if _, err := c.Write(id); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("tcp: handshake with %d: %w", to, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = c.Close()
+		return nil, transport.ErrClosed
+	}
+	if prev, ok := t.conns[to]; ok {
+		_ = c.Close() // lost a dial race; reuse the existing connection
+		return prev, nil
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+func (t *Transport) dropConn(to ring.ProcID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[to]; ok {
+		_ = c.Close()
+		delete(t.conns, to)
+	}
+}
+
+// acceptLoop accepts inbound peer connections until Close.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop consumes frames from one inbound connection.
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	var idBuf [4]byte
+	if _, err := io.ReadFull(conn, idBuf[:]); err != nil {
+		return
+	}
+	from := ring.ProcID(binary.LittleEndian.Uint32(idBuf[:]))
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		size := binary.LittleEndian.Uint32(hdr[:])
+		if size > MaxFrameSize {
+			return // corrupted stream
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		t.dispatch(from, payload)
+	}
+}
+
+func (t *Transport) dispatch(from ring.ProcID, payload []byte) {
+	t.mu.Lock()
+	h := t.handler
+	if h == nil {
+		t.pending = append(t.pending, [2]any{from, payload})
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	h(from, payload)
+}
+
+// Close implements transport.Transport.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[ring.ProcID]net.Conn{}
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

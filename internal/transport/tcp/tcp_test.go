@@ -1,0 +1,211 @@
+package tcp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fsr/internal/ring"
+	"fsr/internal/transport"
+)
+
+// pair builds two endpoints that know each other on loopback.
+func pair(t *testing.T) (*Transport, *Transport) {
+	t.Helper()
+	a, err := New(Config{Self: 1, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{Self: 2, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	a.cfg.Peers = map[ring.ProcID]string{2: b.Addr()}
+	b.cfg.Peers = map[ring.ProcID]string{1: a.Addr()}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+type sink struct {
+	mu  sync.Mutex
+	got []string
+}
+
+func (s *sink) handler(from ring.ProcID, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.got = append(s.got, fmt.Sprintf("%d:%s", from, payload))
+}
+
+func (s *sink) waitN(t *testing.T, n int) []string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		if len(s.got) >= n {
+			out := append([]string(nil), s.got...)
+			s.mu.Unlock()
+			return out
+		}
+		s.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %d payloads", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSendReceiveFIFO(t *testing.T) {
+	a, b := pair(t)
+	var s sink
+	b.SetHandler(s.handler)
+	for i := range 200 {
+		if err := a.Send(2, []byte(fmt.Sprintf("m%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.waitN(t, 200)
+	for i, g := range got {
+		if want := fmt.Sprintf("1:m%04d", i); g != want {
+			t.Fatalf("frame %d = %q want %q", i, g, want)
+		}
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	a, b := pair(t)
+	var sa, sb sink
+	a.SetHandler(sa.handler)
+	b.SetHandler(sb.handler)
+	if err := a.Send(2, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(1, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.waitN(t, 1); got[0] != "1:ping" {
+		t.Fatalf("b got %v", got)
+	}
+	if got := sa.waitN(t, 1); got[0] != "2:pong" {
+		t.Fatalf("a got %v", got)
+	}
+}
+
+func TestLargeFrame(t *testing.T) {
+	a, b := pair(t)
+	var s sink
+	b.SetHandler(s.handler)
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := a.Send(2, big); err != nil {
+		t.Fatal(err)
+	}
+	got := s.waitN(t, 1)
+	if len(got[0]) != len("2:")+len(big) {
+		t.Fatalf("frame size %d, want %d", len(got[0]), len(big)+2)
+	}
+}
+
+func TestSendToUnknownPeer(t *testing.T) {
+	a, _ := pair(t)
+	if err := a.Send(42, []byte("x")); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	a, _ := pair(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte("x")); err != transport.ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	a, b := pair(t)
+	var s sink
+	b.SetHandler(s.handler)
+	if err := a.Send(2, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	s.waitN(t, 1)
+	// Restart b on the same address.
+	addr := b.Addr()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := New(Config{Self: 2, ListenAddr: addr, Peers: map[ring.ProcID]string{1: a.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	var s2 sink
+	b2.SetHandler(s2.handler)
+	// The stale connection will fail; Send must redial transparently
+	// (possibly needing one retry while the OS tears the old socket down).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := a.Send(2, []byte("two")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Send never succeeded after peer restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := s2.waitN(t, 1); got[0] != "1:two" {
+		t.Fatalf("after restart got %v", got)
+	}
+}
+
+func TestThreeNodeMesh(t *testing.T) {
+	mk := func(id ring.ProcID) *Transport {
+		tr, err := New(Config{Self: id, ListenAddr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		return tr
+	}
+	ts := []*Transport{mk(0), mk(1), mk(2)}
+	for _, tr := range ts {
+		tr.cfg.Peers = map[ring.ProcID]string{}
+		for _, other := range ts {
+			if other.Self() != tr.Self() {
+				tr.cfg.Peers[other.Self()] = other.Addr()
+			}
+		}
+	}
+	sinks := make([]*sink, 3)
+	for i, tr := range ts {
+		sinks[i] = &sink{}
+		tr.SetHandler(sinks[i].handler)
+	}
+	// Ring traffic: i -> i+1.
+	for i, tr := range ts {
+		to := ring.ProcID((i + 1) % 3)
+		for j := range 20 {
+			if err := tr.Send(to, []byte(fmt.Sprintf("%d", j))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := range sinks {
+		got := sinks[i].waitN(t, 20)
+		from := (i + 2) % 3
+		for j, g := range got {
+			if want := fmt.Sprintf("%d:%d", from, j); g != want {
+				t.Fatalf("node %d frame %d = %q want %q", i, j, g, want)
+			}
+		}
+	}
+}

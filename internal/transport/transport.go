@@ -1,0 +1,47 @@
+// Package transport defines the point-to-point communication abstraction the
+// FSR stack runs on: reliable FIFO unicast channels between every pair of
+// processes (the paper's system model, Section 3: fully connected network,
+// full duplex, separate collision domains).
+//
+// Two implementations ship with the repository: transport/mem (in-process,
+// for tests, examples and single-binary clusters) and transport/tcp (real
+// sockets). The discrete-event simulator in internal/netsim does not use
+// this interface — it models link timing explicitly.
+package transport
+
+import (
+	"errors"
+
+	"fsr/internal/ring"
+)
+
+// Errors common to all transports.
+var (
+	// ErrClosed is returned by Send after Close.
+	ErrClosed = errors.New("transport: closed")
+	// ErrUnknownPeer is returned when the destination is not reachable.
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+)
+
+// Handler receives one inbound payload. Implementations preserve
+// per-sender FIFO order but may invoke the handler concurrently for
+// payloads from different senders; handlers must be goroutine-safe. The
+// payload buffer is owned by the handler after the call.
+type Handler func(from ring.ProcID, payload []byte)
+
+// Transport is one process's endpoint: asynchronous reliable FIFO unicast
+// to any known peer.
+type Transport interface {
+	// Self returns the process ID this endpoint belongs to.
+	Self() ring.ProcID
+	// Send queues payload for delivery to peer `to`. It does not block on
+	// the network; delivery is asynchronous but reliable and FIFO per
+	// destination as long as neither endpoint crashes.
+	Send(to ring.ProcID, payload []byte) error
+	// SetHandler installs the inbound payload handler. It must be called
+	// before any traffic arrives; implementations buffer until then.
+	SetHandler(h Handler)
+	// Close releases the endpoint. Pending outbound payloads may be lost
+	// (crash semantics).
+	Close() error
+}

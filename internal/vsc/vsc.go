@@ -1,0 +1,426 @@
+// Package vsc implements the virtually synchronous communication layer the
+// paper builds FSR on (Birman & Joseph [6]; paper §3 and §4.2.1): group
+// membership organized as a sequence of views, with a coordinator-driven
+// view-change protocol that flushes protocol state so that TO-broadcast
+// uniformity holds across membership changes.
+//
+// Protocol (DESIGN.md §3, "view change"):
+//
+//  1. A trigger — failure-detector suspicion, join request, leave request,
+//     or leader rotation — reaches the coordinator: the first live member
+//     in the current view order.
+//  2. The coordinator proposes epoch e (strictly above anything seen) with
+//     PREPARE(e, members). Every proposed member freezes its engine and
+//     replies STATE(e, recovery snapshot).
+//  3. When all proposed members answered, the coordinator merges the
+//     snapshots (core.MergeRecovery) and broadcasts NEWVIEW(e, members,
+//     sync). Members install the view, re-broadcast their pending own
+//     messages that the sync dropped, and resume.
+//
+// Fault tolerance during the change itself: any stall (coordinator crash,
+// lost STATE) is healed by a timeout that restarts the change with a higher
+// epoch and the shrunken live set; with a perfect failure detector and
+// fail-stop crashes this terminates. Competing PREPAREs are ordered by
+// (epoch, coordinator position), lower coordinator winning ties.
+//
+// The Manager is a pure state machine: the owning node serializes calls and
+// supplies time through Tick.
+package vsc
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"fsr/internal/core"
+	"fsr/internal/ring"
+)
+
+// DefaultChangeTimeout is how long a member waits for an in-flight view
+// change to finish before the (possibly new) coordinator restarts it.
+const DefaultChangeTimeout = time.Second
+
+// Callbacks connect the Manager to the node runtime.
+type Callbacks struct {
+	// Send transmits one control payload to a peer (best effort).
+	Send func(to ring.ProcID, payload []byte)
+	// Snapshot freezes the engine (the node stops draining its outbound
+	// queue) and returns its recovery state.
+	Snapshot func() core.RecoveryState
+	// Install applies an agreed view: the node installs it into the
+	// engine, re-broadcasts the dropped own segments, points the failure
+	// detector at the new membership, and resumes the engine.
+	Install func(v core.View, sync *core.Sync, rebroadcast []core.PendingMsg)
+	// Evicted tells a node it was excluded from the group (its leave was
+	// honored, or it was wrongly suspected — impossible under a perfect
+	// FD, but surfaced rather than hidden).
+	Evicted func()
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Self is this process's ID.
+	Self ring.ProcID
+	// T is the target fault tolerance; each view uses min(T, n-1).
+	T int
+	// ChangeTimeout restarts a stalled view change. Defaults to
+	// DefaultChangeTimeout.
+	ChangeTimeout time.Duration
+	// Joiner marks a process that starts outside the group and must not
+	// contribute recovery state to the first merge.
+	Joiner bool
+	// Callbacks wire the manager to the runtime. All required.
+	Callbacks Callbacks
+}
+
+// Manager runs the view-change protocol for one process.
+type Manager struct {
+	cfg  Config
+	view core.View
+
+	alive   map[ring.ProcID]bool // current-view members not suspected
+	joiners map[ring.ProcID]bool // pending admissions (coordinator)
+	leavers map[ring.ProcID]bool // pending exclusions (coordinator)
+	rotate  bool                 // pending leader rotation (coordinator)
+
+	// Member-side prepare bookkeeping.
+	hiEpoch   uint64
+	hiCoord   int // ring position of the coordinator of hiEpoch's prepare
+	snapshot  *core.RecoveryState
+	changing  bool
+	changeDue time.Time
+
+	// Coordinator-side collection state.
+	myEpoch   uint64
+	proposed  []ring.ProcID
+	proposedT int
+	collected map[ring.ProcID]*State
+
+	installed bool // at least one real view installed (joiners start false)
+}
+
+// NewManager builds a manager for an initial view. A joiner passes its
+// solo bootstrap view and Joiner: true; it acquires a real view via the
+// coordinator's next change.
+func NewManager(cfg Config, initial core.View) (*Manager, error) {
+	if cfg.ChangeTimeout <= 0 {
+		cfg.ChangeTimeout = DefaultChangeTimeout
+	}
+	cb := cfg.Callbacks
+	if cb.Send == nil || cb.Snapshot == nil || cb.Install == nil {
+		return nil, fmt.Errorf("vsc: Send, Snapshot and Install callbacks are required")
+	}
+	m := &Manager{
+		cfg:     cfg,
+		view:    initial,
+		alive:   make(map[ring.ProcID]bool),
+		joiners: make(map[ring.ProcID]bool),
+		leavers: make(map[ring.ProcID]bool),
+	}
+	for _, p := range initial.Ring.Members() {
+		m.alive[p] = true
+	}
+	m.hiEpoch = initial.ID
+	m.installed = !cfg.Joiner
+	return m, nil
+}
+
+// View returns the current view.
+func (m *Manager) View() core.View { return m.view }
+
+// Changing reports whether a view change is in flight (engine frozen).
+func (m *Manager) Changing() bool { return m.changing }
+
+// coordinator returns the first live member in current view order and
+// whether that is self.
+func (m *Manager) coordinator() (ring.ProcID, bool) {
+	for _, p := range m.view.Ring.Members() {
+		if m.alive[p] {
+			return p, p == m.cfg.Self
+		}
+	}
+	return m.cfg.Self, true // everyone else gone: we are it
+}
+
+// OnSuspect feeds a failure-detector suspicion.
+func (m *Manager) OnSuspect(p ring.ProcID, now time.Time) {
+	if p == m.cfg.Self || !m.alive[p] {
+		return
+	}
+	m.alive[p] = false
+	delete(m.joiners, p)
+	if _, isCoord := m.coordinator(); isCoord {
+		m.startChange(now)
+	}
+}
+
+// RequestJoin is called by a joiner to ask admission; contact is any known
+// member (typically all of them, so a crashed contact cannot block entry).
+func (m *Manager) RequestJoin(contact []ring.ProcID) {
+	req := EncodeJoinReq(&JoinReq{ID: m.cfg.Self})
+	for _, c := range contact {
+		if c != m.cfg.Self {
+			m.cfg.Callbacks.Send(c, req)
+		}
+	}
+}
+
+// RequestLeave announces this process's graceful departure.
+func (m *Manager) RequestLeave() {
+	req := EncodeLeaveReq(&LeaveReq{ID: m.cfg.Self})
+	if coord, isSelf := m.coordinator(); !isSelf {
+		m.cfg.Callbacks.Send(coord, req)
+		return
+	}
+	m.leavers[m.cfg.Self] = true
+	m.startChange(time.Time{})
+}
+
+// RotateLeader triggers a view change whose only effect is shifting the
+// member order by one — the paper's §4.3.1 latency-balancing device ("the
+// role of the leader can be periodically moved to the next process").
+// Only the coordinator honors it.
+func (m *Manager) RotateLeader(now time.Time) {
+	if _, isSelf := m.coordinator(); !isSelf {
+		return
+	}
+	m.rotate = true
+	m.startChange(now)
+}
+
+// Tick drives timeouts: a member stuck in a change asks the coordinator
+// role to restart it (it may BE the new coordinator).
+func (m *Manager) Tick(now time.Time) {
+	if m.changing && now.After(m.changeDue) {
+		if _, isSelf := m.coordinator(); isSelf {
+			m.startChange(now)
+		} else {
+			m.changeDue = now.Add(m.cfg.ChangeTimeout)
+		}
+	}
+}
+
+// nextMembers computes the proposed membership: live current members in
+// view order (rotated if requested), minus leavers, plus joiners in ID
+// order.
+func (m *Manager) nextMembers() []ring.ProcID {
+	var out []ring.ProcID
+	members := m.view.Ring.Members()
+	if m.rotate && len(members) > 1 {
+		members = append(members[1:], members[0])
+	}
+	for _, p := range members {
+		if m.alive[p] && !m.leavers[p] {
+			out = append(out, p)
+		}
+	}
+	var js []ring.ProcID
+	for j := range m.joiners {
+		if !slices.Contains(out, j) {
+			js = append(js, j)
+		}
+	}
+	slices.Sort(js)
+	return append(out, js...)
+}
+
+// startChange (re)starts a view change with a fresh epoch, self as
+// coordinator.
+func (m *Manager) startChange(now time.Time) {
+	members := m.nextMembers()
+	if len(members) == 0 {
+		return
+	}
+	m.myEpoch = max(m.hiEpoch, m.myEpoch) + 1
+	m.proposed = members
+	m.proposedT = min(m.cfg.T, len(members)-1)
+	m.collected = make(map[ring.ProcID]*State)
+	prep := &Prepare{Epoch: m.myEpoch, Coord: m.cfg.Self, Members: members, T: m.proposedT}
+	payload := EncodePrepare(prep)
+	for _, p := range members {
+		if p != m.cfg.Self {
+			m.cfg.Callbacks.Send(p, payload)
+		}
+	}
+	// Handle our own prepare directly.
+	m.handlePrepare(prep, now)
+}
+
+// HandlePayload decodes and dispatches one KindVSC payload.
+func (m *Manager) HandlePayload(from ring.ProcID, payload []byte, now time.Time) error {
+	msg, err := Decode(payload)
+	if err != nil {
+		return err
+	}
+	switch v := msg.(type) {
+	case *Prepare:
+		m.handlePrepare(v, now)
+	case *State:
+		m.handleState(v)
+	case *NewView:
+		m.handleNewView(v, now)
+	case *JoinReq:
+		m.handleJoinReq(v, now)
+	case *LeaveReq:
+		m.handleLeaveReq(v, now)
+	default:
+		return fmt.Errorf("vsc: unhandled control message %T", msg)
+	}
+	return nil
+}
+
+// prepareWins orders competing prepares: higher epoch wins; at equal epoch
+// the coordinator earlier in the current view order wins (it is the
+// rightful successor).
+func (m *Manager) prepareWins(epoch uint64, coord ring.ProcID) bool {
+	if epoch != m.hiEpoch {
+		return epoch > m.hiEpoch
+	}
+	pos, ok := m.view.Ring.Position(coord)
+	if !ok {
+		return false
+	}
+	return pos < m.hiCoord
+}
+
+func (m *Manager) handlePrepare(p *Prepare, now time.Time) {
+	if !slices.Contains(p.Members, m.cfg.Self) {
+		return // not part of that future; ignore
+	}
+	if p.Epoch <= m.view.ID || !m.prepareWins(p.Epoch, p.Coord) {
+		return
+	}
+	m.hiEpoch = p.Epoch
+	if pos, ok := m.view.Ring.Position(p.Coord); ok {
+		m.hiCoord = pos
+	} else {
+		m.hiCoord = 0
+	}
+	m.changing = true
+	m.changeDue = now.Add(m.cfg.ChangeTimeout)
+	// Freeze once per change: the snapshot taken for the highest prepare
+	// is the one that counts; a restarted change snapshots again (the
+	// engine is frozen, so the state is unchanged since the last one).
+	snap := m.cfg.Callbacks.Snapshot()
+	m.snapshot = &snap
+	st := &State{Epoch: p.Epoch, From: m.cfg.Self, Joiner: !m.installed, Recovery: snap}
+	if p.Coord == m.cfg.Self {
+		m.handleState(st)
+		return
+	}
+	m.cfg.Callbacks.Send(p.Coord, EncodeState(st))
+}
+
+func (m *Manager) handleState(s *State) {
+	if s.Epoch != m.myEpoch || m.collected == nil {
+		return // stale or not coordinating
+	}
+	if !slices.Contains(m.proposed, s.From) {
+		return
+	}
+	m.collected[s.From] = s
+	if len(m.collected) < len(m.proposed) {
+		return
+	}
+	// Everyone answered: merge non-joiner states and finalize.
+	var states []core.RecoveryState
+	for _, st := range m.collected {
+		if !st.Joiner {
+			states = append(states, st.Recovery)
+		}
+	}
+	if len(states) == 0 {
+		// A brand-new group (all joiners, e.g. bootstrap): empty history.
+		states = append(states, core.RecoveryState{NextDeliver: 1})
+	}
+	sync, err := core.MergeRecovery(states)
+	if err != nil {
+		// Impossible under the protocol; treat as fatal for this change
+		// and let the timeout retry with fresh snapshots.
+		m.collected = nil
+		return
+	}
+	nv := &NewView{
+		Epoch:   m.myEpoch,
+		Coord:   m.cfg.Self,
+		Members: m.proposed,
+		T:       m.proposedT,
+		Sync:    *sync,
+	}
+	payload := EncodeNewView(nv)
+	for _, p := range m.proposed {
+		if p != m.cfg.Self {
+			m.cfg.Callbacks.Send(p, payload)
+		}
+	}
+	// Graceful leavers are outside the new membership but still deserve to
+	// learn the change went through (they evict themselves on receipt).
+	for p := range m.leavers {
+		if p != m.cfg.Self && !slices.Contains(m.proposed, p) {
+			m.cfg.Callbacks.Send(p, payload)
+		}
+	}
+	m.handleNewView(nv, time.Time{})
+}
+
+func (m *Manager) handleNewView(nv *NewView, now time.Time) {
+	if nv.Epoch <= m.view.ID {
+		return // stale
+	}
+	if !slices.Contains(nv.Members, m.cfg.Self) {
+		// Excluded: graceful leave honored (or false suspicion — cannot
+		// happen with P, but do not silently diverge).
+		m.changing = false
+		if m.cfg.Callbacks.Evicted != nil {
+			m.cfg.Callbacks.Evicted()
+		}
+		return
+	}
+	r, err := ring.New(nv.Members, min(nv.T, len(nv.Members)-1))
+	if err != nil {
+		return // malformed; timeout will retry
+	}
+	v := core.View{ID: nv.Epoch, Ring: r}
+	var rebroadcast []core.PendingMsg
+	if m.snapshot != nil && m.installed {
+		rebroadcast = m.snapshot.Rebroadcast(&nv.Sync)
+	}
+	m.view = v
+	m.alive = make(map[ring.ProcID]bool, len(nv.Members))
+	for _, p := range nv.Members {
+		m.alive[p] = true
+	}
+	m.joiners = make(map[ring.ProcID]bool)
+	m.leavers = make(map[ring.ProcID]bool)
+	m.rotate = false
+	m.changing = false
+	m.snapshot = nil
+	m.collected = nil
+	m.hiEpoch = nv.Epoch
+	m.hiCoord = 0
+	m.installed = true
+	m.cfg.Callbacks.Install(v, &nv.Sync, rebroadcast)
+	_ = now
+}
+
+func (m *Manager) handleJoinReq(j *JoinReq, now time.Time) {
+	if m.joiners[j.ID] || m.alive[j.ID] && m.view.Ring.Contains(j.ID) {
+		return
+	}
+	if _, isSelf := m.coordinator(); !isSelf {
+		return // joiner contacts everyone; only the coordinator acts
+	}
+	m.joiners[j.ID] = true
+	m.startChange(now)
+}
+
+func (m *Manager) handleLeaveReq(l *LeaveReq, now time.Time) {
+	if _, isSelf := m.coordinator(); !isSelf {
+		return
+	}
+	if !m.view.Ring.Contains(l.ID) {
+		return
+	}
+	m.leavers[l.ID] = true
+	m.startChange(now)
+}

@@ -1,0 +1,407 @@
+package vsc
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"fsr/internal/core"
+	"fsr/internal/ring"
+	"fsr/internal/wire"
+)
+
+// harness wires a set of Managers through a synchronous in-memory router
+// with crash injection. Callbacks record installs; snapshots are canned.
+type harness struct {
+	t        *testing.T
+	managers map[ring.ProcID]*Manager
+	inboxes  map[ring.ProcID][][2]any // {from, payload}
+	crashed  map[ring.ProcID]bool
+	installs map[ring.ProcID][]core.View
+	snaps    map[ring.ProcID]core.RecoveryState
+	rebro    map[ring.ProcID][]core.PendingMsg
+	evicted  map[ring.ProcID]bool
+	now      time.Time
+}
+
+func newHarness(t *testing.T) *harness {
+	return &harness{
+		t:        t,
+		managers: map[ring.ProcID]*Manager{},
+		inboxes:  map[ring.ProcID][][2]any{},
+		crashed:  map[ring.ProcID]bool{},
+		installs: map[ring.ProcID][]core.View{},
+		snaps:    map[ring.ProcID]core.RecoveryState{},
+		rebro:    map[ring.ProcID][]core.PendingMsg{},
+		evicted:  map[ring.ProcID]bool{},
+		now:      time.Unix(1000, 0),
+	}
+}
+
+func (h *harness) add(id ring.ProcID, initial core.View, joiner bool) *Manager {
+	h.t.Helper()
+	h.snaps[id] = core.RecoveryState{NextDeliver: 1}
+	cfg := Config{
+		Self:          id,
+		T:             2,
+		ChangeTimeout: 100 * time.Millisecond,
+		Joiner:        joiner,
+		Callbacks: Callbacks{
+			Send: func(to ring.ProcID, payload []byte) {
+				if !h.crashed[to] && !h.crashed[id] {
+					h.inboxes[to] = append(h.inboxes[to], [2]any{id, payload})
+				}
+			},
+			Snapshot: func() core.RecoveryState { return h.snaps[id] },
+			Install: func(v core.View, sync *core.Sync, rb []core.PendingMsg) {
+				h.installs[id] = append(h.installs[id], v)
+				h.rebro[id] = append(h.rebro[id], rb...)
+			},
+			Evicted: func() { h.evicted[id] = true },
+		},
+	}
+	m, err := NewManager(cfg, initial)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.managers[id] = m
+	return m
+}
+
+// pump delivers queued control messages until quiescence.
+func (h *harness) pump() {
+	for range 10000 {
+		moved := false
+		for id, mgr := range h.managers {
+			if h.crashed[id] || len(h.inboxes[id]) == 0 {
+				continue
+			}
+			msg := h.inboxes[id][0]
+			h.inboxes[id] = h.inboxes[id][1:]
+			if err := mgr.HandlePayload(msg[0].(ring.ProcID), msg[1].([]byte), h.now); err != nil {
+				h.t.Fatalf("HandlePayload at %d: %v", id, err)
+			}
+			moved = true
+		}
+		if !moved {
+			return
+		}
+	}
+	h.t.Fatal("control traffic never quiesced")
+}
+
+func (h *harness) crash(id ring.ProcID) {
+	h.crashed[id] = true
+	h.inboxes[id] = nil
+}
+
+func (h *harness) suspectEverywhere(dead ring.ProcID) {
+	for id, mgr := range h.managers {
+		if !h.crashed[id] {
+			mgr.OnSuspect(dead, h.now)
+		}
+	}
+}
+
+func (h *harness) lastView(id ring.ProcID) core.View {
+	vs := h.installs[id]
+	if len(vs) == 0 {
+		h.t.Fatalf("node %d installed no view", id)
+	}
+	return vs[len(vs)-1]
+}
+
+func groupView(t *testing.T, ids []ring.ProcID, tol int) core.View {
+	t.Helper()
+	return core.View{ID: 1, Ring: ring.MustNew(ids, tol)}
+}
+
+func bootstrap(t *testing.T, h *harness, ids []ring.ProcID) {
+	t.Helper()
+	v := groupView(t, ids, min(2, len(ids)-1))
+	for _, id := range ids {
+		h.add(id, v, false)
+	}
+}
+
+func TestCrashOfStandardMember(t *testing.T) {
+	h := newHarness(t)
+	ids := []ring.ProcID{10, 11, 12, 13, 14}
+	bootstrap(t, h, ids)
+	h.crash(13)
+	h.suspectEverywhere(13)
+	h.pump()
+	want := []ring.ProcID{10, 11, 12, 14}
+	for _, id := range want {
+		v := h.lastView(id)
+		if !reflect.DeepEqual(v.Ring.Members(), want) {
+			t.Fatalf("node %d view members %v, want %v", id, v.Ring.Members(), want)
+		}
+		if v.ID <= 1 {
+			t.Fatalf("node %d epoch not advanced: %d", id, v.ID)
+		}
+	}
+	// All survivors agree on the epoch.
+	e := h.lastView(10).ID
+	for _, id := range want {
+		if h.lastView(id).ID != e {
+			t.Fatalf("epoch disagreement: %d vs %d", h.lastView(id).ID, e)
+		}
+	}
+}
+
+func TestCrashOfLeaderPromotesNext(t *testing.T) {
+	h := newHarness(t)
+	ids := []ring.ProcID{10, 11, 12, 13}
+	bootstrap(t, h, ids)
+	h.crash(10)
+	h.suspectEverywhere(10)
+	h.pump()
+	for _, id := range []ring.ProcID{11, 12, 13} {
+		v := h.lastView(id)
+		if v.Ring.Leader() != 11 {
+			t.Fatalf("node %d: leader %d, want 11", id, v.Ring.Leader())
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	h := newHarness(t)
+	ids := []ring.ProcID{20, 21, 22}
+	bootstrap(t, h, ids)
+	solo := core.View{ID: 0, Ring: ring.MustNew([]ring.ProcID{25}, 0)}
+	j := h.add(25, solo, true)
+	j.RequestJoin([]ring.ProcID{20, 21, 22})
+	h.pump()
+	want := []ring.ProcID{20, 21, 22, 25}
+	for _, id := range want {
+		if got := h.lastView(id).Ring.Members(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d members %v, want %v", id, got, want)
+		}
+	}
+	// The joiner contributed no recovery state: sync must not regress.
+	if len(h.rebro[25]) != 0 {
+		t.Errorf("joiner asked to rebroadcast %v", h.rebro[25])
+	}
+}
+
+func TestLeave(t *testing.T) {
+	h := newHarness(t)
+	ids := []ring.ProcID{30, 31, 32, 33}
+	bootstrap(t, h, ids)
+	h.managers[32].RequestLeave()
+	h.pump()
+	want := []ring.ProcID{30, 31, 33}
+	for _, id := range want {
+		if got := h.lastView(id).Ring.Members(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d members %v, want %v", id, got, want)
+		}
+	}
+	if !h.evicted[32] {
+		t.Error("leaver not notified of eviction")
+	}
+}
+
+func TestLeaderLeaveIsRotation(t *testing.T) {
+	// The paper's leader-rotation device: the leader executes a leave
+	// followed by a join. Here we use RotateLeader directly.
+	h := newHarness(t)
+	ids := []ring.ProcID{40, 41, 42}
+	bootstrap(t, h, ids)
+	h.managers[40].RotateLeader(h.now)
+	h.pump()
+	want := []ring.ProcID{41, 42, 40}
+	for _, id := range ids {
+		if got := h.lastView(id).Ring.Members(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("node %d members %v, want %v", id, got, want)
+		}
+	}
+	if h.lastView(41).Ring.Leader() != 41 {
+		t.Error("rotation did not promote the successor")
+	}
+}
+
+func TestRotateIgnoredFromNonCoordinator(t *testing.T) {
+	h := newHarness(t)
+	ids := []ring.ProcID{50, 51, 52}
+	bootstrap(t, h, ids)
+	h.managers[51].RotateLeader(h.now)
+	h.pump()
+	for _, id := range ids {
+		if len(h.installs[id]) != 0 {
+			t.Fatalf("non-coordinator rotation installed a view at %d", id)
+		}
+	}
+}
+
+func TestCoordinatorCrashMidChangeRecoversByTimeout(t *testing.T) {
+	h := newHarness(t)
+	ids := []ring.ProcID{60, 61, 62, 63}
+	bootstrap(t, h, ids)
+	// 63 crashes; coordinator 60 starts a change (its PREPARE for epoch 2
+	// lands in 61/62's inboxes) and then crashes itself before collecting
+	// any STATE. 61 takes over with its own epoch-2 PREPARE, but 60's
+	// competing PREPARE wins the tie-break (earlier ring position), so the
+	// survivors freeze toward a dead coordinator: only the change timeout
+	// can recover the group.
+	h.crash(63)
+	h.suspectEverywhere(63) // 60 starts change epoch 2; 61/62 defer to it
+	h.crash(60)
+	h.suspectEverywhere(60) // 61 starts its own epoch-2 change
+	h.pump()
+	if !h.managers[62].Changing() || h.managers[61].installed && len(h.installs[61]) > 0 {
+		t.Fatal("expected the group to stall on the dead coordinator's prepare")
+	}
+	// Fire the change timeout at the survivors: 61 restarts with epoch 3.
+	h.now = h.now.Add(time.Second)
+	for _, id := range []ring.ProcID{61, 62} {
+		h.managers[id].Tick(h.now)
+	}
+	h.pump()
+	want := []ring.ProcID{61, 62}
+	for _, id := range want {
+		v := h.lastView(id)
+		if !reflect.DeepEqual(v.Ring.Members(), want) {
+			t.Fatalf("node %d members %v, want %v", id, v.Ring.Members(), want)
+		}
+		if h.managers[id].Changing() {
+			t.Fatalf("node %d still changing", id)
+		}
+	}
+}
+
+func TestStalePrepareIgnored(t *testing.T) {
+	h := newHarness(t)
+	ids := []ring.ProcID{70, 71}
+	bootstrap(t, h, ids)
+	p := &Prepare{Epoch: 1, Coord: 71, Members: ids, T: 1} // epoch == view.ID: stale
+	if err := h.managers[70].HandlePayload(71, EncodePrepare(p), h.now); err != nil {
+		t.Fatal(err)
+	}
+	if h.managers[70].Changing() {
+		t.Error("stale prepare froze the member")
+	}
+}
+
+func TestEqualEpochTieBreak(t *testing.T) {
+	h := newHarness(t)
+	ids := []ring.ProcID{80, 81, 82}
+	bootstrap(t, h, ids)
+	m := h.managers[82]
+	// Two competing prepares with the same epoch: the coordinator earlier
+	// in view order must win even if it arrives second.
+	late := &Prepare{Epoch: 5, Coord: 81, Members: []ring.ProcID{81, 82}, T: 1}
+	early := &Prepare{Epoch: 5, Coord: 80, Members: []ring.ProcID{80, 82}, T: 1}
+	if err := m.HandlePayload(81, EncodePrepare(late), h.now); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.HandlePayload(80, EncodePrepare(early), h.now); err != nil {
+		t.Fatal(err)
+	}
+	// 82's state must have gone to 80 (the winner) with epoch 5: check the
+	// last message in 80's inbox is a State addressed from 82.
+	msgs := h.inboxes[80]
+	if len(msgs) == 0 {
+		t.Fatal("winner received no state")
+	}
+	last := msgs[len(msgs)-1]
+	dec, err := Decode(last[1].([]byte))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := dec.(*State)
+	if !ok || st.From != 82 || st.Epoch != 5 {
+		t.Fatalf("winner got %T %+v", dec, dec)
+	}
+}
+
+func TestRebroadcastComputedFromSnapshot(t *testing.T) {
+	h := newHarness(t)
+	ids := []ring.ProcID{90, 91, 92}
+	bootstrap(t, h, ids)
+	// 91 has an own pending segment that no sync will preserve.
+	h.snaps[91] = core.RecoveryState{
+		NextDeliver: 1,
+		OwnPending: []core.PendingMsg{
+			{ID: wire.MsgID{Origin: 91, Local: 7}, Parts: 1, Body: []byte("mine")},
+		},
+	}
+	h.crash(92)
+	h.suspectEverywhere(92)
+	h.pump()
+	if len(h.rebro[91]) != 1 || h.rebro[91][0].ID.Local != 7 {
+		t.Fatalf("rebroadcast at 91 = %v", h.rebro[91])
+	}
+	if len(h.rebro[90]) != 0 {
+		t.Errorf("unexpected rebroadcast at 90: %v", h.rebro[90])
+	}
+}
+
+func TestManagerConfigValidation(t *testing.T) {
+	v := groupView(t, []ring.ProcID{1}, 0)
+	if _, err := NewManager(Config{Self: 1}, v); err == nil {
+		t.Error("missing callbacks accepted")
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	prep := &Prepare{Epoch: 9, Coord: 3, Members: []ring.ProcID{3, 4, 5}, T: 2}
+	got, err := Decode(EncodePrepare(prep))
+	if err != nil || !reflect.DeepEqual(got, prep) {
+		t.Fatalf("prepare: %+v, %v", got, err)
+	}
+	st := &State{
+		Epoch: 4, From: 8, Joiner: true,
+		Recovery: core.RecoveryState{
+			NextDeliver: 11,
+			Sequenced: []core.SequencedMsg{
+				{ID: wire.MsgID{Origin: 1, Local: 2}, Seq: 11, Part: 0, Parts: 2, Body: []byte("abc")},
+			},
+			OwnPending: []core.PendingMsg{
+				{ID: wire.MsgID{Origin: 8, Local: 3}, Part: 1, Parts: 2, Body: []byte("xy")},
+			},
+		},
+	}
+	got, err = Decode(EncodeState(st))
+	if err != nil || !reflect.DeepEqual(got, st) {
+		t.Fatalf("state: %+v, %v", got, err)
+	}
+	nv := &NewView{
+		Epoch: 12, Coord: 1, Members: []ring.ProcID{1, 2}, T: 1,
+		Sync: core.Sync{StartSeq: 5, Sequenced: []core.SequencedMsg{
+			{ID: wire.MsgID{Origin: 2, Local: 0}, Seq: 5, Parts: 1, Body: []byte("b")},
+		}},
+	}
+	got, err = Decode(EncodeNewView(nv))
+	if err != nil || !reflect.DeepEqual(got, nv) {
+		t.Fatalf("newview: %+v, %v", got, err)
+	}
+	jr := &JoinReq{ID: 77}
+	got, err = Decode(EncodeJoinReq(jr))
+	if err != nil || !reflect.DeepEqual(got, jr) {
+		t.Fatalf("join: %+v, %v", got, err)
+	}
+	lr := &LeaveReq{ID: 78}
+	got, err = Decode(EncodeLeaveReq(lr))
+	if err != nil || !reflect.DeepEqual(got, lr) {
+		t.Fatalf("leave: %+v, %v", got, err)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Decode([]byte{wire.KindVSC, 99}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := Decode([]byte{wire.KindFSR, msgPrepare}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	buf := EncodePrepare(&Prepare{Epoch: 1, Coord: 2, Members: []ring.ProcID{1, 2, 3}})
+	for i := range buf {
+		if _, err := Decode(buf[:i]); err == nil {
+			t.Fatalf("truncated prefix %d accepted", i)
+		}
+	}
+}

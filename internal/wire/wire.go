@@ -1,0 +1,278 @@
+// Package wire defines the on-the-wire message vocabulary of the FSR stack
+// and its binary codec.
+//
+// Three subsystems share the transport; every transport payload starts with
+// a one-byte channel kind so the node dispatcher can route it:
+//
+//	KindFSR — a Frame: ring traffic (data segments + piggybacked acks)
+//	KindVSC — a view-change control message (encoded by package vsc)
+//	KindFD  — a failure-detector heartbeat (encoded by package fd)
+//
+// The codec is hand-rolled little-endian (stdlib encoding/binary): the frame
+// encoder sits on the hot path of every hop, so it avoids reflection and
+// allocates exactly one buffer per frame.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"fsr/internal/ring"
+)
+
+// Channel kinds (first byte of every transport payload).
+const (
+	KindFSR byte = iota + 1
+	KindVSC
+	KindFD
+)
+
+// ErrTruncated is returned when a buffer ends before a complete value.
+var ErrTruncated = errors.New("wire: truncated buffer")
+
+// MsgID uniquely identifies one broadcast segment system-wide: the origin
+// process plus an origin-local counter.
+type MsgID struct {
+	Origin ring.ProcID
+	Local  uint64
+}
+
+func (id MsgID) String() string { return fmt.Sprintf("%d/%d", id.Origin, id.Local) }
+
+// DataItem is one message segment traveling clockwise around the ring.
+//
+// Seq == 0 marks pass A (the raw body heading for the sequencer); Seq > 0
+// marks pass B (the sequenced body emitted by the leader). Part/Parts carry
+// the segmentation of the logical application message: the segment is one
+// independent TO-broadcast, and the logical message is delivered when its
+// last segment is TO-delivered.
+type DataItem struct {
+	ID    MsgID
+	Seq   uint64
+	Part  uint32
+	Parts uint32
+	Body  []byte
+}
+
+// AckItem is the small pass-C acknowledgment: it carries the sequence number
+// to pass-A holders, the uniform-stability flag, and its remaining hop
+// budget (number of receptions left before the ack dies).
+type AckItem struct {
+	ID     MsgID
+	Seq    uint64
+	Hops   uint32
+	Stable bool
+}
+
+// Frame is one transport frame between ring neighbors: at most a handful of
+// data segments plus piggybacked acks, all tagged with the sender's view
+// epoch so stale traffic from a previous view is discarded.
+type Frame struct {
+	ViewID uint64
+	Data   []DataItem
+	Acks   []AckItem
+}
+
+// Encoded sizes of the fixed parts, used by EncodedSize and the decoder.
+const (
+	frameHeaderSize = 8 + 2 + 2             // viewID + nData + nAcks
+	dataFixedSize   = 4 + 8 + 8 + 4 + 4 + 4 // origin local seq part parts bodyLen
+	ackSize         = 4 + 8 + 8 + 4 + 1     // origin local seq hops stable
+)
+
+// EncodedSize returns the exact number of bytes EncodeFrame will produce,
+// including the leading channel-kind byte. The network simulator uses it to
+// model link occupancy without materializing buffers.
+func (f *Frame) EncodedSize() int {
+	n := 1 + frameHeaderSize
+	for i := range f.Data {
+		n += dataFixedSize + len(f.Data[i].Body)
+	}
+	n += ackSize * len(f.Acks)
+	return n
+}
+
+// EncodeFrame serializes f, prefixed with KindFSR.
+func EncodeFrame(f *Frame) []byte {
+	buf := make([]byte, 0, f.EncodedSize())
+	buf = append(buf, KindFSR)
+	buf = binary.LittleEndian.AppendUint64(buf, f.ViewID)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Data)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Acks)))
+	for i := range f.Data {
+		d := &f.Data[i]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d.ID.Origin))
+		buf = binary.LittleEndian.AppendUint64(buf, d.ID.Local)
+		buf = binary.LittleEndian.AppendUint64(buf, d.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, d.Part)
+		buf = binary.LittleEndian.AppendUint32(buf, d.Parts)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.Body)))
+		buf = append(buf, d.Body...)
+	}
+	for i := range f.Acks {
+		a := &f.Acks[i]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a.ID.Origin))
+		buf = binary.LittleEndian.AppendUint64(buf, a.ID.Local)
+		buf = binary.LittleEndian.AppendUint64(buf, a.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, a.Hops)
+		var st byte
+		if a.Stable {
+			st = 1
+		}
+		buf = append(buf, st)
+	}
+	return buf
+}
+
+// DecodeFrame parses a buffer produced by EncodeFrame. The buffer must
+// include the leading KindFSR byte. Body slices alias buf; callers that
+// retain bodies beyond the life of buf must copy them.
+func DecodeFrame(buf []byte) (*Frame, error) {
+	r := reader{buf: buf}
+	kind, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindFSR {
+		return nil, fmt.Errorf("wire: frame kind %d, want %d", kind, KindFSR)
+	}
+	var f Frame
+	if f.ViewID, err = r.u64(); err != nil {
+		return nil, err
+	}
+	nData, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	nAcks, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if nData > 0 {
+		f.Data = make([]DataItem, nData)
+	}
+	for i := range f.Data {
+		d := &f.Data[i]
+		if err := decodeDataInto(&r, d); err != nil {
+			return nil, err
+		}
+	}
+	if nAcks > 0 {
+		f.Acks = make([]AckItem, nAcks)
+	}
+	for i := range f.Acks {
+		a := &f.Acks[i]
+		if err := decodeAckInto(&r, a); err != nil {
+			return nil, err
+		}
+	}
+	if r.rem() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after frame", r.rem())
+	}
+	return &f, nil
+}
+
+func decodeDataInto(r *reader, d *DataItem) error {
+	origin, err := r.u32()
+	if err != nil {
+		return err
+	}
+	d.ID.Origin = ring.ProcID(origin)
+	if d.ID.Local, err = r.u64(); err != nil {
+		return err
+	}
+	if d.Seq, err = r.u64(); err != nil {
+		return err
+	}
+	if d.Part, err = r.u32(); err != nil {
+		return err
+	}
+	if d.Parts, err = r.u32(); err != nil {
+		return err
+	}
+	bodyLen, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if d.Body, err = r.bytes(int(bodyLen)); err != nil {
+		return err
+	}
+	return nil
+}
+
+func decodeAckInto(r *reader, a *AckItem) error {
+	origin, err := r.u32()
+	if err != nil {
+		return err
+	}
+	a.ID.Origin = ring.ProcID(origin)
+	if a.ID.Local, err = r.u64(); err != nil {
+		return err
+	}
+	if a.Seq, err = r.u64(); err != nil {
+		return err
+	}
+	if a.Hops, err = r.u32(); err != nil {
+		return err
+	}
+	st, err := r.u8()
+	if err != nil {
+		return err
+	}
+	a.Stable = st != 0
+	return nil
+}
+
+// reader is a bounds-checked little-endian cursor over a byte slice.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) rem() int { return len(r.buf) - r.off }
+
+func (r *reader) u8() (byte, error) {
+	if r.rem() < 1 {
+		return 0, ErrTruncated
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if r.rem() < 2 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.rem() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.rem() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.rem() < n {
+		return nil, ErrTruncated
+	}
+	v := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v, nil
+}

@@ -1,0 +1,76 @@
+package fsr
+
+import (
+	"fsr/internal/core"
+	"fsr/internal/wire"
+)
+
+// Message is one fully reassembled application message, TO-delivered in the
+// same total order at every group member.
+type Message struct {
+	// Seq is the global sequence number of the message's final segment —
+	// its position in the total order (identical at every process within
+	// an epoch).
+	Seq uint64
+	// Origin is the broadcasting process.
+	Origin ProcID
+	// LogicalID is the wire identity of the message's first segment;
+	// together with Origin it names the broadcast uniquely across views.
+	LogicalID uint64
+	// Payload is the reassembled application payload. The receiver owns it.
+	Payload []byte
+}
+
+// assembler re-joins segmented broadcasts. Segments of one logical message
+// share an origin and consecutive origin-local IDs; per-origin FIFO delivery
+// guarantees they arrive in part order, so the logical message completes
+// exactly when its last part is delivered — at the same point in the total
+// order on every process.
+type assembler struct {
+	partial map[wire.MsgID][][]byte // keyed by first segment's ID
+}
+
+func newAssembler() *assembler {
+	return &assembler{partial: make(map[wire.MsgID][][]byte)}
+}
+
+// add folds one delivered segment; it returns the completed message and
+// true when the segment was the last piece.
+func (a *assembler) add(d core.Delivery) (Message, bool) {
+	logical := wire.MsgID{Origin: d.ID.Origin, Local: d.ID.Local - uint64(d.Part)}
+	if d.Parts <= 1 {
+		return Message{
+			Seq:       d.Seq,
+			Origin:    d.ID.Origin,
+			LogicalID: logical.Local,
+			Payload:   d.Body,
+		}, true
+	}
+	parts := a.partial[logical]
+	if parts == nil {
+		parts = make([][]byte, d.Parts)
+		a.partial[logical] = parts
+	}
+	if int(d.Part) < len(parts) {
+		parts[d.Part] = d.Body
+	}
+	if int(d.Part) != int(d.Parts)-1 {
+		return Message{}, false
+	}
+	// Final part: all earlier parts have been delivered (per-origin FIFO).
+	var size int
+	for _, p := range parts {
+		size += len(p)
+	}
+	payload := make([]byte, 0, size)
+	for _, p := range parts {
+		payload = append(payload, p...)
+	}
+	delete(a.partial, logical)
+	return Message{
+		Seq:       d.Seq,
+		Origin:    d.ID.Origin,
+		LogicalID: logical.Local,
+		Payload:   payload,
+	}, true
+}

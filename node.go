@@ -1,0 +1,489 @@
+package fsr
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fsr/internal/core"
+	"fsr/internal/fd"
+	"fsr/internal/ring"
+	"fsr/internal/transport"
+	"fsr/internal/vsc"
+	"fsr/internal/wire"
+)
+
+// ViewInfo describes one installed membership epoch.
+type ViewInfo struct {
+	// ID is the view epoch.
+	ID uint64
+	// Members is the agreed ring order; Members[0] is the leader.
+	Members []ProcID
+	// T is the number of failures this view tolerates.
+	T int
+}
+
+// Node is one FSR group member: it owns the protocol engine, the failure
+// detector and the view-change manager, and drives them over a transport.
+//
+// All protocol work happens on one event-loop goroutine; the public methods
+// communicate with it through channels, so a Node is safe for concurrent
+// use.
+type Node struct {
+	cfg Config
+	tr  transport.Transport
+
+	engine *core.Engine
+	mgr    *vsc.Manager
+	fdet   *fd.Detector
+
+	inbox  chan inboundPayload
+	bcast  chan bcastReq
+	joinc  chan []ProcID
+	leave  chan struct{}
+	rotate chan struct{}
+	stop   chan struct{}
+
+	msgs  chan Message
+	views chan ViewInfo
+
+	outMu    sync.Mutex
+	outCond  *sync.Cond
+	outBuf   []Message
+	outDone  bool
+	asmState *assembler
+
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	joined  bool
+	stopped bool
+	evicted bool
+	err     error
+}
+
+type inboundPayload struct {
+	from    ProcID
+	payload []byte
+}
+
+type bcastReq struct {
+	payload []byte
+	done    chan error
+}
+
+// NewNode builds and starts a node on the given transport. The transport's
+// Self must match cfg.Self.
+func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if tr.Self() != cfg.Self {
+		return nil, fmt.Errorf("fsr: transport self %d != config self %d", tr.Self(), cfg.Self)
+	}
+	view, err := cfg.initialView()
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.NewEngine(core.Config{
+		Self:         cfg.Self,
+		SegmentSize:  cfg.SegmentSize,
+		MaxPiggyback: cfg.MaxPiggyback,
+	}, view)
+	if err != nil {
+		return nil, err
+	}
+
+	n := &Node{
+		cfg:    cfg,
+		tr:     tr,
+		engine: engine,
+		inbox:  make(chan inboundPayload, 4096),
+		bcast:  make(chan bcastReq),
+		joinc:  make(chan []ProcID, 1),
+		leave:  make(chan struct{}, 1),
+		rotate: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		msgs:   make(chan Message, 256),
+		views:  make(chan ViewInfo, 64),
+		joined: !cfg.Joiner,
+	}
+	n.outCond = sync.NewCond(&n.outMu)
+
+	n.fdet, err = fd.New(fd.Config{
+		Self:     cfg.Self,
+		Interval: cfg.HeartbeatInterval,
+		Timeout:  cfg.FailureTimeout,
+		Send: func(to ring.ProcID, payload []byte) {
+			_ = n.tr.Send(to, payload) // silence is what the FD detects
+		},
+		Suspect: func(p ring.ProcID) {
+			// Called from within the loop's fdet.Tick.
+			n.mgr.OnSuspect(p, time.Now())
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	n.mgr, err = vsc.NewManager(vsc.Config{
+		Self:          cfg.Self,
+		T:             cfg.T,
+		ChangeTimeout: cfg.ChangeTimeout,
+		Joiner:        cfg.Joiner,
+		Callbacks: vsc.Callbacks{
+			Send: func(to ring.ProcID, payload []byte) {
+				_ = n.tr.Send(to, payload)
+			},
+			Snapshot: func() core.RecoveryState { return n.engine.Snapshot() },
+			Install:  n.install,
+			Evicted:  n.onEvicted,
+		},
+	}, view)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.Joiner {
+		n.fdet.SetPeers(cfg.Members, time.Now())
+	}
+
+	tr.SetHandler(func(from ring.ProcID, payload []byte) {
+		select {
+		case n.inbox <- inboundPayload{from: from, payload: payload}:
+		case <-n.stop:
+		}
+	})
+
+	n.wg.Add(2)
+	go n.loop()
+	go n.deliveryPump()
+	return n, nil
+}
+
+// Self returns this node's process ID.
+func (n *Node) Self() ProcID { return n.cfg.Self }
+
+// Messages returns the TO-delivered message stream, in total order. The
+// channel closes when the node stops. Consumers must drain it; the node
+// buffers internally, so slow consumers never stall the protocol.
+func (n *Node) Messages() <-chan Message { return n.msgs }
+
+// Views returns installed-view notifications (advisory: entries are dropped
+// if the consumer lags).
+func (n *Node) Views() <-chan ViewInfo { return n.views }
+
+// Err returns the fatal error that halted the node, if any.
+func (n *Node) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
+// Broadcast submits payload for uniform total order broadcast and returns
+// once the protocol engine has accepted it (not once delivered). It blocks
+// while the node's own-queue is at MaxPendingOwn (backpressure) and honors
+// ctx cancellation while blocked.
+func (n *Node) Broadcast(ctx context.Context, payload []byte) error {
+	req := bcastReq{payload: payload, done: make(chan error, 1)}
+	select {
+	case n.bcast <- req:
+	case <-n.stop:
+		return ErrStopped
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Join asks the group for admission (Joiner nodes only); contacts are the
+// known members. Delivery of the join is confirmed by a ViewInfo on Views
+// that includes this node. Join retries internally until admitted.
+func (n *Node) Join(contacts []ProcID) {
+	select {
+	case n.joinc <- contacts:
+	default:
+	}
+}
+
+// Leave announces a graceful departure; the node stops once the view change
+// excluding it completes (Stop is then unnecessary but harmless).
+func (n *Node) Leave() {
+	select {
+	case n.leave <- struct{}{}:
+	default:
+	}
+}
+
+// RotateLeader asks for a view change that shifts the ring order by one,
+// moving the sequencer role to the next process — the paper's §4.3.1
+// device for evenly distributing latency across senders. Only honored when
+// this node currently coordinates the group (it is the leader); otherwise
+// it is a no-op.
+func (n *Node) RotateLeader() {
+	select {
+	case n.rotate <- struct{}{}:
+	default:
+	}
+}
+
+// Stop halts the node and closes Messages. Safe to call more than once.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	close(n.stop)
+	n.wg.Wait()
+	_ = n.tr.Close()
+}
+
+// fail records a fatal protocol error and halts (fail-stop).
+func (n *Node) fail(err error) {
+	n.mu.Lock()
+	if n.err == nil {
+		n.err = err
+	}
+	n.mu.Unlock()
+}
+
+// onEvicted handles exclusion from the group.
+func (n *Node) onEvicted() {
+	n.mu.Lock()
+	n.evicted = true
+	n.mu.Unlock()
+}
+
+// install applies an agreed view: engine first, then rebroadcasts, then the
+// failure detector, then the advisory notification.
+func (n *Node) install(v core.View, sync *core.Sync, rebroadcast []core.PendingMsg) {
+	if err := n.engine.InstallView(v, sync); err != nil {
+		n.fail(err)
+		return
+	}
+	for _, m := range rebroadcast {
+		if err := n.engine.ReBroadcast(m); err != nil {
+			n.fail(err)
+			return
+		}
+	}
+	n.fdet.SetPeers(v.Ring.Members(), time.Now())
+	n.mu.Lock()
+	n.joined = true
+	n.mu.Unlock()
+	info := ViewInfo{ID: v.ID, Members: v.Ring.Members(), T: v.Ring.T()}
+	select {
+	case n.views <- info:
+	default:
+	}
+}
+
+// loop is the single event-loop goroutine owning all protocol state.
+//
+// Each iteration first drains all queued inbound payloads (so the engine
+// sees the current ring state), then transmits at most one frame. The
+// transport's pacing — NIC serialization, socket-buffer backpressure —
+// therefore throttles the loop between frames, which is exactly what lets
+// the paper's fairness rule interleave relayed traffic with own messages
+// instead of flushing whole own-queues in one burst.
+func (n *Node) loop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.HeartbeatInterval / 2)
+	defer tick.Stop()
+	var joinContacts []ProcID
+	lastJoin := time.Time{}
+	for {
+	drain:
+		for {
+			select {
+			case in := <-n.inbox:
+				n.handlePayload(in)
+			default:
+				break drain
+			}
+		}
+		n.deliver()
+		if n.sendOne() {
+			select {
+			case <-n.stop:
+				n.engine.Stop()
+				n.closeDeliveries()
+				return
+			default:
+				continue
+			}
+		}
+
+		// Backpressure: stop accepting broadcasts while the own-queue is
+		// full, the node has not joined yet, or a view change is in
+		// flight. An evicted node keeps accepting so it can reject with
+		// an error instead of blocking.
+		bc := n.bcast
+		n.mu.Lock()
+		joined, evicted := n.joined, n.evicted
+		n.mu.Unlock()
+		if !evicted && (n.engine.PendingOwn() >= n.cfg.MaxPendingOwn || !joined || n.mgr.Changing()) {
+			bc = nil
+		}
+
+		select {
+		case <-n.stop:
+			n.engine.Stop()
+			n.closeDeliveries()
+			return
+
+		case in := <-n.inbox:
+			n.handlePayload(in)
+
+		case req := <-bc:
+			if evicted {
+				req.done <- ErrStopped
+				break
+			}
+			_, err := n.engine.Broadcast(req.payload)
+			req.done <- err
+
+		case contacts := <-n.joinc:
+			joinContacts = contacts
+			n.mgr.RequestJoin(contacts)
+			lastJoin = time.Now()
+
+		case <-n.leave:
+			n.mgr.RequestLeave()
+
+		case <-n.rotate:
+			n.mgr.RotateLeader(time.Now())
+
+		case now := <-tick.C:
+			n.fdet.Tick(now)
+			n.mgr.Tick(now)
+			n.mu.Lock()
+			joined := n.joined
+			n.mu.Unlock()
+			if !joined && joinContacts != nil && now.Sub(lastJoin) > n.cfg.ChangeTimeout {
+				n.mgr.RequestJoin(joinContacts)
+				lastJoin = now
+			}
+		}
+	}
+}
+
+// sendOne transmits at most one outbound frame; it reports whether it did.
+func (n *Node) sendOne() bool {
+	if n.mgr.Changing() {
+		return false
+	}
+	r := n.mgr.View().Ring
+	succ, ok := r.Successor(n.cfg.Self)
+	if !ok || succ == n.cfg.Self {
+		return false
+	}
+	f, ok := n.engine.NextFrame()
+	if !ok {
+		return false
+	}
+	if err := n.tr.Send(succ, wire.EncodeFrame(f)); err != nil {
+		return false // successor unreachable: the FD takes it from here
+	}
+	n.deliver()
+	return true
+}
+
+// handlePayload dispatches one transport payload by channel kind.
+func (n *Node) handlePayload(in inboundPayload) {
+	if len(in.payload) == 0 {
+		return
+	}
+	switch in.payload[0] {
+	case wire.KindFSR:
+		f, err := wire.DecodeFrame(in.payload)
+		if err != nil {
+			n.fail(err)
+			return
+		}
+		if err := n.engine.HandleFrame(f); err != nil {
+			n.fail(err)
+			return
+		}
+	case wire.KindVSC:
+		if err := n.mgr.HandlePayload(in.from, in.payload, time.Now()); err != nil {
+			n.fail(err)
+			return
+		}
+	case wire.KindFD:
+		from, err := fd.Decode(in.payload)
+		if err != nil {
+			return // malformed heartbeat: ignore
+		}
+		n.fdet.HandleHeartbeat(from, time.Now())
+	}
+}
+
+// deliver moves fresh engine deliveries to the assembler queue.
+func (n *Node) deliver() {
+	ds := n.engine.Deliveries()
+	if len(ds) == 0 {
+		return
+	}
+	n.outMu.Lock()
+	asm := n.asm()
+	for _, d := range ds {
+		if msg, done := asm.add(d); done {
+			n.outBuf = append(n.outBuf, msg)
+		}
+	}
+	n.outCond.Signal()
+	n.outMu.Unlock()
+}
+
+// asm lazily allocates the assembler (guarded by outMu).
+func (n *Node) asm() *assembler {
+	if n.asmState == nil {
+		n.asmState = newAssembler()
+	}
+	return n.asmState
+}
+
+// closeDeliveries wakes the delivery pump for shutdown.
+func (n *Node) closeDeliveries() {
+	n.outMu.Lock()
+	n.outDone = true
+	n.outCond.Signal()
+	n.outMu.Unlock()
+}
+
+// deliveryPump moves reassembled messages from the unbounded buffer to the
+// public channel so slow consumers cannot stall the protocol loop.
+func (n *Node) deliveryPump() {
+	defer n.wg.Done()
+	defer close(n.msgs)
+	for {
+		n.outMu.Lock()
+		for len(n.outBuf) == 0 && !n.outDone {
+			n.outCond.Wait()
+		}
+		if len(n.outBuf) == 0 && n.outDone {
+			n.outMu.Unlock()
+			return
+		}
+		batch := n.outBuf
+		n.outBuf = nil
+		n.outMu.Unlock()
+		for _, m := range batch {
+			select {
+			case n.msgs <- m:
+			case <-n.stop:
+				// Drain silently on shutdown.
+			}
+		}
+	}
+}
