@@ -1,0 +1,171 @@
+package fsr_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fsr"
+)
+
+// TestSubscribeMatchesMessagesOrder: a handler-consuming node observes the
+// exact total order a channel-consuming node does.
+func TestSubscribeMatchesMessagesOrder(t *testing.T) {
+	c := newCluster(t, 3, 1)
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	var viaHandler []fsr.Message
+	got := make(chan struct{}, 1)
+	const total = 30
+	c.Node(0).Subscribe(func(m fsr.Message) {
+		mu.Lock()
+		viaHandler = append(viaHandler, m)
+		if len(viaHandler) == total {
+			got <- struct{}{}
+		}
+		mu.Unlock()
+	})
+
+	for i := range total {
+		if _, err := c.Node(i%3).Broadcast(ctx, []byte(fmt.Sprintf("s%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	viaChannel := collect(t, c.Node(2), total)
+	select {
+	case <-got:
+	case <-time.After(20 * time.Second):
+		mu.Lock()
+		n := len(viaHandler)
+		mu.Unlock()
+		t.Fatalf("handler saw %d/%d messages", n, total)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	assertSameOrder(t, viaHandler, viaChannel)
+}
+
+// TestSubscribeCancelRevertsToChannel: canceling the last handler routes
+// subsequent deliveries back to the Messages channel, with nothing lost.
+func TestSubscribeCancelRevertsToChannel(t *testing.T) {
+	c := newCluster(t, 3, 1)
+	ctx := context.Background()
+
+	first := make(chan fsr.Message, 8)
+	cancel := c.Node(1).Subscribe(func(m fsr.Message) { first <- m })
+	if _, err := c.Node(0).Broadcast(ctx, []byte("to-handler")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-first:
+		if string(m.Payload) != "to-handler" {
+			t.Fatalf("handler got %q", m.Payload)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("handler never invoked")
+	}
+	cancel()
+
+	if _, err := c.Node(0).Broadcast(ctx, []byte("to-channel")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := collect(t, c.Node(1), 1)
+	if string(msgs[0].Payload) != "to-channel" {
+		t.Fatalf("channel got %q after cancel", msgs[0].Payload)
+	}
+}
+
+// TestSubscribeMultipleHandlers: every registered handler sees every
+// message.
+func TestSubscribeMultipleHandlers(t *testing.T) {
+	c := newCluster(t, 2, 1)
+	a := make(chan string, 4)
+	b := make(chan string, 4)
+	c.Node(1).Subscribe(func(m fsr.Message) { a <- string(m.Payload) })
+	c.Node(1).Subscribe(func(m fsr.Message) { b <- string(m.Payload) })
+	if _, err := c.Node(0).Broadcast(context.Background(), []byte("fanout")); err != nil {
+		t.Fatal(err)
+	}
+	for name, ch := range map[string]chan string{"a": a, "b": b} {
+		select {
+		case got := <-ch:
+			if got != "fanout" {
+				t.Fatalf("handler %s got %q", name, got)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatalf("handler %s never invoked", name)
+		}
+	}
+}
+
+// TestWaitViewDoesNotStealViews: WaitView and an application consumer of
+// Views observe the same view change — WaitView no longer drains the
+// channel out from under the application.
+func TestWaitViewDoesNotStealViews(t *testing.T) {
+	c := newCluster(t, 4, 1)
+	seen := make(chan fsr.ViewInfo, 64)
+	go func() {
+		for v := range c.Node(0).Views() {
+			seen <- v
+		}
+	}()
+	c.Crash(3)
+	if _, ok := c.WaitView(0, 3, 10*time.Second); !ok {
+		t.Fatal("WaitView never observed the 3-member view")
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case v := <-seen:
+			if len(v.Members) == 3 {
+				return // the application consumer saw it too
+			}
+		case <-deadline:
+			t.Fatal("application Views consumer never saw the 3-member view")
+		}
+	}
+}
+
+// TestCurrentViewTracksInstall: CurrentView starts at the initial view and
+// follows view changes without consuming Views.
+func TestCurrentViewTracksInstall(t *testing.T) {
+	c := newCluster(t, 3, 2)
+	v := c.Node(1).CurrentView()
+	if len(v.Members) != 3 || v.ID != 1 {
+		t.Fatalf("initial view: %+v", v)
+	}
+	c.Crash(2)
+	if _, ok := c.WaitView(1, 2, 10*time.Second); !ok {
+		t.Fatal("post-crash view never installed")
+	}
+	v = c.Node(1).CurrentView()
+	if len(v.Members) != 2 || v.ID <= 1 {
+		t.Fatalf("post-crash view: %+v", v)
+	}
+}
+
+// TestRequestAcceptedBooleans: Join/Leave/RotateLeader report whether the
+// event loop accepted the request — true on a live node with an empty
+// request slot, false once the node has halted (the loop will never
+// process the request, so pretending acceptance would strand the caller).
+func TestRequestAcceptedBooleans(t *testing.T) {
+	c := newCluster(t, 3, 1)
+	live := c.Node(0)
+	if !live.RotateLeader() {
+		t.Error("live RotateLeader not accepted")
+	}
+	n := c.Node(2)
+	n.Stop()
+	if n.RotateLeader() {
+		t.Error("RotateLeader accepted on stopped node")
+	}
+	if n.Leave() {
+		t.Error("Leave accepted on stopped node")
+	}
+	if n.Join(c.IDs()) {
+		t.Error("Join accepted on stopped node")
+	}
+}

@@ -1,0 +1,241 @@
+package fsr
+
+import (
+	"fmt"
+	"time"
+
+	"fsr/transport"
+	"fsr/transport/mem"
+	"fsr/transport/tcp"
+)
+
+// ClusterConfig parameterizes a Cluster (NewCluster).
+type ClusterConfig struct {
+	// N is the number of nodes. Required.
+	N int
+	// T is the tolerated number of failures. Default 1.
+	T int
+	// FirstID numbers the members FirstID..FirstID+N-1. Default 0.
+	FirstID ProcID
+	// NodeConfig is the per-node template; Self and Members are filled in.
+	NodeConfig Config
+}
+
+// ClusterTransport provisions the per-member endpoints a Cluster runs on.
+// It decouples the cluster harness from any one transport: the same harness
+// drives in-process tests (MemTransport), loopback or LAN deployments
+// (TCPTransport), and custom fabrics (implement this interface).
+//
+// NewCluster calls Join once per member, then Open once after every member
+// has an endpoint — the hook for wiring that needs the full roster, such as
+// exchanging ephemeral listen addresses.
+type ClusterTransport interface {
+	// Join provisions the endpoint for one member.
+	Join(id ProcID) (transport.Transport, error)
+	// Open finalizes wiring once every member has joined.
+	Open() error
+	// Crash fail-stops id's endpoint: in-flight and queued traffic is
+	// dropped, and peers observe silence (their failure detectors react).
+	Crash(id ProcID)
+	// Close releases any shared resources after the nodes have stopped.
+	Close() error
+}
+
+// MemClusterTransport runs a cluster on one in-memory network hub.
+type MemClusterTransport struct {
+	network *mem.Network
+}
+
+// MemTransport wraps an in-memory network as a ClusterTransport. A nil
+// network gets a fresh default hub; pass an explicit mem.NewNetwork to
+// configure latency, bandwidth pacing, or to share the hub with nodes
+// created outside the cluster (e.g. joiners).
+func MemTransport(network *mem.Network) *MemClusterTransport {
+	if network == nil {
+		network = mem.NewNetwork(mem.Options{})
+	}
+	return &MemClusterTransport{network: network}
+}
+
+// Network returns the underlying hub, for fault injection (CutLink) or for
+// attaching extra endpoints.
+func (m *MemClusterTransport) Network() *mem.Network { return m.network }
+
+// Join implements ClusterTransport.
+func (m *MemClusterTransport) Join(id ProcID) (transport.Transport, error) {
+	return m.network.Join(id)
+}
+
+// Open implements ClusterTransport. The hub needs no post-join wiring.
+func (m *MemClusterTransport) Open() error { return nil }
+
+// Crash implements ClusterTransport.
+func (m *MemClusterTransport) Crash(id ProcID) { m.network.Crash(id) }
+
+// Close implements ClusterTransport. Endpoints are owned (and closed) by
+// their nodes; the hub itself holds no other resources.
+func (m *MemClusterTransport) Close() error { return nil }
+
+// TCPClusterTransport runs a cluster over real TCP sockets, one endpoint
+// per member in this process. It is the single-binary form of the
+// multi-process deployment (cmd/fsr-node): identical protocol stack and
+// wire traffic, convenient for integration tests and benchmarks.
+type TCPClusterTransport struct {
+	addrs map[ProcID]string
+	eps   map[ProcID]*tcp.Transport
+}
+
+// TCPTransport builds a TCP-backed ClusterTransport. addrs maps each member
+// to its listen address; a nil map (or a missing entry) binds that member
+// to an ephemeral loopback port, with addresses exchanged automatically in
+// Open.
+func TCPTransport(addrs map[ProcID]string) *TCPClusterTransport {
+	return &TCPClusterTransport{addrs: addrs, eps: make(map[ProcID]*tcp.Transport)}
+}
+
+// Join implements ClusterTransport.
+func (t *TCPClusterTransport) Join(id ProcID) (transport.Transport, error) {
+	listen := t.addrs[id]
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ep, err := tcp.New(tcp.Config{Self: id, ListenAddr: listen})
+	if err != nil {
+		return nil, err
+	}
+	t.eps[id] = ep
+	return ep, nil
+}
+
+// Open implements ClusterTransport: every endpoint learns every other's
+// actual listen address (resolving ephemeral ports).
+func (t *TCPClusterTransport) Open() error {
+	for self, ep := range t.eps {
+		peers := make(map[ProcID]string, len(t.eps)-1)
+		for id, other := range t.eps {
+			if id != self {
+				peers[id] = other.Addr()
+			}
+		}
+		ep.SetPeers(peers)
+	}
+	return nil
+}
+
+// Crash implements ClusterTransport: closing the endpoint drops its
+// connections, so peers see silence.
+func (t *TCPClusterTransport) Crash(id ProcID) {
+	if ep := t.eps[id]; ep != nil {
+		_ = ep.Close()
+	}
+}
+
+// Close implements ClusterTransport. Endpoint Close is idempotent, so
+// closing after the nodes already did is safe.
+func (t *TCPClusterTransport) Close() error {
+	for _, ep := range t.eps {
+		_ = ep.Close()
+	}
+	return nil
+}
+
+// Cluster is a set of in-process nodes on one ClusterTransport — the
+// easiest way to run FSR in tests, examples and single-binary deployments.
+type Cluster struct {
+	ct    ClusterTransport
+	nodes []*Node
+	ids   []ProcID
+}
+
+// NewCluster builds and starts N nodes on the given cluster transport.
+func NewCluster(cfg ClusterConfig, ct ClusterTransport) (*Cluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("fsr: cluster size %d", cfg.N)
+	}
+	if cfg.T == 0 {
+		cfg.T = 1
+	}
+	ids := make([]ProcID, cfg.N)
+	for i := range ids {
+		ids[i] = cfg.FirstID + ProcID(i)
+	}
+	c := &Cluster{ct: ct, ids: ids}
+	trs := make([]transport.Transport, 0, cfg.N)
+	closeUnowned := func() {
+		// Endpoints not yet handed to a node are closed directly; nodes
+		// close their own in Stop.
+		for _, tr := range trs[len(c.nodes):] {
+			_ = tr.Close()
+		}
+	}
+	for _, id := range ids {
+		tr, err := ct.Join(id)
+		if err != nil {
+			closeUnowned()
+			c.Stop()
+			return nil, err
+		}
+		trs = append(trs, tr)
+	}
+	if err := ct.Open(); err != nil {
+		closeUnowned()
+		c.Stop()
+		return nil, err
+	}
+	for i, id := range ids {
+		nc := cfg.NodeConfig
+		nc.Self = id
+		nc.Members = ids
+		nc.T = cfg.T
+		node, err := NewNode(nc, trs[i])
+		if err != nil {
+			closeUnowned()
+			c.Stop()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// Node returns the i-th member (in initial ring order).
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Nodes returns all running members.
+func (c *Cluster) Nodes() []*Node { return append([]*Node(nil), c.nodes...) }
+
+// IDs returns the member IDs in initial ring order.
+func (c *Cluster) IDs() []ProcID { return append([]ProcID(nil), c.ids...) }
+
+// Crash fail-stops the i-th member: its endpoint drops off the transport
+// and the survivors' failure detectors trigger a view change.
+func (c *Cluster) Crash(i int) {
+	node := c.nodes[i]
+	c.ct.Crash(node.Self())
+	node.Stop()
+}
+
+// Stop shuts down every node and releases the cluster transport.
+func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	_ = c.ct.Close()
+}
+
+// WaitView blocks until node i reports an installed view with the given
+// member count, or the timeout expires. It observes CurrentView rather than
+// the Views channel, so it never races an application consumer of Views.
+func (c *Cluster) WaitView(i int, members int, timeout time.Duration) (ViewInfo, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		v := c.nodes[i].CurrentView()
+		if len(v.Members) == members {
+			return v, true
+		}
+		if time.Now().After(deadline) {
+			return ViewInfo{}, false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

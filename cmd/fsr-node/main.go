@@ -24,8 +24,7 @@ import (
 	"time"
 
 	"fsr"
-	"fsr/internal/ring"
-	"fsr/internal/transport/tcp"
+	"fsr/transport/tcp"
 )
 
 func main() {
@@ -40,8 +39,8 @@ func main() {
 	}
 }
 
-func parsePeers(spec string) (map[ring.ProcID]string, []fsr.ProcID, error) {
-	addrs := make(map[ring.ProcID]string)
+func parsePeers(spec string) (map[fsr.ProcID]string, []fsr.ProcID, error) {
+	addrs := make(map[fsr.ProcID]string)
 	var members []fsr.ProcID
 	for _, part := range strings.Split(spec, ",") {
 		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
@@ -52,7 +51,7 @@ func parsePeers(spec string) (map[ring.ProcID]string, []fsr.ProcID, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("bad peer id %q: %w", id, err)
 		}
-		addrs[ring.ProcID(n)] = addr
+		addrs[fsr.ProcID(n)] = addr
 		members = append(members, fsr.ProcID(n))
 	}
 	slices.Sort(members)
@@ -97,9 +96,15 @@ func run(self fsr.ProcID, peersFlag string, tol int, send time.Duration) error {
 					return
 				case <-ticker.C:
 					payload := fmt.Sprintf("hello %d from node %d", i, self)
-					if err := node.Broadcast(ctx, []byte(payload)); err != nil {
+					r, err := node.Broadcast(ctx, []byte(payload))
+					if err != nil {
 						return
 					}
+					go func() {
+						if err := r.Wait(ctx); err == nil {
+							fmt.Printf("broadcast uniform at seq %d\n", r.Seq())
+						}
+					}()
 				}
 			}
 		}()

@@ -16,7 +16,7 @@ import (
 	"time"
 
 	"fsr"
-	"fsr/internal/transport/mem"
+	"fsr/transport/mem"
 )
 
 const (
@@ -68,7 +68,7 @@ func run() error {
 		Latency:   500 * time.Microsecond,
 		Bandwidth: 100e6, // Fast Ethernet, as in the paper's testbed
 	})
-	cluster, err := fsr.NewLocalCluster(fsr.ClusterConfig{N: nodes, T: 1}, network)
+	cluster, err := fsr.NewCluster(fsr.ClusterConfig{N: nodes, T: 1}, fsr.MemTransport(network))
 	if err != nil {
 		return err
 	}
@@ -88,7 +88,7 @@ func run() error {
 					To:     uint32((teller + i + 1) % accounts),
 					Amount: 1 + uint32(i%7),
 				}
-				if err := cluster.Node(teller).Broadcast(ctx, tr.encode()); err != nil {
+				if _, err := cluster.Node(teller).Broadcast(ctx, tr.encode()); err != nil {
 					fmt.Fprintf(os.Stderr, "broadcast: %v\n", err)
 					return
 				}

@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"fsr"
-	"fsr/internal/transport/mem"
 )
 
 func main() {
@@ -25,15 +24,14 @@ func main() {
 
 func run() error {
 	const nodes = 5
-	network := mem.NewNetwork(mem.Options{})
-	cluster, err := fsr.NewLocalCluster(fsr.ClusterConfig{
+	cluster, err := fsr.NewCluster(fsr.ClusterConfig{
 		N: nodes, T: 2,
 		NodeConfig: fsr.Config{
 			HeartbeatInterval: 20 * time.Millisecond,
 			FailureTimeout:    200 * time.Millisecond,
 			ChangeTimeout:     400 * time.Millisecond,
 		},
-	}, network)
+	}, fsr.MemTransport(nil))
 	if err != nil {
 		return err
 	}
@@ -41,11 +39,16 @@ func run() error {
 
 	ctx := context.Background()
 	// Pre-crash traffic from node 3, still in flight when the leader dies.
+	// The receipts resolve even though the sequencer is about to crash:
+	// uniformity holds across the view change.
 	const preCrash = 12
+	receipts := make([]*fsr.Receipt, preCrash)
 	for i := range preCrash {
-		if err := cluster.Node(3).Broadcast(ctx, []byte(fmt.Sprintf("pre-%d", i))); err != nil {
+		r, err := cluster.Node(3).Broadcast(ctx, []byte(fmt.Sprintf("pre-%d", i)))
+		if err != nil {
 			return err
 		}
+		receipts[i] = r
 	}
 
 	fmt.Println("crashing the leader (node 0, the sequencer)...")
@@ -60,10 +63,18 @@ func run() error {
 	// Post-crash traffic through the new leader.
 	const postCrash = 5
 	for i := range postCrash {
-		if err := cluster.Node(2).Broadcast(ctx, []byte(fmt.Sprintf("post-%d", i))); err != nil {
+		if _, err := cluster.Node(2).Broadcast(ctx, []byte(fmt.Sprintf("post-%d", i))); err != nil {
 			return err
 		}
 	}
+
+	// Every pre-crash broadcast still reaches uniform delivery.
+	for i, r := range receipts {
+		if err := r.Wait(ctx); err != nil {
+			return fmt.Errorf("pre-crash broadcast %d never became uniform: %w", i, err)
+		}
+	}
+	fmt.Printf("all %d pre-crash receipts resolved across the leader crash ✔\n", preCrash)
 
 	// All survivors deliver all 17 messages in the same order.
 	want := preCrash + postCrash

@@ -9,7 +9,6 @@ import (
 	"os"
 
 	"fsr"
-	"fsr/internal/transport/mem"
 )
 
 func main() {
@@ -22,8 +21,7 @@ func main() {
 func run() error {
 	// Five nodes on an in-memory network; node 0 is the leader
 	// (sequencer), node 1 the backup (T = 1 tolerated failure).
-	network := mem.NewNetwork(mem.Options{})
-	cluster, err := fsr.NewLocalCluster(fsr.ClusterConfig{N: 5, T: 1}, network)
+	cluster, err := fsr.NewCluster(fsr.ClusterConfig{N: 5, T: 1}, fsr.MemTransport(nil))
 	if err != nil {
 		return err
 	}
@@ -41,11 +39,22 @@ func run() error {
 		{2, "second from node 2"},
 		{4, "second from node 4"},
 	}
-	for _, s := range sends {
-		if err := cluster.Node(s.node).Broadcast(ctx, []byte(s.payload)); err != nil {
+	receipts := make([]*fsr.Receipt, len(sends))
+	for i, s := range sends {
+		r, err := cluster.Node(s.node).Broadcast(ctx, []byte(s.payload))
+		if err != nil {
 			return err
 		}
+		receipts[i] = r
 	}
+	// Each receipt resolves once its message is uniformly stable — stored
+	// by the leader and backup, so it survives any tolerated crash.
+	for i, r := range receipts {
+		if err := r.Wait(ctx); err != nil {
+			return fmt.Errorf("broadcast %d: %w", i, err)
+		}
+	}
+	fmt.Println("all broadcasts uniformly delivered (receipts resolved)")
 
 	// Every node receives the same five messages in the same global order.
 	fmt.Println("deliveries (identical at every node):")

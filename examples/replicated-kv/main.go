@@ -14,7 +14,6 @@ import (
 	"sync"
 
 	"fsr"
-	"fsr/internal/transport/mem"
 )
 
 // op is one state machine command.
@@ -26,8 +25,6 @@ type op struct {
 
 // replica is one copy of the store driven by a node's delivery stream.
 type replica struct {
-	node *fsr.Node
-
 	mu      sync.Mutex
 	store   map[string]string
 	applied int
@@ -37,35 +34,32 @@ type replica struct {
 
 func newReplica(node *fsr.Node, expect int) *replica {
 	r := &replica{
-		node:   node,
 		store:  make(map[string]string),
 		expect: expect,
 		done:   make(chan struct{}),
 	}
-	go r.applyLoop()
+	// Subscribe is the whole replication protocol from the application's
+	// point of view: the handler runs once per delivery, in total order.
+	node.Subscribe(r.apply)
 	return r
 }
 
-// applyLoop is the whole replication protocol from the application's point
-// of view: apply deliveries in order.
-func (r *replica) applyLoop() {
-	for m := range r.node.Messages() {
-		var o op
-		if err := json.Unmarshal(m.Payload, &o); err != nil {
-			continue // not ours
-		}
-		r.mu.Lock()
-		switch o.Kind {
-		case "set":
-			r.store[o.Key] = o.Value
-		case "del":
-			delete(r.store, o.Key)
-		}
-		r.applied++
-		if r.applied == r.expect {
-			close(r.done)
-		}
-		r.mu.Unlock()
+func (r *replica) apply(m fsr.Message) {
+	var o op
+	if err := json.Unmarshal(m.Payload, &o); err != nil {
+		return // not ours
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch o.Kind {
+	case "set":
+		r.store[o.Key] = o.Value
+	case "del":
+		delete(r.store, o.Key)
+	}
+	r.applied++
+	if r.applied == r.expect {
+		close(r.done)
 	}
 }
 
@@ -94,8 +88,7 @@ func main() {
 
 func run() error {
 	const replicas = 4
-	network := mem.NewNetwork(mem.Options{})
-	cluster, err := fsr.NewLocalCluster(fsr.ClusterConfig{N: replicas, T: 1}, network)
+	cluster, err := fsr.NewCluster(fsr.ClusterConfig{N: replicas, T: 1}, fsr.MemTransport(nil))
 	if err != nil {
 		return err
 	}
@@ -130,8 +123,15 @@ func run() error {
 			if err != nil {
 				panic(err)
 			}
-			if err := cluster.Node(at).Broadcast(ctx, payload); err != nil {
+			// A synchronous write: the receipt resolves once the op is
+			// uniformly stable, i.e. durable in the group.
+			r, err := cluster.Node(at).Broadcast(ctx, payload)
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "broadcast: %v\n", err)
+				return
+			}
+			if err := r.Wait(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "write not durable: %v\n", err)
 			}
 		}(o.at, o.op)
 	}

@@ -1,7 +1,10 @@
 // TCP cluster: the same FSR stack the other examples run in memory, but
-// over real sockets — three nodes on loopback TCP, each in its own
-// goroutine with its own transport, exchanging broadcasts exactly as three
-// separate processes would (see cmd/fsr-node for the multi-process form).
+// over real sockets — three nodes on loopback TCP, each with its own
+// transport endpoint, exchanging broadcasts exactly as three separate
+// processes would (see cmd/fsr-node for the multi-process form).
+// TCPTransport binds each member to an ephemeral loopback port and
+// exchanges the addresses automatically — the bootstrap a deployment tool
+// would do.
 package main
 
 import (
@@ -11,8 +14,6 @@ import (
 	"sync"
 
 	"fsr"
-	"fsr/internal/ring"
-	"fsr/internal/transport/tcp"
 )
 
 func main() {
@@ -24,61 +25,40 @@ func main() {
 
 func run() error {
 	const n = 3
-	members := []fsr.ProcID{0, 1, 2}
-
-	// Bind each endpoint on an ephemeral loopback port, then exchange the
-	// resulting addresses — the bootstrap a deployment tool would do.
-	transports := make([]*tcp.Transport, n)
-	for i := range transports {
-		tr, err := tcp.New(tcp.Config{Self: members[i], ListenAddr: "127.0.0.1:0"})
-		if err != nil {
-			return err
-		}
-		defer tr.Close()
-		transports[i] = tr
+	cluster, err := fsr.NewCluster(fsr.ClusterConfig{N: n, T: 1}, fsr.TCPTransport(nil))
+	if err != nil {
+		return err
 	}
-	addrs := make(map[ring.ProcID]string, n)
-	for i, tr := range transports {
-		addrs[members[i]] = tr.Addr()
-	}
-	nodes := make([]*fsr.Node, n)
-	for i, tr := range transports {
-		peers := make(map[ring.ProcID]string)
-		for id, addr := range addrs {
-			if id != members[i] {
-				peers[id] = addr
-			}
-		}
-		tr.SetPeers(peers)
-		node, err := fsr.NewNode(fsr.Config{Self: members[i], Members: members, T: 1}, tr)
-		if err != nil {
-			return err
-		}
-		defer node.Stop()
-		nodes[i] = node
-	}
+	defer cluster.Stop()
 
 	ctx := context.Background()
 	const per = 5
 	var wg sync.WaitGroup
-	for i, node := range nodes {
+	for i := range n {
 		wg.Add(1)
-		go func(i int, node *fsr.Node) {
+		go func(i int) {
 			defer wg.Done()
+			node := cluster.Node(i)
 			for j := range per {
 				payload := fmt.Sprintf("node%d msg%d", i, j)
-				if err := node.Broadcast(ctx, []byte(payload)); err != nil {
+				r, err := node.Broadcast(ctx, []byte(payload))
+				if err != nil {
 					fmt.Fprintf(os.Stderr, "broadcast: %v\n", err)
 					return
 				}
+				if err := r.Wait(ctx); err != nil {
+					fmt.Fprintf(os.Stderr, "broadcast not delivered: %v\n", err)
+					return
+				}
 			}
-		}(i, node)
+		}(i)
 	}
 	wg.Wait()
 
 	total := n * per
 	var ref []string
-	for i, node := range nodes {
+	for i := range n {
+		node := cluster.Node(i)
 		var got []string
 		for len(got) < total {
 			m := <-node.Messages()
@@ -97,6 +77,9 @@ func run() error {
 			}
 		}
 	}
+	m := cluster.Node(0).Metrics()
 	fmt.Printf("%d broadcasts over real TCP, identical order at all %d nodes ✔\n", total, n)
+	fmt.Printf("leader metrics: frames in/out %d/%d, sequenced %d, delivered %d, p99 latency %v\n",
+		m.FramesIn, m.FramesOut, m.Sequenced, m.Delivered, m.BroadcastLatency.P99)
 	return nil
 }

@@ -1,0 +1,117 @@
+package fsr
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fsr/internal/wire"
+	"fsr/transport/mem"
+)
+
+// TestNodeFailStopIsTerminal: a fatal protocol error (corrupt frame from
+// the ring predecessor) must actually halt the node — fail-stop — not just
+// record the error: Messages closes, pending receipts fail, Err surfaces
+// the cause, and further Broadcasts are rejected.
+func TestNodeFailStopIsTerminal(t *testing.T) {
+	network := mem.NewNetwork(mem.Options{})
+	ep0, err := network.Join(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := network.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep1.Close()
+	cfg := Config{
+		Self:              0,
+		Members:           []ProcID{0, 1},
+		HeartbeatInterval: 10 * time.Millisecond,
+		FailureTimeout:    time.Minute, // keep the FD quiet; only the corruption matters
+		ChangeTimeout:     time.Minute,
+	}
+	n, err := NewNode(cfg, ep0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+
+	// A broadcast that cannot complete (peer 1 runs no node), so its
+	// receipt is pending when the fatal error hits.
+	r, err := n.Broadcast(context.Background(), []byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt ring traffic: KindFSR prefix, truncated body.
+	if err := ep1.Send(0, []byte{wire.KindFSR, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The node halts: the message stream closes...
+	select {
+	case _, ok := <-n.Messages():
+		if ok {
+			t.Fatal("unexpected delivery")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Messages never closed after fatal error")
+	}
+	// ...the error is surfaced...
+	if n.Err() == nil {
+		t.Fatal("Err() nil after fatal frame")
+	}
+	// ...the pending receipt resolves with the failure...
+	select {
+	case <-r.Delivered():
+	case <-time.After(10 * time.Second):
+		t.Fatal("pending receipt never resolved on fail-stop")
+	}
+	if r.Err() == nil {
+		t.Fatal("pending receipt resolved without error on fail-stop")
+	}
+	// ...and the node accepts no further work.
+	if _, err := n.Broadcast(context.Background(), []byte("late")); err != ErrStopped {
+		t.Fatalf("Broadcast after fail-stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestConfigValidationErrors covers withDefaults rejections beyond the
+// basics in assembler_test.go.
+func TestConfigValidationErrors(t *testing.T) {
+	base := func() Config {
+		return Config{Self: 1, Members: []ProcID{1, 2, 3}}
+	}
+	t.Run("defaults filled", func(t *testing.T) {
+		c, err := base().withDefaults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.HeartbeatInterval != 50*time.Millisecond ||
+			c.FailureTimeout != 500*time.Millisecond ||
+			c.ChangeTimeout != time.Second {
+			t.Errorf("timer defaults: %+v", c)
+		}
+	})
+	t.Run("failure timeout equal to heartbeat rejected", func(t *testing.T) {
+		c := base()
+		c.HeartbeatInterval = 100 * time.Millisecond
+		c.FailureTimeout = 100 * time.Millisecond
+		if _, err := c.withDefaults(); err == nil {
+			t.Error("FailureTimeout == HeartbeatInterval accepted")
+		}
+	})
+	t.Run("joiner needs no members", func(t *testing.T) {
+		if _, err := (Config{Self: 7, Joiner: true}).withDefaults(); err != nil {
+			t.Errorf("joiner rejected: %v", err)
+		}
+	})
+	t.Run("negative T rejected with members", func(t *testing.T) {
+		c := base()
+		c.T = -2
+		if _, err := c.withDefaults(); err == nil {
+			t.Error("negative T accepted")
+		}
+	})
+}

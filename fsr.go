@@ -13,119 +13,35 @@
 //
 // # Quick start
 //
-//	network := mem.NewNetwork(mem.Options{})
-//	cluster, _ := fsr.NewLocalCluster(fsr.ClusterConfig{N: 5, T: 1}, network)
+//	cluster, _ := fsr.NewCluster(fsr.ClusterConfig{N: 5, T: 1}, fsr.MemTransport(nil))
 //	defer cluster.Stop()
 //
-//	cluster.Node(0).Broadcast(ctx, []byte("hello"))
+//	r, _ := cluster.Node(0).Broadcast(ctx, []byte("hello"))
+//	<-r.Delivered()                    // uniform: survives any T crashes
 //	msg := <-cluster.Node(3).Messages() // same order at every node
 //
-// Nodes can also run in separate processes over TCP (transport/tcp, see
-// cmd/fsr-node) — the protocol stack is identical.
+// # Consuming deliveries
+//
+// Every node exposes the agreed message stream twice: Node.Messages is a
+// channel, Node.Subscribe registers a handler invoked in total order. A
+// Broadcast returns a *Receipt whose Delivered channel closes only once the
+// message is uniformly stable — the hook for request/reply and synchronous
+// writes. Node.Metrics reports protocol counters, queue depths and a
+// broadcast-latency summary.
+//
+// # Transports and deployment
+//
+// The protocol stack runs over the transport.Transport interface; the
+// module ships transport/mem (in-process) and transport/tcp (real sockets),
+// and applications can bring their own. NewCluster drives any
+// ClusterTransport — MemTransport for tests and single-binary deployments,
+// TCPTransport for sockets on one host, or a custom implementation for a
+// real fleet. Nodes can equally run one per process over TCP (see
+// cmd/fsr-node); the stack is identical.
 //
 // The packages under internal/ hold the substrates: the protocol engine
 // (internal/core), ring arithmetic, wire codec, heartbeat failure detector,
-// the virtually synchronous membership layer, transports, the discrete-event
-// cluster simulator used by the benchmarks, and the round-based analytical
-// model with the paper's five baseline protocol classes.
+// the virtually synchronous membership layer, the discrete-event cluster
+// simulator used by the benchmarks, and the round-based analytical model
+// with the paper's five baseline protocol classes.
 package fsr
-
-import (
-	"fmt"
-	"time"
-
-	"fsr/internal/transport/mem"
-)
-
-// ClusterConfig parameterizes an in-process cluster (NewLocalCluster).
-type ClusterConfig struct {
-	// N is the number of nodes. Required.
-	N int
-	// T is the tolerated number of failures. Default 1.
-	T int
-	// FirstID numbers the members FirstID..FirstID+N-1. Default 0.
-	FirstID ProcID
-	// NodeConfig is the per-node template; Self and Members are filled in.
-	NodeConfig Config
-}
-
-// Cluster is a set of in-process nodes on one mem.Network — the easiest way
-// to run FSR in tests, examples and single-binary deployments.
-type Cluster struct {
-	network *mem.Network
-	nodes   []*Node
-	ids     []ProcID
-}
-
-// NewLocalCluster builds and starts N nodes on the given in-memory network.
-func NewLocalCluster(cfg ClusterConfig, network *mem.Network) (*Cluster, error) {
-	if cfg.N <= 0 {
-		return nil, fmt.Errorf("fsr: cluster size %d", cfg.N)
-	}
-	if cfg.T == 0 {
-		cfg.T = 1
-	}
-	ids := make([]ProcID, cfg.N)
-	for i := range ids {
-		ids[i] = cfg.FirstID + ProcID(i)
-	}
-	c := &Cluster{network: network, ids: ids}
-	for _, id := range ids {
-		ep, err := network.Join(id)
-		if err != nil {
-			c.Stop()
-			return nil, err
-		}
-		nc := cfg.NodeConfig
-		nc.Self = id
-		nc.Members = ids
-		nc.T = cfg.T
-		node, err := NewNode(nc, ep)
-		if err != nil {
-			c.Stop()
-			return nil, err
-		}
-		c.nodes = append(c.nodes, node)
-	}
-	return c, nil
-}
-
-// Node returns the i-th member (in initial ring order).
-func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
-
-// Nodes returns all running members.
-func (c *Cluster) Nodes() []*Node { return append([]*Node(nil), c.nodes...) }
-
-// IDs returns the member IDs in initial ring order.
-func (c *Cluster) IDs() []ProcID { return append([]ProcID(nil), c.ids...) }
-
-// Crash fail-stops the i-th member: its endpoint drops off the network and
-// the survivors' failure detectors trigger a view change.
-func (c *Cluster) Crash(i int) {
-	node := c.nodes[i]
-	c.network.Crash(node.Self())
-	node.Stop()
-}
-
-// Stop shuts down every node.
-func (c *Cluster) Stop() {
-	for _, n := range c.nodes {
-		n.Stop()
-	}
-}
-
-// WaitView blocks until node i installs a view with the given member count,
-// or the timeout expires.
-func (c *Cluster) WaitView(i int, members int, timeout time.Duration) (ViewInfo, bool) {
-	deadline := time.After(timeout)
-	for {
-		select {
-		case v := <-c.nodes[i].Views():
-			if len(v.Members) == members {
-				return v, true
-			}
-		case <-deadline:
-			return ViewInfo{}, false
-		}
-	}
-}

@@ -1,0 +1,69 @@
+package fsr
+
+import (
+	"time"
+
+	"fsr/internal/metrics"
+)
+
+// LatencySummary condenses a window of broadcast latencies — the time from
+// Broadcast acceptance to local uniform delivery, as observed through
+// receipts on this node's own messages.
+type LatencySummary struct {
+	Count          int
+	Min, Max, Mean time.Duration
+	P50, P95, P99  time.Duration
+}
+
+// Metrics is a point-in-time snapshot of one node's protocol activity,
+// taken coherently on the event loop. Counters are cumulative since the
+// node started; queue depths are instantaneous.
+type Metrics struct {
+	// View is the currently installed membership epoch.
+	View ViewInfo
+	// IsLeader reports whether this node is the fixed sequencer.
+	IsLeader bool
+
+	// FramesIn / FramesOut count protocol frames exchanged with the ring
+	// neighbors.
+	FramesIn, FramesOut uint64
+	// DataIn and AcksIn count received data segments and acknowledgments.
+	DataIn, AcksIn uint64
+	// Sequenced counts segments this node assigned a sequence number to
+	// (leader only).
+	Sequenced uint64
+	// Delivered counts TO-delivered segments.
+	Delivered uint64
+	// StaleFrames counts frames dropped because of a view mismatch.
+	StaleFrames uint64
+	// RelayedData and OwnSent split outbound data traffic into relayed
+	// segments and this node's own.
+	RelayedData, OwnSent uint64
+	// FairnessSkips counts relay items sent ahead of an own message by the
+	// paper's §4.2.3 fairness rule; StandaloneAcks counts frames that
+	// carried only acknowledgments.
+	FairnessSkips, StandaloneAcks uint64
+
+	// RelayQueue, OwnQueue and AckQueue are the engine's current queue
+	// depths (load indicators; OwnQueue >= MaxPendingOwn means Broadcast
+	// is applying backpressure).
+	RelayQueue, OwnQueue, AckQueue int
+	// PendingReceipts is the number of own broadcasts accepted but not yet
+	// uniformly delivered.
+	PendingReceipts int
+
+	// BroadcastLatency summarizes the last broadcasts' acceptance-to-
+	// uniform-delivery latency on this node.
+	BroadcastLatency LatencySummary
+}
+
+// summarizeLatency converts an internal/metrics summary of the node's
+// latency window into the public shape.
+func summarizeLatency(samples []time.Duration) LatencySummary {
+	s := metrics.Summarize(samples)
+	return LatencySummary{
+		Count: s.Count,
+		Min:   s.Min, Max: s.Max, Mean: s.Mean,
+		P50: s.P50, P95: s.P95, P99: s.P99,
+	}
+}

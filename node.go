@@ -3,15 +3,16 @@ package fsr
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
 	"fsr/internal/core"
 	"fsr/internal/fd"
 	"fsr/internal/ring"
-	"fsr/internal/transport"
 	"fsr/internal/vsc"
 	"fsr/internal/wire"
+	"fsr/transport"
 )
 
 // ViewInfo describes one installed membership epoch.
@@ -23,6 +24,10 @@ type ViewInfo struct {
 	// T is the number of failures this view tolerates.
 	T int
 }
+
+// latencyWindow bounds how many broadcast-latency samples a node retains
+// for Metrics.BroadcastLatency.
+const latencyWindow = 1024
 
 // Node is one FSR group member: it owns the protocol engine, the failure
 // detector and the view-change manager, and drives them over a transport.
@@ -43,6 +48,7 @@ type Node struct {
 	joinc  chan []ProcID
 	leave  chan struct{}
 	rotate chan struct{}
+	statsc chan chan Metrics
 	stop   chan struct{}
 
 	msgs  chan Message
@@ -54,13 +60,25 @@ type Node struct {
 	outDone  bool
 	asmState *assembler
 
-	wg sync.WaitGroup
+	subMu      sync.Mutex
+	subs       []subscriber
+	nextSubID  uint64
+	subChanged chan struct{}
 
-	mu      sync.Mutex
-	joined  bool
-	stopped bool
-	evicted bool
-	err     error
+	// Event-loop-owned state (no locking): receipts for own broadcasts,
+	// keyed by logical message ID, and the latency sample window.
+	receipts map[uint64]pendingReceipt
+	latency  []time.Duration
+	latNext  int
+
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+
+	mu       sync.Mutex
+	joined   bool
+	evicted  bool
+	err      error
+	lastView ViewInfo
 }
 
 type inboundPayload struct {
@@ -70,7 +88,22 @@ type inboundPayload struct {
 
 type bcastReq struct {
 	payload []byte
-	done    chan error
+	resp    chan bcastResp
+}
+
+type bcastResp struct {
+	receipt *Receipt
+	err     error
+}
+
+type pendingReceipt struct {
+	r         *Receipt
+	submitted time.Time
+}
+
+type subscriber struct {
+	id uint64
+	fn func(Message)
 }
 
 // NewNode builds and starts a node on the given transport. The transport's
@@ -97,18 +130,22 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 	}
 
 	n := &Node{
-		cfg:    cfg,
-		tr:     tr,
-		engine: engine,
-		inbox:  make(chan inboundPayload, 4096),
-		bcast:  make(chan bcastReq),
-		joinc:  make(chan []ProcID, 1),
-		leave:  make(chan struct{}, 1),
-		rotate: make(chan struct{}, 1),
-		stop:   make(chan struct{}),
-		msgs:   make(chan Message, 256),
-		views:  make(chan ViewInfo, 64),
-		joined: !cfg.Joiner,
+		cfg:        cfg,
+		tr:         tr,
+		engine:     engine,
+		inbox:      make(chan inboundPayload, 4096),
+		bcast:      make(chan bcastReq),
+		joinc:      make(chan []ProcID, 1),
+		leave:      make(chan struct{}, 1),
+		rotate:     make(chan struct{}, 1),
+		statsc:     make(chan chan Metrics),
+		stop:       make(chan struct{}),
+		msgs:       make(chan Message, 256),
+		views:      make(chan ViewInfo, 64),
+		subChanged: make(chan struct{}),
+		receipts:   make(map[uint64]pendingReceipt),
+		joined:     !cfg.Joiner,
+		lastView:   viewInfo(view),
 	}
 	n.outCond = sync.NewCond(&n.outMu)
 
@@ -149,7 +186,7 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		n.fdet.SetPeers(cfg.Members, time.Now())
 	}
 
-	tr.SetHandler(func(from ring.ProcID, payload []byte) {
+	tr.SetHandler(func(from transport.ProcID, payload []byte) {
 		select {
 		case n.inbox <- inboundPayload{from: from, payload: payload}:
 		case <-n.stop:
@@ -162,17 +199,73 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 	return n, nil
 }
 
+// viewInfo converts an installed core view into the public shape.
+func viewInfo(v core.View) ViewInfo {
+	return ViewInfo{ID: v.ID, Members: v.Ring.Members(), T: v.Ring.T()}
+}
+
 // Self returns this node's process ID.
 func (n *Node) Self() ProcID { return n.cfg.Self }
 
 // Messages returns the TO-delivered message stream, in total order. The
-// channel closes when the node stops. Consumers must drain it; the node
+// channel closes when the node halts. Consumers must drain it; the node
 // buffers internally, so slow consumers never stall the protocol.
+//
+// While at least one Subscribe handler is registered, newly dispatched
+// messages go to the handlers instead of this channel; the two are
+// alternative consumption modes for the same ordered stream.
 func (n *Node) Messages() <-chan Message { return n.msgs }
 
+// Subscribe registers fn to receive delivered messages in total order,
+// starting with the first message dispatched after registration. All
+// handlers run sequentially on one dispatch goroutine (a slow handler
+// delays later messages but never the protocol itself, which buffers
+// internally). Handlers must return: a handler that blocks forever wedges
+// delivery and Stop, and a handler must not call Stop itself. Messages
+// still buffered when the node halts are dropped, as in channel mode. The
+// returned cancel function unregisters fn; once no handlers remain,
+// delivery reverts to the Messages channel.
+func (n *Node) Subscribe(fn func(Message)) (cancel func()) {
+	n.subMu.Lock()
+	id := n.nextSubID
+	n.nextSubID++
+	n.subs = append(slices.Clone(n.subs), subscriber{id: id, fn: fn})
+	n.signalSubChange()
+	n.subMu.Unlock()
+	return func() {
+		n.subMu.Lock()
+		defer n.subMu.Unlock()
+		for i, s := range n.subs {
+			if s.id == id {
+				n.subs = slices.Delete(slices.Clone(n.subs), i, i+1)
+				n.signalSubChange()
+				return
+			}
+		}
+	}
+}
+
+// signalSubChange wakes a dispatch blocked on the Messages channel so it
+// re-evaluates the consumption mode. Callers hold subMu.
+func (n *Node) signalSubChange() {
+	close(n.subChanged)
+	n.subChanged = make(chan struct{})
+}
+
 // Views returns installed-view notifications (advisory: entries are dropped
-// if the consumer lags).
+// if the consumer lags). CurrentView reports the latest view without
+// consuming from this stream.
 func (n *Node) Views() <-chan ViewInfo { return n.views }
+
+// CurrentView returns the most recently installed view. Unlike Views, it
+// does not consume anything and is safe to poll alongside a Views consumer.
+func (n *Node) CurrentView() ViewInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v := n.lastView
+	v.Members = slices.Clone(v.Members)
+	return v
+}
 
 // Err returns the fatal error that halted the node, if any.
 func (n *Node) Err() error {
@@ -181,79 +274,122 @@ func (n *Node) Err() error {
 	return n.err
 }
 
-// Broadcast submits payload for uniform total order broadcast and returns
-// once the protocol engine has accepted it (not once delivered). It blocks
-// while the node's own-queue is at MaxPendingOwn (backpressure) and honors
-// ctx cancellation while blocked.
-func (n *Node) Broadcast(ctx context.Context, payload []byte) error {
-	req := bcastReq{payload: payload, done: make(chan error, 1)}
+// Metrics returns a coherent snapshot of the node's protocol counters,
+// queue depths and broadcast latency summary, taken on the event loop. A
+// halted node returns the zero Metrics.
+func (n *Node) Metrics() Metrics {
+	req := make(chan Metrics, 1)
+	select {
+	case n.statsc <- req:
+		return <-req
+	case <-n.stop:
+		return Metrics{}
+	}
+}
+
+// Broadcast submits payload for uniform total order broadcast. It returns
+// once the protocol engine has accepted the message — not once delivered —
+// with a Receipt that resolves at local (hence uniform) delivery. Broadcast
+// blocks while the node's own-queue is at MaxPendingOwn (backpressure) and
+// honors ctx cancellation while blocked; ctx does not bound delivery (use
+// Receipt.Wait for that).
+func (n *Node) Broadcast(ctx context.Context, payload []byte) (*Receipt, error) {
+	req := bcastReq{payload: payload, resp: make(chan bcastResp, 1)}
 	select {
 	case n.bcast <- req:
 	case <-n.stop:
-		return ErrStopped
+		return nil, ErrStopped
 	case <-ctx.Done():
-		return ctx.Err()
+		return nil, ctx.Err()
 	}
 	select {
-	case err := <-req.done:
-		return err
+	case resp := <-req.resp:
+		return resp.receipt, resp.err
 	case <-ctx.Done():
-		return ctx.Err()
+		return nil, ctx.Err()
 	}
 }
 
 // Join asks the group for admission (Joiner nodes only); contacts are the
-// known members. Delivery of the join is confirmed by a ViewInfo on Views
-// that includes this node. Join retries internally until admitted.
-func (n *Node) Join(contacts []ProcID) {
+// known members. It reports whether the request was accepted by the event
+// loop — false means the node has halted, or an earlier join request is
+// still queued and THIS call was dropped (the queued attempt keeps its own
+// contact list; call Join again if yours differs). Once accepted, Join
+// retries internally until admitted; admission is confirmed by a view on
+// Views (or CurrentView) including this node.
+func (n *Node) Join(contacts []ProcID) bool {
+	if n.stopping() {
+		return false
+	}
 	select {
 	case n.joinc <- contacts:
+		return true
 	default:
+		return false
 	}
 }
 
 // Leave announces a graceful departure; the node stops once the view change
-// excluding it completes (Stop is then unnecessary but harmless).
-func (n *Node) Leave() {
+// excluding it completes (Stop is then unnecessary but harmless). It
+// reports whether the request was accepted — false means the node has
+// already halted, or a leave is already queued (the departure is underway
+// either way).
+func (n *Node) Leave() bool {
+	if n.stopping() {
+		return false
+	}
 	select {
 	case n.leave <- struct{}{}:
+		return true
 	default:
+		return false
 	}
 }
 
 // RotateLeader asks for a view change that shifts the ring order by one,
 // moving the sequencer role to the next process — the paper's §4.3.1
 // device for evenly distributing latency across senders. Only honored when
-// this node currently coordinates the group (it is the leader); otherwise
-// it is a no-op.
-func (n *Node) RotateLeader() {
+// this node currently coordinates the group (it is the leader); a
+// follower's request is silently ignored by the membership layer. It
+// reports whether the request was accepted by the event loop — false means
+// the node has halted, or a rotation is already queued and this one was
+// coalesced.
+func (n *Node) RotateLeader() bool {
+	if n.stopping() {
+		return false
+	}
 	select {
 	case n.rotate <- struct{}{}:
+		return true
 	default:
+		return false
 	}
 }
 
 // Stop halts the node and closes Messages. Safe to call more than once.
 func (n *Node) Stop() {
-	n.mu.Lock()
-	if n.stopped {
-		n.mu.Unlock()
-		return
-	}
-	n.stopped = true
-	n.mu.Unlock()
-	close(n.stop)
+	n.halt()
 	n.wg.Wait()
 	_ = n.tr.Close()
 }
 
-// fail records a fatal protocol error and halts (fail-stop).
+// halt closes the stop channel exactly once; the event loop notices and
+// shuts the node down.
+func (n *Node) halt() {
+	n.stopOnce.Do(func() { close(n.stop) })
+}
+
+// fail records a fatal protocol error and halts the node (fail-stop): the
+// event loop exits, Messages closes, pending receipts fail, and the error
+// surfaces via Err. Peers notice the resulting heartbeat silence and evict
+// this node through a view change.
 func (n *Node) fail(err error) {
 	n.mu.Lock()
 	if n.err == nil {
 		n.err = err
 	}
 	n.mu.Unlock()
+	n.halt()
 }
 
 // onEvicted handles exclusion from the group.
@@ -261,6 +397,10 @@ func (n *Node) onEvicted() {
 	n.mu.Lock()
 	n.evicted = true
 	n.mu.Unlock()
+	// Own undelivered broadcasts left the group with us; they may or may
+	// not survive through other members' recovery state, so the receipts
+	// resolve with an error rather than hanging forever.
+	n.failReceipts(ErrStopped)
 }
 
 // install applies an agreed view: engine first, then rebroadcasts, then the
@@ -277,13 +417,48 @@ func (n *Node) install(v core.View, sync *core.Sync, rebroadcast []core.PendingM
 		}
 	}
 	n.fdet.SetPeers(v.Ring.Members(), time.Now())
+	info := viewInfo(v)
 	n.mu.Lock()
 	n.joined = true
+	n.lastView = info
 	n.mu.Unlock()
-	info := ViewInfo{ID: v.ID, Members: v.Ring.Members(), T: v.Ring.T()}
+	// The channel consumer owns what it receives; hand it its own Members
+	// copy so mutating it cannot corrupt CurrentView/Metrics.
+	info.Members = slices.Clone(info.Members)
 	select {
 	case n.views <- info:
 	default:
+	}
+}
+
+// stopping reports whether the stop channel is closed (Stop or fail).
+func (n *Node) stopping() bool {
+	select {
+	case <-n.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// shutdown is the loop's single exit path: stop the engine, fail whatever
+// broadcasts cannot complete, and release the delivery pump.
+func (n *Node) shutdown() {
+	n.engine.Stop()
+	err := n.Err()
+	if err == nil {
+		err = ErrStopped
+	}
+	n.failReceipts(err)
+	n.closeDeliveries()
+}
+
+// failReceipts resolves every outstanding receipt with err. Called from the
+// event loop (shutdown, eviction).
+func (n *Node) failReceipts(err error) {
+	for id, pr := range n.receipts {
+		pr.r.fail(err)
+		delete(n.receipts, id)
 	}
 }
 
@@ -302,25 +477,26 @@ func (n *Node) loop() {
 	var joinContacts []ProcID
 	lastJoin := time.Time{}
 	for {
+		if n.stopping() {
+			n.shutdown()
+			return
+		}
 	drain:
 		for {
 			select {
 			case in := <-n.inbox:
 				n.handlePayload(in)
+				if n.stopping() {
+					n.shutdown()
+					return
+				}
 			default:
 				break drain
 			}
 		}
 		n.deliver()
 		if n.sendOne() {
-			select {
-			case <-n.stop:
-				n.engine.Stop()
-				n.closeDeliveries()
-				return
-			default:
-				continue
-			}
+			continue
 		}
 
 		// Backpressure: stop accepting broadcasts while the own-queue is
@@ -337,8 +513,7 @@ func (n *Node) loop() {
 
 		select {
 		case <-n.stop:
-			n.engine.Stop()
-			n.closeDeliveries()
+			n.shutdown()
 			return
 
 		case in := <-n.inbox:
@@ -346,11 +521,17 @@ func (n *Node) loop() {
 
 		case req := <-bc:
 			if evicted {
-				req.done <- ErrStopped
+				req.resp <- bcastResp{err: ErrStopped}
 				break
 			}
-			_, err := n.engine.Broadcast(req.payload)
-			req.done <- err
+			first, err := n.engine.Broadcast(req.payload)
+			if err != nil {
+				req.resp <- bcastResp{err: err}
+				break
+			}
+			r := newReceipt()
+			n.receipts[first.Local] = pendingReceipt{r: r, submitted: time.Now()}
+			req.resp <- bcastResp{receipt: r}
 
 		case contacts := <-n.joinc:
 			joinContacts = contacts
@@ -362,6 +543,9 @@ func (n *Node) loop() {
 
 		case <-n.rotate:
 			n.mgr.RotateLeader(time.Now())
+
+		case req := <-n.statsc:
+			req <- n.snapshotMetrics()
 
 		case now := <-tick.C:
 			n.fdet.Tick(now)
@@ -375,6 +559,43 @@ func (n *Node) loop() {
 			}
 		}
 	}
+}
+
+// snapshotMetrics assembles a Metrics snapshot. Event-loop context only.
+func (n *Node) snapshotMetrics() Metrics {
+	st := n.engine.Stats()
+	relay, own, acks := n.engine.QueueDepths()
+	return Metrics{
+		View:             n.CurrentView(),
+		IsLeader:         n.engine.IsLeader(),
+		FramesIn:         st.FramesIn,
+		FramesOut:        st.FramesOut,
+		DataIn:           st.DataIn,
+		AcksIn:           st.AcksIn,
+		Sequenced:        st.Sequenced,
+		Delivered:        st.Delivered,
+		StaleFrames:      st.StaleFrames,
+		RelayedData:      st.RelayedData,
+		OwnSent:          st.OwnSent,
+		FairnessSkips:    st.FairnessSkips,
+		StandaloneAcks:   st.StandaloneAcks,
+		RelayQueue:       relay,
+		OwnQueue:         own,
+		AckQueue:         acks,
+		PendingReceipts:  len(n.receipts),
+		BroadcastLatency: summarizeLatency(n.latency),
+	}
+}
+
+// recordLatency folds one acceptance-to-delivery sample into the bounded
+// window. Event-loop context only.
+func (n *Node) recordLatency(d time.Duration) {
+	if len(n.latency) < latencyWindow {
+		n.latency = append(n.latency, d)
+		return
+	}
+	n.latency[n.latNext] = d
+	n.latNext = (n.latNext + 1) % latencyWindow
 }
 
 // sendOne transmits at most one outbound frame; it reports whether it did.
@@ -428,18 +649,30 @@ func (n *Node) handlePayload(in inboundPayload) {
 	}
 }
 
-// deliver moves fresh engine deliveries to the assembler queue.
+// deliver moves fresh engine deliveries to the assembler queue and resolves
+// receipts for own messages that completed (local delivery of an own
+// message is, by the stability rule, uniform delivery).
 func (n *Node) deliver() {
 	ds := n.engine.Deliveries()
 	if len(ds) == 0 {
 		return
 	}
+	now := time.Now()
 	n.outMu.Lock()
 	asm := n.asm()
 	for _, d := range ds {
-		if msg, done := asm.add(d); done {
-			n.outBuf = append(n.outBuf, msg)
+		msg, done := asm.add(d)
+		if !done {
+			continue
 		}
+		if msg.Origin == n.cfg.Self {
+			if pr, ok := n.receipts[msg.LogicalID]; ok {
+				delete(n.receipts, msg.LogicalID)
+				n.recordLatency(now.Sub(pr.submitted))
+				pr.r.resolve(msg.Seq)
+			}
+		}
+		n.outBuf = append(n.outBuf, msg)
 	}
 	n.outCond.Signal()
 	n.outMu.Unlock()
@@ -462,7 +695,8 @@ func (n *Node) closeDeliveries() {
 }
 
 // deliveryPump moves reassembled messages from the unbounded buffer to the
-// public channel so slow consumers cannot stall the protocol loop.
+// consumers — Subscribe handlers when any are registered, the Messages
+// channel otherwise — so slow consumers cannot stall the protocol loop.
 func (n *Node) deliveryPump() {
 	defer n.wg.Done()
 	defer close(n.msgs)
@@ -479,11 +713,36 @@ func (n *Node) deliveryPump() {
 		n.outBuf = nil
 		n.outMu.Unlock()
 		for _, m := range batch {
-			select {
-			case n.msgs <- m:
-			case <-n.stop:
-				// Drain silently on shutdown.
+			n.dispatch(m)
+		}
+	}
+}
+
+// dispatch hands one message to the current consumption mode. A blocked
+// channel send re-evaluates when the subscriber set changes, so a consumer
+// that subscribes mid-stream takes over from the channel immediately.
+func (n *Node) dispatch(m Message) {
+	for {
+		n.subMu.Lock()
+		subs := n.subs
+		changed := n.subChanged
+		n.subMu.Unlock()
+		if len(subs) > 0 {
+			if n.stopping() {
+				return // drop, matching channel-mode shutdown semantics
 			}
+			for _, s := range subs {
+				s.fn(m)
+			}
+			return
+		}
+		select {
+		case n.msgs <- m:
+			return
+		case <-changed:
+			// Subscriber set changed; re-evaluate the mode.
+		case <-n.stop:
+			return // drain silently on shutdown
 		}
 	}
 }

@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"fsr"
-	"fsr/internal/transport/mem"
+	"fsr/transport/mem"
 )
 
 // fastConfig keeps failure detection snappy for tests.
@@ -23,8 +23,8 @@ func fastConfig() fsr.Config {
 
 func newCluster(t *testing.T, n, tol int) *fsr.Cluster {
 	t.Helper()
-	c, err := fsr.NewLocalCluster(fsr.ClusterConfig{N: n, T: tol, NodeConfig: fastConfig()},
-		mem.NewNetwork(mem.Options{}))
+	c, err := fsr.NewCluster(fsr.ClusterConfig{N: n, T: tol, NodeConfig: fastConfig()},
+		fsr.MemTransport(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestClusterBasicBroadcast(t *testing.T) {
 	for i := range 5 {
 		for j := range per {
 			payload := []byte(fmt.Sprintf("n%d-m%d", i, j))
-			if err := c.Node(i).Broadcast(ctx, payload); err != nil {
+			if _, err := c.Node(i).Broadcast(ctx, payload); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -92,7 +92,7 @@ func TestClusterLargeMessage(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 7)
 	}
-	if err := c.Node(2).Broadcast(context.Background(), payload); err != nil {
+	if _, err := c.Node(2).Broadcast(context.Background(), payload); err != nil {
 		t.Fatal(err)
 	}
 	for i := range 4 {
@@ -118,7 +118,7 @@ func TestClusterConcurrentBroadcasters(t *testing.T) {
 			node := c.Node(g % 3)
 			for j := range per {
 				payload := []byte(fmt.Sprintf("g%d-%d", g, j))
-				if err := node.Broadcast(ctx, payload); err != nil {
+				if _, err := node.Broadcast(ctx, payload); err != nil {
 					t.Error(err)
 					return
 				}
@@ -134,7 +134,7 @@ func TestClusterConcurrentBroadcasters(t *testing.T) {
 
 func TestClusterSingleNode(t *testing.T) {
 	c := newCluster(t, 1, 0)
-	if err := c.Node(0).Broadcast(context.Background(), []byte("solo")); err != nil {
+	if _, err := c.Node(0).Broadcast(context.Background(), []byte("solo")); err != nil {
 		t.Fatal(err)
 	}
 	msgs := collect(t, c.Node(0), 1)
@@ -147,7 +147,7 @@ func TestBroadcastContextCancel(t *testing.T) {
 	c := newCluster(t, 2, 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := c.Node(0).Broadcast(ctx, []byte("x"))
+	_, err := c.Node(0).Broadcast(ctx, []byte("x"))
 	if err == nil {
 		// Accepted before cancellation noticed — legal but unlikely; the
 		// canceled context must at least not wedge the node.
@@ -160,7 +160,7 @@ func TestBroadcastContextCancel(t *testing.T) {
 func TestBroadcastAfterStop(t *testing.T) {
 	c := newCluster(t, 2, 1)
 	c.Node(0).Stop()
-	err := c.Node(0).Broadcast(context.Background(), []byte("x"))
+	_, err := c.Node(0).Broadcast(context.Background(), []byte("x"))
 	if err != fsr.ErrStopped {
 		t.Fatalf("err = %v, want ErrStopped", err)
 	}
@@ -169,14 +169,14 @@ func TestBroadcastAfterStop(t *testing.T) {
 func TestCrashStandardMemberContinues(t *testing.T) {
 	c := newCluster(t, 5, 2)
 	ctx := context.Background()
-	if err := c.Node(0).Broadcast(ctx, []byte("before")); err != nil {
+	if _, err := c.Node(0).Broadcast(ctx, []byte("before")); err != nil {
 		t.Fatal(err)
 	}
 	c.Crash(4) // standard process
 	if _, ok := c.WaitView(0, 4, 10*time.Second); !ok {
 		t.Fatal("view excluding the crashed member never installed")
 	}
-	if err := c.Node(1).Broadcast(ctx, []byte("after")); err != nil {
+	if _, err := c.Node(1).Broadcast(ctx, []byte("after")); err != nil {
 		t.Fatal(err)
 	}
 	for i := range 4 {
@@ -192,7 +192,7 @@ func TestCrashLeaderContinues(t *testing.T) {
 	ctx := context.Background()
 	const preload = 20
 	for j := range preload {
-		if err := c.Node(3).Broadcast(ctx, []byte(fmt.Sprintf("pre%d", j))); err != nil {
+		if _, err := c.Node(3).Broadcast(ctx, []byte(fmt.Sprintf("pre%d", j))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -200,7 +200,7 @@ func TestCrashLeaderContinues(t *testing.T) {
 	if _, ok := c.WaitView(1, 4, 10*time.Second); !ok {
 		t.Fatal("post-crash view never installed")
 	}
-	if err := c.Node(2).Broadcast(ctx, []byte("post")); err != nil {
+	if _, err := c.Node(2).Broadcast(ctx, []byte("post")); err != nil {
 		t.Fatal(err)
 	}
 	// Survivors agree on one order that contains all of node 3's preloaded
@@ -239,7 +239,7 @@ func TestGracefulLeave(t *testing.T) {
 	if _, ok := c.WaitView(0, 3, 10*time.Second); !ok {
 		t.Fatal("leave view never installed")
 	}
-	if err := c.Node(1).Broadcast(ctx, []byte("still going")); err != nil {
+	if _, err := c.Node(1).Broadcast(ctx, []byte("still going")); err != nil {
 		t.Fatal(err)
 	}
 	for i := range 3 {
@@ -251,18 +251,26 @@ func TestGracefulLeave(t *testing.T) {
 }
 
 func TestDynamicJoin(t *testing.T) {
-	network := mem.NewNetwork(mem.Options{})
-	c, err := fsr.NewLocalCluster(fsr.ClusterConfig{N: 3, T: 1, NodeConfig: fastConfig()}, network)
+	mt := fsr.MemTransport(mem.NewNetwork(mem.Options{}))
+	c, err := fsr.NewCluster(fsr.ClusterConfig{N: 3, T: 1, NodeConfig: fastConfig()}, mt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Stop)
 	ctx := context.Background()
-	if err := c.Node(0).Broadcast(ctx, []byte("old world")); err != nil {
+	if _, err := c.Node(0).Broadcast(ctx, []byte("old world")); err != nil {
 		t.Fatal(err)
 	}
-	// Bring up a joiner.
-	ep, err := network.Join(9)
+	// Let every member deliver the pre-join message, so the join's flush
+	// provably starts the newcomer after it (a joiner receives exactly the
+	// history some survivor still needed — nothing older).
+	for i := range 3 {
+		if got := collect(t, c.Node(i), 1); string(got[0].Payload) != "old world" {
+			t.Fatalf("node %d got %q", i, got[0].Payload)
+		}
+	}
+	// Bring up a joiner on the same hub.
+	ep, err := mt.Network().Join(9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,17 +295,17 @@ func TestDynamicJoin(t *testing.T) {
 		}
 	}
 joined:
-	if err := joiner.Broadcast(ctx, []byte("new blood")); err != nil {
+	if _, err := joiner.Broadcast(ctx, []byte("new blood")); err != nil {
 		t.Fatal(err)
 	}
 	msgs := collect(t, joiner, 1)
 	if string(msgs[0].Payload) != "new blood" {
 		t.Fatalf("joiner got %q", msgs[0].Payload)
 	}
-	// An old member sees it too, after its own history.
-	old := collect(t, c.Node(1), 2)
-	if string(old[0].Payload) != "old world" || string(old[1].Payload) != "new blood" {
-		t.Fatalf("old member got %q, %q", old[0].Payload, old[1].Payload)
+	// An old member sees it too.
+	old := collect(t, c.Node(1), 1)
+	if string(old[0].Payload) != "new blood" {
+		t.Fatalf("old member got %q", old[0].Payload)
 	}
 }
 

@@ -1,0 +1,66 @@
+package fsr
+
+import "context"
+
+// Receipt tracks one Broadcast through to uniform delivery. It resolves
+// exactly once: either the node TO-delivers the message locally — which, by
+// the protocol's stability rule, can only happen after the message is stored
+// by the leader and all backups, i.e. it survives any T crashes and every
+// live member will deliver it — or the broadcast fails permanently (the node
+// stopped, was evicted, or hit a fatal protocol error).
+//
+// A Receipt is what makes the paper's uniformity guarantee observable:
+// request/reply and synchronous-write callers block on Delivered (or Wait)
+// before acknowledging upstream, knowing the operation is durable in the
+// group even across a leader crash.
+type Receipt struct {
+	done chan struct{}
+	seq  uint64
+	err  error
+}
+
+func newReceipt() *Receipt { return &Receipt{done: make(chan struct{})} }
+
+// Delivered returns a channel that is closed once the broadcast resolves —
+// uniform delivery or permanent failure. Check Err to distinguish.
+func (r *Receipt) Delivered() <-chan struct{} { return r.done }
+
+// Seq blocks until the broadcast resolves and returns the total-order
+// sequence number the message was delivered at (its final segment's
+// position), or 0 if the broadcast failed.
+func (r *Receipt) Seq() uint64 {
+	<-r.done
+	return r.seq
+}
+
+// Err blocks until the broadcast resolves. Nil means the message was
+// uniformly delivered; ErrStopped means the node stopped or was evicted
+// before delivery (the message may or may not survive in the group).
+func (r *Receipt) Err() error {
+	<-r.done
+	return r.err
+}
+
+// Wait blocks until the broadcast resolves or ctx is done, returning the
+// resolution error (nil on uniform delivery) or ctx.Err. Canceling ctx
+// abandons the wait only — the broadcast itself is not withdrawn.
+func (r *Receipt) Wait(ctx context.Context) error {
+	select {
+	case <-r.done:
+		return r.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// resolve and fail are called from the node's event loop only, exactly once.
+
+func (r *Receipt) resolve(seq uint64) {
+	r.seq = seq
+	close(r.done)
+}
+
+func (r *Receipt) fail(err error) {
+	r.err = err
+	close(r.done)
+}

@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"fsr"
-	"fsr/internal/transport/mem"
+	"fsr/transport/mem"
 )
 
 // TestRotateLeader exercises the paper's §4.3.1 latency-balancing device:
@@ -16,7 +16,7 @@ import (
 func TestRotateLeader(t *testing.T) {
 	c := newCluster(t, 4, 1)
 	ctx := context.Background()
-	if err := c.Node(1).Broadcast(ctx, []byte("before")); err != nil {
+	if _, err := c.Node(1).Broadcast(ctx, []byte("before")); err != nil {
 		t.Fatal(err)
 	}
 	c.Node(0).RotateLeader()
@@ -35,7 +35,7 @@ func TestRotateLeader(t *testing.T) {
 	if v.Members[3] != c.IDs()[0] {
 		t.Fatalf("old leader not at the tail: %v", v.Members)
 	}
-	if err := c.Node(3).Broadcast(ctx, []byte("after")); err != nil {
+	if _, err := c.Node(3).Broadcast(ctx, []byte("after")); err != nil {
 		t.Fatal(err)
 	}
 	for i := range 4 {
@@ -67,7 +67,7 @@ func TestRepeatedRotationRoundRobin(t *testing.T) {
 	for round := 1; round <= n; round++ {
 		// The current leader after `round-1` rotations.
 		leaderIdx := (round - 1) % n
-		if err := c.Node(leaderIdx).Broadcast(ctx, []byte(fmt.Sprintf("r%d", round))); err != nil {
+		if _, err := c.Node(leaderIdx).Broadcast(ctx, []byte(fmt.Sprintf("r%d", round))); err != nil {
 			t.Fatal(err)
 		}
 		c.Node(leaderIdx).RotateLeader()
@@ -97,7 +97,7 @@ func TestRepeatedRotationRoundRobin(t *testing.T) {
 // ordering survives the pacing.
 func TestBandwidthPacedNetwork(t *testing.T) {
 	network := mem.NewNetwork(mem.Options{Bandwidth: 200e6, Latency: 100 * time.Microsecond})
-	c, err := fsr.NewLocalCluster(fsr.ClusterConfig{N: 3, T: 1, NodeConfig: fastConfig()}, network)
+	c, err := fsr.NewCluster(fsr.ClusterConfig{N: 3, T: 1, NodeConfig: fastConfig()}, fsr.MemTransport(network))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestBandwidthPacedNetwork(t *testing.T) {
 	ctx := context.Background()
 	const per = 15
 	for i := range per {
-		if err := c.Node(i%3).Broadcast(ctx, make([]byte, 2048+i)); err != nil {
+		if _, err := c.Node(i%3).Broadcast(ctx, make([]byte, 2048+i)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -16,8 +16,7 @@ import (
 	"sync"
 	"time"
 
-	"fsr/internal/ring"
-	"fsr/internal/transport"
+	"fsr/transport"
 )
 
 // Options configures a Network.
@@ -40,21 +39,21 @@ type Network struct {
 	opts Options
 
 	mu    sync.Mutex
-	peers map[ring.ProcID]*Endpoint
-	cut   map[[2]ring.ProcID]bool // directed severed links
+	peers map[transport.ProcID]*Endpoint
+	cut   map[[2]transport.ProcID]bool // directed severed links
 }
 
 // NewNetwork creates an empty hub.
 func NewNetwork(opts Options) *Network {
 	return &Network{
 		opts:  opts,
-		peers: make(map[ring.ProcID]*Endpoint),
-		cut:   make(map[[2]ring.ProcID]bool),
+		peers: make(map[transport.ProcID]*Endpoint),
+		cut:   make(map[[2]transport.ProcID]bool),
 	}
 }
 
 // Join registers a new endpoint for id.
-func (n *Network) Join(id ring.ProcID) (*Endpoint, error) {
+func (n *Network) Join(id transport.ProcID) (*Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, dup := n.peers[id]; dup {
@@ -70,7 +69,7 @@ func (n *Network) Join(id ring.ProcID) (*Endpoint, error) {
 
 // Crash forcibly closes id's endpoint, dropping queued traffic — fail-stop
 // semantics for fault-injection tests.
-func (n *Network) Crash(id ring.ProcID) {
+func (n *Network) Crash(id transport.ProcID) {
 	n.mu.Lock()
 	ep := n.peers[id]
 	n.mu.Unlock()
@@ -81,24 +80,24 @@ func (n *Network) Crash(id ring.ProcID) {
 
 // CutLink severs the directed link from -> to: subsequent sends vanish
 // silently (the receiver-side FD notices the silence).
-func (n *Network) CutLink(from, to ring.ProcID) {
+func (n *Network) CutLink(from, to transport.ProcID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.cut[[2]ring.ProcID{from, to}] = true
+	n.cut[[2]transport.ProcID{from, to}] = true
 }
 
 // HealLink restores a severed directed link.
-func (n *Network) HealLink(from, to ring.ProcID) {
+func (n *Network) HealLink(from, to transport.ProcID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	delete(n.cut, [2]ring.ProcID{from, to})
+	delete(n.cut, [2]transport.ProcID{from, to})
 }
 
 // lookup returns the destination endpoint if the link is up.
-func (n *Network) lookup(from, to ring.ProcID) (*Endpoint, bool, error) {
+func (n *Network) lookup(from, to transport.ProcID) (*Endpoint, bool, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.cut[[2]ring.ProcID{from, to}] {
+	if n.cut[[2]transport.ProcID{from, to}] {
 		return nil, true, nil // link down: silent drop
 	}
 	ep, ok := n.peers[to]
@@ -109,7 +108,7 @@ func (n *Network) lookup(from, to ring.ProcID) (*Endpoint, bool, error) {
 }
 
 // remove detaches a closed endpoint from the hub.
-func (n *Network) remove(id ring.ProcID) {
+func (n *Network) remove(id transport.ProcID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.peers, id)
@@ -118,7 +117,7 @@ func (n *Network) remove(id ring.ProcID) {
 // Endpoint is one process's attachment to the Network.
 type Endpoint struct {
 	net *Network
-	id  ring.ProcID
+	id  transport.ProcID
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -130,7 +129,7 @@ type Endpoint struct {
 }
 
 type item struct {
-	from    ring.ProcID
+	from    transport.ProcID
 	payload []byte
 	due     time.Time
 }
@@ -138,7 +137,7 @@ type item struct {
 var _ transport.Transport = (*Endpoint)(nil)
 
 // Self implements transport.Transport.
-func (e *Endpoint) Self() ring.ProcID { return e.id }
+func (e *Endpoint) Self() transport.ProcID { return e.id }
 
 // SetHandler implements transport.Transport. Payloads that arrived before
 // the handler was installed are dispatched once it is.
@@ -150,7 +149,7 @@ func (e *Endpoint) SetHandler(h transport.Handler) {
 }
 
 // Send implements transport.Transport.
-func (e *Endpoint) Send(to ring.ProcID, payload []byte) error {
+func (e *Endpoint) Send(to transport.ProcID, payload []byte) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()

@@ -6,8 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"fsr/internal/ring"
-	"fsr/internal/transport"
+	"fsr/transport"
 )
 
 // collector buffers received payloads for assertions.
@@ -23,7 +22,7 @@ func newCollector() *collector {
 	return c
 }
 
-func (c *collector) handler(from ring.ProcID, payload []byte) {
+func (c *collector) handler(from transport.ProcID, payload []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.got = append(c.got, fmt.Sprintf("%d:%s", from, payload))
@@ -207,7 +206,7 @@ func TestManyToOneConcurrent(t *testing.T) {
 	const senders, per = 8, 50
 	var wg sync.WaitGroup
 	for s := 1; s <= senders; s++ {
-		ep, err := n.Join(ring.ProcID(s))
+		ep, err := n.Join(transport.ProcID(s))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,8 +19,7 @@ import (
 	"sync"
 	"time"
 
-	"fsr/internal/ring"
-	"fsr/internal/transport"
+	"fsr/transport"
 )
 
 // MaxFrameSize bounds a single frame on the wire; larger announcements are
@@ -30,12 +29,12 @@ const MaxFrameSize = 16 << 20
 // Config describes one TCP endpoint.
 type Config struct {
 	// Self is this process's ID.
-	Self ring.ProcID
+	Self transport.ProcID
 	// ListenAddr is the local address to accept peers on, e.g.
 	// "127.0.0.1:7001". Required.
 	ListenAddr string
 	// Peers maps every other process to its listen address.
-	Peers map[ring.ProcID]string
+	Peers map[transport.ProcID]string
 	// DialTimeout bounds one connection attempt. Defaults to 3s.
 	DialTimeout time.Duration
 }
@@ -47,9 +46,10 @@ type Transport struct {
 
 	mu      sync.Mutex
 	handler transport.Handler
-	conns   map[ring.ProcID]net.Conn // outbound, dialed
-	inbound map[net.Conn]struct{}    // accepted, closed with the endpoint
-	pending [][2]any                 // buffered inbound before SetHandler: [from, payload]
+	conns   map[transport.ProcID]net.Conn // outbound, dialed
+	inbound map[net.Conn]struct{}         // accepted, closed with the endpoint
+	pending []pendingPayload              // buffered inbound before SetHandler finishes replaying
+	replay  bool                          // SetHandler is replaying pending; keep buffering
 	closed  bool
 
 	wg sync.WaitGroup
@@ -69,7 +69,7 @@ func New(cfg Config) (*Transport, error) {
 	t := &Transport{
 		cfg:     cfg,
 		ln:      ln,
-		conns:   make(map[ring.ProcID]net.Conn),
+		conns:   make(map[transport.ProcID]net.Conn),
 		inbound: make(map[net.Conn]struct{}),
 	}
 	t.wg.Add(1)
@@ -83,24 +83,42 @@ func (t *Transport) Addr() string { return t.ln.Addr().String() }
 // SetPeers replaces the peer address map. Intended for bootstrap flows
 // where endpoints bind ephemeral ports first and exchange addresses
 // afterwards; existing connections are unaffected.
-func (t *Transport) SetPeers(peers map[ring.ProcID]string) {
+func (t *Transport) SetPeers(peers map[transport.ProcID]string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.cfg.Peers = peers
 }
 
 // Self implements transport.Transport.
-func (t *Transport) Self() ring.ProcID { return t.cfg.Self }
+func (t *Transport) Self() transport.ProcID { return t.cfg.Self }
 
-// SetHandler implements transport.Transport.
+// pendingPayload is one inbound payload buffered before SetHandler.
+type pendingPayload struct {
+	from    transport.ProcID
+	payload []byte
+}
+
+// SetHandler implements transport.Transport. Payloads that arrive while
+// the pre-handler backlog is being replayed keep queuing behind it, so the
+// per-sender FIFO guarantee holds across handler installation.
 func (t *Transport) SetHandler(h transport.Handler) {
 	t.mu.Lock()
-	pending := t.pending
-	t.pending = nil
 	t.handler = h
+	t.replay = true
 	t.mu.Unlock()
-	for _, p := range pending {
-		h(p[0].(ring.ProcID), p[1].([]byte))
+	for {
+		t.mu.Lock()
+		if len(t.pending) == 0 {
+			t.replay = false
+			t.mu.Unlock()
+			return
+		}
+		batch := t.pending
+		t.pending = nil
+		t.mu.Unlock()
+		for _, p := range batch {
+			h(p.from, p.payload)
+		}
 	}
 }
 
@@ -108,7 +126,7 @@ func (t *Transport) SetHandler(h transport.Handler) {
 // the (possibly freshly dialed) connection to the peer. Writes to one peer
 // are serialized; a failed write closes the connection and returns the
 // error after one redial attempt.
-func (t *Transport) Send(to ring.ProcID, payload []byte) error {
+func (t *Transport) Send(to transport.ProcID, payload []byte) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -123,7 +141,7 @@ func (t *Transport) Send(to ring.ProcID, payload []byte) error {
 	return t.trySend(to, payload)
 }
 
-func (t *Transport) trySend(to ring.ProcID, payload []byte) error {
+func (t *Transport) trySend(to transport.ProcID, payload []byte) error {
 	conn, err := t.connTo(to)
 	if err != nil {
 		return err
@@ -147,7 +165,7 @@ func (t *Transport) trySend(to ring.ProcID, payload []byte) error {
 }
 
 // connTo returns (dialing if necessary) the outbound connection to a peer.
-func (t *Transport) connTo(to ring.ProcID) (net.Conn, error) {
+func (t *Transport) connTo(to transport.ProcID) (net.Conn, error) {
 	t.mu.Lock()
 	if c, ok := t.conns[to]; ok {
 		t.mu.Unlock()
@@ -186,7 +204,7 @@ func (t *Transport) connTo(to ring.ProcID) (net.Conn, error) {
 	return c, nil
 }
 
-func (t *Transport) dropConn(to ring.ProcID) {
+func (t *Transport) dropConn(to transport.ProcID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if c, ok := t.conns[to]; ok {
@@ -229,7 +247,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 	if _, err := io.ReadFull(conn, idBuf[:]); err != nil {
 		return
 	}
-	from := ring.ProcID(binary.LittleEndian.Uint32(idBuf[:]))
+	from := transport.ProcID(binary.LittleEndian.Uint32(idBuf[:]))
 	var hdr [4]byte
 	for {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
@@ -247,11 +265,11 @@ func (t *Transport) readLoop(conn net.Conn) {
 	}
 }
 
-func (t *Transport) dispatch(from ring.ProcID, payload []byte) {
+func (t *Transport) dispatch(from transport.ProcID, payload []byte) {
 	t.mu.Lock()
 	h := t.handler
-	if h == nil {
-		t.pending = append(t.pending, [2]any{from, payload})
+	if h == nil || t.replay {
+		t.pending = append(t.pending, pendingPayload{from: from, payload: payload})
 		t.mu.Unlock()
 		return
 	}
@@ -268,7 +286,7 @@ func (t *Transport) Close() error {
 	}
 	t.closed = true
 	conns := t.conns
-	t.conns = map[ring.ProcID]net.Conn{}
+	t.conns = map[transport.ProcID]net.Conn{}
 	inbound := make([]net.Conn, 0, len(t.inbound))
 	for c := range t.inbound {
 		inbound = append(inbound, c)

@@ -6,8 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"fsr/internal/ring"
-	"fsr/internal/transport"
+	"fsr/transport"
 )
 
 // pair builds two endpoints that know each other on loopback.
@@ -22,8 +21,8 @@ func pair(t *testing.T) (*Transport, *Transport) {
 		a.Close()
 		t.Fatal(err)
 	}
-	a.cfg.Peers = map[ring.ProcID]string{2: b.Addr()}
-	b.cfg.Peers = map[ring.ProcID]string{1: a.Addr()}
+	a.cfg.Peers = map[transport.ProcID]string{2: b.Addr()}
+	b.cfg.Peers = map[transport.ProcID]string{1: a.Addr()}
 	t.Cleanup(func() { a.Close(); b.Close() })
 	return a, b
 }
@@ -33,7 +32,7 @@ type sink struct {
 	got []string
 }
 
-func (s *sink) handler(from ring.ProcID, payload []byte) {
+func (s *sink) handler(from transport.ProcID, payload []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.got = append(s.got, fmt.Sprintf("%d:%s", from, payload))
@@ -143,7 +142,7 @@ func TestReconnectAfterPeerRestart(t *testing.T) {
 	if err := b.Close(); err != nil {
 		t.Fatal(err)
 	}
-	b2, err := New(Config{Self: 2, ListenAddr: addr, Peers: map[ring.ProcID]string{1: a.Addr()}})
+	b2, err := New(Config{Self: 2, ListenAddr: addr, Peers: map[transport.ProcID]string{1: a.Addr()}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +167,7 @@ func TestReconnectAfterPeerRestart(t *testing.T) {
 }
 
 func TestThreeNodeMesh(t *testing.T) {
-	mk := func(id ring.ProcID) *Transport {
+	mk := func(id transport.ProcID) *Transport {
 		tr, err := New(Config{Self: id, ListenAddr: "127.0.0.1:0"})
 		if err != nil {
 			t.Fatal(err)
@@ -178,7 +177,7 @@ func TestThreeNodeMesh(t *testing.T) {
 	}
 	ts := []*Transport{mk(0), mk(1), mk(2)}
 	for _, tr := range ts {
-		tr.cfg.Peers = map[ring.ProcID]string{}
+		tr.cfg.Peers = map[transport.ProcID]string{}
 		for _, other := range ts {
 			if other.Self() != tr.Self() {
 				tr.cfg.Peers[other.Self()] = other.Addr()
@@ -192,7 +191,7 @@ func TestThreeNodeMesh(t *testing.T) {
 	}
 	// Ring traffic: i -> i+1.
 	for i, tr := range ts {
-		to := ring.ProcID((i + 1) % 3)
+		to := transport.ProcID((i + 1) % 3)
 		for j := range 20 {
 			if err := tr.Send(to, []byte(fmt.Sprintf("%d", j))); err != nil {
 				t.Fatal(err)

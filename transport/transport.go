@@ -3,10 +3,12 @@
 // processes (the paper's system model, Section 3: fully connected network,
 // full duplex, separate collision domains).
 //
-// Two implementations ship with the repository: transport/mem (in-process,
-// for tests, examples and single-binary clusters) and transport/tcp (real
-// sockets). The discrete-event simulator in internal/netsim does not use
-// this interface — it models link timing explicitly.
+// Two implementations ship with the module: transport/mem (in-process, for
+// tests, examples and single-binary clusters) and transport/tcp (real
+// sockets). Applications can supply their own Transport — anything providing
+// reliable per-destination FIFO unicast runs the identical protocol stack.
+// The discrete-event simulator in internal/netsim does not use this
+// interface — it models link timing explicitly.
 package transport
 
 import (
@@ -14,6 +16,11 @@ import (
 
 	"fsr/internal/ring"
 )
+
+// ProcID identifies one process in the group. It is the same type as
+// fsr.ProcID, re-exported here so transport implementations outside this
+// module never need the internal ring package.
+type ProcID = ring.ProcID
 
 // Errors common to all transports.
 var (
@@ -27,17 +34,17 @@ var (
 // per-sender FIFO order but may invoke the handler concurrently for
 // payloads from different senders; handlers must be goroutine-safe. The
 // payload buffer is owned by the handler after the call.
-type Handler func(from ring.ProcID, payload []byte)
+type Handler func(from ProcID, payload []byte)
 
 // Transport is one process's endpoint: asynchronous reliable FIFO unicast
 // to any known peer.
 type Transport interface {
 	// Self returns the process ID this endpoint belongs to.
-	Self() ring.ProcID
+	Self() ProcID
 	// Send queues payload for delivery to peer `to`. It does not block on
 	// the network; delivery is asynchronous but reliable and FIFO per
 	// destination as long as neither endpoint crashes.
-	Send(to ring.ProcID, payload []byte) error
+	Send(to ProcID, payload []byte) error
 	// SetHandler installs the inbound payload handler. It must be called
 	// before any traffic arrives; implementations buffer until then.
 	SetHandler(h Handler)
