@@ -2,6 +2,8 @@ package fsr
 
 import (
 	"fmt"
+	"path/filepath"
+	"slices"
 	"time"
 
 	"fsr/transport"
@@ -18,7 +20,44 @@ type ClusterConfig struct {
 	// FirstID numbers the members FirstID..FirstID+N-1. Default 0.
 	FirstID ProcID
 	// NodeConfig is the per-node template; Self and Members are filled in.
+	// Leave its DurableDir and StateMachine empty — they are per-member
+	// and set through the fields below.
 	NodeConfig Config
+	// DurableDir, when set, gives every member a write-ahead log under
+	// <DurableDir>/node-<id>, enabling Restart.
+	DurableDir string
+	// StateMachines, when set, builds each member's replica of the
+	// application state machine (one instance per member — replicas must
+	// not share state outside the protocol).
+	StateMachines func(id ProcID) StateMachine
+}
+
+// WithDurableDir returns a copy of cfg with the per-member durable base
+// directory set.
+func (cfg ClusterConfig) WithDurableDir(dir string) ClusterConfig {
+	cfg.DurableDir = dir
+	return cfg
+}
+
+// WithStateMachines returns a copy of cfg with the per-member state
+// machine factory set.
+func (cfg ClusterConfig) WithStateMachines(factory func(id ProcID) StateMachine) ClusterConfig {
+	cfg.StateMachines = factory
+	return cfg
+}
+
+// memberConfig instantiates the node template for one member.
+func (cfg ClusterConfig) memberConfig(id ProcID) Config {
+	nc := cfg.NodeConfig
+	nc.Self = id
+	nc.T = cfg.T
+	if cfg.DurableDir != "" {
+		nc.DurableDir = filepath.Join(cfg.DurableDir, fmt.Sprintf("node-%d", id))
+	}
+	if cfg.StateMachines != nil {
+		nc.StateMachine = cfg.StateMachines(id)
+	}
+	return nc
 }
 
 // ClusterTransport provisions the per-member endpoints a Cluster runs on.
@@ -142,6 +181,7 @@ func (t *TCPClusterTransport) Close() error {
 // Cluster is a set of in-process nodes on one ClusterTransport — the
 // easiest way to run FSR in tests, examples and single-binary deployments.
 type Cluster struct {
+	cfg   ClusterConfig
 	ct    ClusterTransport
 	nodes []*Node
 	ids   []ProcID
@@ -155,11 +195,17 @@ func NewCluster(cfg ClusterConfig, ct ClusterTransport) (*Cluster, error) {
 	if cfg.T == 0 {
 		cfg.T = 1
 	}
+	if cfg.NodeConfig.DurableDir != "" {
+		return nil, fmt.Errorf("fsr: set ClusterConfig.DurableDir, not NodeConfig.DurableDir (one directory per member)")
+	}
+	if cfg.NodeConfig.StateMachine != nil {
+		return nil, fmt.Errorf("fsr: set ClusterConfig.StateMachines, not NodeConfig.StateMachine (one replica per member)")
+	}
 	ids := make([]ProcID, cfg.N)
 	for i := range ids {
 		ids[i] = cfg.FirstID + ProcID(i)
 	}
-	c := &Cluster{ct: ct, ids: ids}
+	c := &Cluster{cfg: cfg, ct: ct, ids: ids}
 	trs := make([]transport.Transport, 0, cfg.N)
 	closeUnowned := func() {
 		// Endpoints not yet handed to a node are closed directly; nodes
@@ -183,10 +229,8 @@ func NewCluster(cfg ClusterConfig, ct ClusterTransport) (*Cluster, error) {
 		return nil, err
 	}
 	for i, id := range ids {
-		nc := cfg.NodeConfig
-		nc.Self = id
+		nc := cfg.memberConfig(id)
 		nc.Members = ids
-		nc.T = cfg.T
 		node, err := NewNode(nc, trs[i])
 		if err != nil {
 			closeUnowned()
@@ -213,6 +257,43 @@ func (c *Cluster) Crash(i int) {
 	node := c.nodes[i]
 	c.ct.Crash(node.Self())
 	node.Stop()
+}
+
+// Restart brings a crashed member back in place: it re-provisions the
+// member's transport endpoint, starts a fresh node on the member's durable
+// directory (rebuilding its state machine from snapshot + WAL), and asks
+// the group for readmission; the node then catches up on the suffix of the
+// total order it missed before resuming live traffic. The returned node
+// replaces Node(i).
+//
+// Restart requires that the member was stopped (Crash). Without a
+// ClusterConfig.DurableDir the member comes back empty-handed, like any
+// fresh joiner.
+func (c *Cluster) Restart(i int) (*Node, error) {
+	if i < 0 || i >= len(c.nodes) {
+		return nil, fmt.Errorf("fsr: restart of member %d of %d", i, len(c.nodes))
+	}
+	id := c.ids[i]
+	tr, err := c.ct.Join(id)
+	if err != nil {
+		return nil, fmt.Errorf("fsr: restart %d: %w", id, err)
+	}
+	if err := c.ct.Open(); err != nil {
+		_ = tr.Close()
+		return nil, fmt.Errorf("fsr: restart %d: %w", id, err)
+	}
+	contacts := slices.Delete(slices.Clone(c.ids), i, i+1)
+	nc := c.cfg.memberConfig(id)
+	nc.Joiner = true
+	nc.Members = contacts
+	node, err := NewNode(nc, tr)
+	if err != nil {
+		_ = tr.Close()
+		return nil, err
+	}
+	node.Join(contacts)
+	c.nodes[i] = node
+	return node, nil
 }
 
 // Stop shuts down every node and releases the cluster transport.

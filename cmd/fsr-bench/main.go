@@ -6,15 +6,23 @@
 //
 //	fsr-bench -exp all
 //	fsr-bench -exp figure8
+//	fsr-bench -exp all -json BENCH_$(date +%F).json
 //
 // Experiments: table1, figure6, figure7, figure8, figure9, classes,
-// tradeoff, latency, all.
+// tradeoff, latency, segsize, stall, all.
+//
+// With -json the results are also written as a machine-readable document,
+// so successive runs (BENCH_<date>.json) accumulate the repository's
+// performance trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"fsr/internal/bench"
 	"fsr/internal/metrics"
@@ -22,14 +30,22 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1|figure6|figure7|figure8|figure9|classes|tradeoff|latency|segsize|stall|all)")
+	jsonOut := flag.String("json", "", `also write the results as JSON to this file (e.g. "BENCH_2026-07-27.json")`)
 	flag.Parse()
-	if err := run(*exp); err != nil {
+	if err := run(*exp, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "fsr-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string) error {
+// benchDoc is the on-disk shape of one benchmark run.
+type benchDoc struct {
+	Date        string            `json:"date"`
+	GoVersion   string            `json:"go_version"`
+	Experiments []*metrics.Series `json:"experiments"`
+}
+
+func run(exp, jsonOut string) error {
 	type experiment struct {
 		name string
 		fn   func() (*metrics.Series, error)
@@ -50,6 +66,10 @@ func run(exp string) error {
 		}},
 		{"stall", func() (*metrics.Series, error) { return bench.AblationSegmentationStall() }},
 	}
+	doc := benchDoc{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+	}
 	ran := false
 	for _, e := range experiments {
 		if exp != "all" && exp != e.name {
@@ -61,9 +81,19 @@ func run(exp string) error {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
 		fmt.Println(s.String())
+		doc.Experiments = append(doc.Experiments, s)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if jsonOut != "" {
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(out, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", jsonOut, err)
+		}
 	}
 	return nil
 }

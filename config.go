@@ -53,6 +53,46 @@ type Config struct {
 	// Joiner starts the node outside the group; call Node.Join to enter.
 	// Members is then the contact list rather than an initial view.
 	Joiner bool
+
+	// DurableDir, when set, makes the delivered total order survive a
+	// process restart: the node keeps a write-ahead log (and, with a
+	// StateMachine, periodic snapshots) in this directory, persists every
+	// delivery before dispatching it, and on startup rebuilds its position
+	// from snapshot + WAL. A restarted node (start it as a Joiner on the
+	// same directory; see Cluster.Restart) then fetches the suffix of the
+	// order it missed from its peers before resuming. One directory
+	// belongs to exactly one member.
+	DurableDir string
+
+	// StateMachine, when set, receives every delivered message via Apply
+	// in total order. With DurableDir it is checkpointed and restored
+	// across restarts; without it, it is simply a convenient consumer.
+	StateMachine StateMachine
+
+	// SnapshotEvery is how many applied messages separate state-machine
+	// snapshots (which also truncate the WAL behind them). Only meaningful
+	// with both DurableDir and StateMachine. Default 4096.
+	SnapshotEvery int
+
+	// WALSegmentBytes caps one write-ahead-log segment file (the unit of
+	// truncation behind a snapshot). Default 4 MiB.
+	WALSegmentBytes int
+}
+
+// WithDurableDir returns a copy of c with the durable directory set —
+// chainable sugar for building configs:
+//
+//	cfg := fsr.Config{...}.WithDurableDir(dir).WithStateMachine(sm)
+func (c Config) WithDurableDir(dir string) Config {
+	c.DurableDir = dir
+	return c
+}
+
+// WithStateMachine returns a copy of c with the replicated state machine
+// set.
+func (c Config) WithStateMachine(sm StateMachine) Config {
+	c.StateMachine = sm
+	return c
 }
 
 // ErrStopped is returned by Broadcast after Stop or eviction from the group.
@@ -80,6 +120,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.ChangeTimeout <= 0 {
 		c.ChangeTimeout = time.Second
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 4096
 	}
 	if !c.Joiner && len(c.Members) == 0 {
 		return c, fmt.Errorf("fsr: empty initial membership")

@@ -29,6 +29,21 @@
 // writes. Node.Metrics reports protocol counters, queue depths and a
 // broadcast-latency summary.
 //
+// # Durable state machine replication
+//
+// Attach a StateMachine and a durable directory to turn the agreed order
+// into replicated application state that survives crashes:
+//
+//	cfg := fsr.ClusterConfig{N: 5, T: 1}.
+//		WithDurableDir(dir).
+//		WithStateMachines(func(id fsr.ProcID) fsr.StateMachine { return newStore() })
+//
+// Every delivery is written to a write-ahead log (internal/wal) before it
+// is dispatched, snapshots bound replay and truncate the log, and a member
+// killed mid-traffic is brought back with Cluster.Restart: it rebuilds
+// from snapshot + WAL, fetches the missed suffix of the order from its
+// peers, and rejoins the live stream.
+//
 // # Transports and deployment
 //
 // The protocol stack runs over the transport.Transport interface; the

@@ -64,6 +64,19 @@ type Config struct {
 	// that slower members have not delivered yet). Defaults to
 	// DefaultDeliveredBuffer.
 	DeliveredBuffer int
+	// StartDeliver, when > 0, is the first sequence number this process
+	// will deliver. A fresh process starts at 1; a process restarted from
+	// a durable log passes lastApplied+1 so the engine never re-delivers
+	// what the application already holds (the gap below an installed
+	// view's sync base is filled by the node's catch-up transfer, not by
+	// the engine).
+	StartDeliver uint64
+	// StartLocal is the initial value of the origin-local segment counter
+	// backing MsgIDs. A restarted process passes a fresh incarnation band
+	// (derived from its durable generation counter) so segment IDs minted
+	// after the crash can never collide with IDs the previous incarnation
+	// used — some of which may still live in survivors' recovery buffers.
+	StartLocal uint64
 }
 
 // Defaults for Config fields left zero.
@@ -156,16 +169,18 @@ func NewEngine(cfg Config, v View) (*Engine, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: id=%d", ErrNotMember, cfg.Self)
 	}
+	start := max(1, cfg.StartDeliver)
 	return &Engine{
-		cfg:     cfg,
-		view:    v,
-		self:    pos,
-		nextSeq: 1,
-		nextDel: 1,
-		oldest:  1,
-		pend:    make(map[wire.MsgID]*msgState),
-		bySeq:   make(map[uint64]*msgState),
-		forward: make(map[ring.ProcID]bool),
+		cfg:       cfg,
+		view:      v,
+		self:      pos,
+		nextLocal: cfg.StartLocal,
+		nextSeq:   start,
+		nextDel:   start,
+		oldest:    start,
+		pend:      make(map[wire.MsgID]*msgState),
+		bySeq:     make(map[uint64]*msgState),
+		forward:   make(map[ring.ProcID]bool),
 	}, nil
 }
 

@@ -234,12 +234,18 @@ func (e *Engine) InstallView(v View, sync *Sync) error {
 	e.bySeq = make(map[uint64]*msgState)
 
 	// A joiner that has never delivered starts at the agreed base; the
-	// application layer is responsible for state transfer up to it.
+	// node's durable-log catch-up (or, without one, the application layer)
+	// is responsible for state transfer up to it. A rejoining process
+	// restarted from its log may instead sit AHEAD of the base — it
+	// delivered more before crashing than the slowest survivor has — so
+	// nextDel only ever moves forward, and the sequencer floor must clear
+	// both the preserved run and this process's own delivered prefix
+	// (assigning a number below either would fork the durable history).
 	if e.nextDel < sync.StartSeq {
 		e.nextDel = sync.StartSeq
 	}
 	e.oldest = e.nextDel
-	e.nextSeq = sync.MaxSeq() + 1
+	e.nextSeq = max(sync.MaxSeq()+1, e.nextDel)
 
 	for _, m := range sync.Sequenced {
 		if m.Seq < e.nextDel {

@@ -53,8 +53,14 @@ type NewView struct {
 	Sync    core.Sync
 }
 
-// JoinReq asks the coordinator to admit a new process.
-type JoinReq struct{ ID ring.ProcID }
+// JoinReq asks the coordinator to admit a new process. Incarnation
+// distinguishes successive lives of one process ID (see Config): it lets
+// the coordinator recognize a crash-restarted member that the failure
+// detector never caught, and deduplicate retransmissions within one life.
+type JoinReq struct {
+	ID          ring.ProcID
+	Incarnation uint64
+}
 
 // LeaveReq asks the coordinator to exclude a (still live) process.
 type LeaveReq struct{ ID ring.ProcID }
@@ -182,6 +188,7 @@ func EncodeNewView(nv *NewView) []byte {
 func EncodeJoinReq(j *JoinReq) []byte {
 	w := &writer{buf: []byte{wire.KindVSC, msgJoinReq}}
 	w.u32(uint32(j.ID))
+	w.u64(j.Incarnation)
 	return w.buf
 }
 
@@ -376,7 +383,11 @@ func Decode(payload []byte) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &JoinReq{ID: ring.ProcID(id)}, nil
+		inc, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		return &JoinReq{ID: ring.ProcID(id), Incarnation: inc}, nil
 	case msgLeaveReq:
 		id, err := r.u32()
 		if err != nil {

@@ -69,6 +69,16 @@ type Config struct {
 	// Joiner marks a process that starts outside the group and must not
 	// contribute recovery state to the first merge.
 	Joiner bool
+	// Incarnation distinguishes successive lives of the same process ID
+	// across crash-restarts (a durable node passes its log generation, an
+	// ephemeral one a boot timestamp). It rides on JoinReq so the
+	// coordinator can tell a restarted member from a duplicate join
+	// request: a JoinReq from an ID that is still in the view with a
+	// HIGHER incarnation proves the old process is dead (fail-stop) even
+	// though the failure detector has not noticed — the new incarnation's
+	// heartbeats keep the ID alive — and triggers the resynchronizing
+	// view change the new incarnation needs.
+	Incarnation uint64
 	// Callbacks wire the manager to the runtime. All required.
 	Callbacks Callbacks
 }
@@ -78,10 +88,11 @@ type Manager struct {
 	cfg  Config
 	view core.View
 
-	alive   map[ring.ProcID]bool // current-view members not suspected
-	joiners map[ring.ProcID]bool // pending admissions (coordinator)
-	leavers map[ring.ProcID]bool // pending exclusions (coordinator)
-	rotate  bool                 // pending leader rotation (coordinator)
+	alive        map[ring.ProcID]bool   // current-view members not suspected
+	joiners      map[ring.ProcID]bool   // pending admissions (coordinator)
+	leavers      map[ring.ProcID]bool   // pending exclusions (coordinator)
+	rotate       bool                   // pending leader rotation (coordinator)
+	incarnations map[ring.ProcID]uint64 // highest incarnation seen per joiner
 
 	// Member-side prepare bookkeeping.
 	hiEpoch   uint64
@@ -111,11 +122,12 @@ func NewManager(cfg Config, initial core.View) (*Manager, error) {
 		return nil, fmt.Errorf("vsc: Send, Snapshot and Install callbacks are required")
 	}
 	m := &Manager{
-		cfg:     cfg,
-		view:    initial,
-		alive:   make(map[ring.ProcID]bool),
-		joiners: make(map[ring.ProcID]bool),
-		leavers: make(map[ring.ProcID]bool),
+		cfg:          cfg,
+		view:         initial,
+		alive:        make(map[ring.ProcID]bool),
+		joiners:      make(map[ring.ProcID]bool),
+		leavers:      make(map[ring.ProcID]bool),
+		incarnations: make(map[ring.ProcID]uint64),
 	}
 	for _, p := range initial.Ring.Members() {
 		m.alive[p] = true
@@ -157,7 +169,7 @@ func (m *Manager) OnSuspect(p ring.ProcID, now time.Time) {
 // RequestJoin is called by a joiner to ask admission; contact is any known
 // member (typically all of them, so a crashed contact cannot block entry).
 func (m *Manager) RequestJoin(contact []ring.ProcID) {
-	req := EncodeJoinReq(&JoinReq{ID: m.cfg.Self})
+	req := EncodeJoinReq(&JoinReq{ID: m.cfg.Self, Incarnation: m.cfg.Incarnation})
 	for _, c := range contact {
 		if c != m.cfg.Self {
 			m.cfg.Callbacks.Send(c, req)
@@ -404,13 +416,35 @@ func (m *Manager) handleNewView(nv *NewView, now time.Time) {
 }
 
 func (m *Manager) handleJoinReq(j *JoinReq, now time.Time) {
-	if m.joiners[j.ID] || m.alive[j.ID] && m.view.Ring.Contains(j.ID) {
-		return
-	}
 	if _, isSelf := m.coordinator(); !isSelf {
 		return // joiner contacts everyone; only the coordinator acts
 	}
+	if m.alive[j.ID] && m.view.Ring.Contains(j.ID) {
+		// A JoinReq from a current member is a restarted incarnation: the
+		// old process died and came back (fail-stop, possibly before the
+		// failure detector reacted — the new incarnation's heartbeats keep
+		// the ID looking alive). The new incarnation's engine sits in its
+		// bootstrap view, discarding ring traffic as stale, so without
+		// intervention the group would wedge. A membership-preserving view
+		// change resynchronizes it: the flush treats it as a joiner (its
+		// Manager reports Joiner state until it installs a view) and
+		// re-bases its engine on the survivors' merged recovery state.
+		// Incarnation numbers deduplicate retransmitted requests from the
+		// same life, which would otherwise churn views forever.
+		if j.Incarnation <= m.incarnations[j.ID] {
+			return
+		}
+		m.incarnations[j.ID] = j.Incarnation
+		m.startChange(now)
+		return
+	}
+	if m.joiners[j.ID] {
+		return
+	}
 	m.joiners[j.ID] = true
+	if j.Incarnation > m.incarnations[j.ID] {
+		m.incarnations[j.ID] = j.Incarnation
+	}
 	m.startChange(now)
 }
 

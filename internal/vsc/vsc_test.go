@@ -39,6 +39,11 @@ func newHarness(t *testing.T) *harness {
 }
 
 func (h *harness) add(id ring.ProcID, initial core.View, joiner bool) *Manager {
+	return h.addInc(id, initial, joiner, 1)
+}
+
+// addInc is add with an explicit incarnation number, for restart tests.
+func (h *harness) addInc(id ring.ProcID, initial core.View, joiner bool, inc uint64) *Manager {
 	h.t.Helper()
 	h.snaps[id] = core.RecoveryState{NextDeliver: 1}
 	cfg := Config{
@@ -46,6 +51,7 @@ func (h *harness) add(id ring.ProcID, initial core.View, joiner bool) *Manager {
 		T:             2,
 		ChangeTimeout: 100 * time.Millisecond,
 		Joiner:        joiner,
+		Incarnation:   inc,
 		Callbacks: Callbacks{
 			Send: func(to ring.ProcID, payload []byte) {
 				if !h.crashed[to] && !h.crashed[id] {
@@ -403,5 +409,57 @@ func TestCodecRejectsGarbage(t *testing.T) {
 		if _, err := Decode(buf[:i]); err == nil {
 			t.Fatalf("truncated prefix %d accepted", i)
 		}
+	}
+}
+
+// TestRestartedMemberResync: a member that crashes and restarts so fast
+// that no survivor ever suspects it (its new incarnation's heartbeats keep
+// the ID alive) rejoins by sending a JoinReq with a higher incarnation.
+// The coordinator must answer with a membership-preserving view change so
+// the new incarnation resynchronizes; without it the group wedges, the
+// restarted engine discarding all ring traffic as stale.
+func TestRestartedMemberResync(t *testing.T) {
+	h := newHarness(t)
+	ids := []ring.ProcID{1, 2, 3}
+	bootstrap(t, h, ids)
+	// Let the group settle in its initial view (no change yet).
+	h.pump()
+
+	// Node 2 "restarts": its manager is replaced by a fresh joiner in the
+	// solo bootstrap view, with a bumped incarnation. No survivor ever
+	// suspected it.
+	solo := core.View{ID: 0, Ring: ring.MustNew([]ring.ProcID{2}, 0)}
+	restarted := h.addInc(2, solo, true, 2)
+	restarted.RequestJoin([]ring.ProcID{1, 3})
+	h.pump()
+
+	// Everyone — including the restarted incarnation — must have installed
+	// a new epoch with the same three members.
+	for _, id := range ids {
+		v := h.lastView(id)
+		if !reflect.DeepEqual(v.Ring.Members(), ids) {
+			t.Fatalf("node %d members %v after resync, want %v", id, v.Ring.Members(), ids)
+		}
+		if v.ID <= 1 {
+			t.Fatalf("node %d still in epoch %d; no resynchronizing change ran", id, v.ID)
+		}
+	}
+	epoch := h.lastView(1).ID
+	installs := len(h.installs[1])
+
+	// A duplicate JoinReq from the same incarnation must NOT churn views.
+	restarted.RequestJoin([]ring.ProcID{1, 3})
+	h.pump()
+	if got := len(h.installs[1]); got != installs {
+		t.Fatalf("duplicate JoinReq produced %d extra view changes", got-installs)
+	}
+
+	// A second restart (higher incarnation still) must resync again.
+	solo2 := core.View{ID: 0, Ring: ring.MustNew([]ring.ProcID{2}, 0)}
+	again := h.addInc(2, solo2, true, 3)
+	again.RequestJoin([]ring.ProcID{1, 3})
+	h.pump()
+	if got := h.lastView(1).ID; got <= epoch {
+		t.Fatalf("second restart left epoch at %d (was %d)", got, epoch)
 	}
 }

@@ -1,0 +1,63 @@
+package wal
+
+import (
+	"strings"
+	"testing"
+)
+
+// Mimic the failing serve pattern: small segments, mixed record sizes,
+// concurrent-ish snapshots, paged reads.
+func TestReadFromCompleteness(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	long := []byte(strings.Repeat("x", 3700))
+	seq := uint64(0)
+	for i := 0; i < 150; i++ {
+		seq++
+		p := []byte("short-payload-json-ish-0123456789")
+		if i%7 == 0 {
+			p = long
+		}
+		if err := l.Append(Entry{Seq: seq, Origin: 1, LogicalID: seq, Payload: p}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 60 {
+			if err := l.WriteSnapshot(30, []byte("snap")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	after := uint64(30)
+	got := map[uint64]bool{}
+	for {
+		page, more, err := l.ReadFrom(after, 150, 256, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range page {
+			got[e.Seq] = true
+		}
+		if len(page) > 0 {
+			after = page[len(page)-1].Seq
+		}
+		if !more {
+			break
+		}
+	}
+	var missing []uint64
+	for s := uint64(31); s <= 150; s++ {
+		if !got[s] {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("missing %d seqs: %v", len(missing), missing)
+	}
+}

@@ -1,0 +1,684 @@
+// Package wal implements the durability substrate of an FSR node: a
+// segmented, CRC-framed, append-only write-ahead log of the uniformly
+// delivered total order, plus state-machine snapshots that bound replay and
+// let old segments be truncated.
+//
+// Layout of a durable directory:
+//
+//	gen                incarnation counter, bumped by every Open
+//	wal-<seq>.seg      log segments; the hex name is the sequence number
+//	                   of the first entry the segment holds
+//	snap-<seq>.snap    state-machine snapshots; the hex name is the last
+//	                   sequence number folded into the snapshot
+//
+// Record framing follows the hand-rolled little-endian style of the wire
+// codec: each entry is [length u32][crc32c u32][body] with body = seq u64,
+// origin u32, logicalID u64, payload length u32, payload. Appends go
+// through one buffered writer and are fsynced in batches (every
+// Options.SyncEvery records, plus whenever the owner calls Sync before
+// externalizing a delivery). A torn tail — the partial record a crash can
+// leave mid-write — is detected by the length/CRC check on Open and
+// truncated away; everything before it is intact because records are
+// written sequentially.
+//
+// The log is safe for concurrent use: the delivery goroutine appends while
+// the protocol loop serves catch-up reads to restarted peers.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Entry is one record of the delivered total order: a reassembled
+// application message identified by its final segment's global sequence
+// number.
+type Entry struct {
+	Seq       uint64
+	Origin    uint32
+	LogicalID uint64
+	Payload   []byte
+}
+
+// Snapshot is a state-machine snapshot: the serialized application state
+// with every message up to and including Seq applied.
+type Snapshot struct {
+	Seq  uint64
+	Data []byte
+}
+
+// Options tune a Log. Zero values select the defaults.
+type Options struct {
+	// SegmentBytes caps one segment file; appends past it rotate to a new
+	// segment (the unit of truncation). Default 4 MiB.
+	SegmentBytes int
+	// SyncEvery bounds how many appended records may precede an automatic
+	// fsync. The owner still calls Sync explicitly before externalizing a
+	// batch; this cap just limits the window inside huge batches.
+	// Default 256.
+	SyncEvery int
+}
+
+const (
+	defaultSegmentBytes = 4 << 20
+	defaultSyncEvery    = 256
+
+	// maxRecordBytes rejects absurd record lengths, which on the last
+	// segment indicates a torn tail rather than corruption.
+	maxRecordBytes = 64 << 20
+
+	recordHeader   = 8  // length + crc
+	entryFixedSize = 24 // seq + origin + logicalID + payload length
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a log whose interior (not its tail) fails validation.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// errTorn marks a record cut short at the end of the newest segment — the
+// expected shape of a crash mid-append, healed by truncation.
+var errTorn = errors.New("wal: torn tail")
+
+// segment is one on-disk log file.
+type segment struct {
+	path  string
+	first uint64 // seq of the first entry (0 while empty)
+	last  uint64 // seq of the last entry (0 while empty)
+}
+
+// Log is one process's write-ahead log plus snapshot store.
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+	gen  uint64
+
+	segs     []segment // ascending by first seq; the final one is active
+	f        *os.File  // active segment
+	w        *bufio.Writer
+	size     int64 // bytes in the active segment (including buffered)
+	unsynced int
+	lastSeq  uint64 // highest entry or snapshot seq ever recorded
+
+	snap *Snapshot // latest snapshot, kept in memory for serving
+	hint readHint  // resume point for paged catch-up reads
+}
+
+// readHint remembers where the last ReadFrom page ended, so a paged
+// catch-up transfer resumes scanning mid-segment instead of re-reading
+// (and re-CRC-checking) the segment from byte 0 for every page.
+type readHint struct {
+	path  string
+	after uint64
+	off   int64
+}
+
+// Open recovers (or creates) the log in dir, validating every record,
+// truncating a torn tail, loading the latest intact snapshot, and bumping
+// the incarnation counter.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = defaultSyncEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	if err := l.bumpGeneration(); err != nil {
+		return nil, err
+	}
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.loadSnapshot(snaps); err != nil {
+		return nil, err
+	}
+	if l.snap != nil {
+		l.lastSeq = l.snap.Seq
+	}
+	for i := range segs {
+		if err := l.recoverSegment(&segs[i], i == len(segs)-1); err != nil {
+			return nil, err
+		}
+		l.segs = append(l.segs, segs[i])
+	}
+	if err := l.openActive(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// bumpGeneration increments the on-disk incarnation counter. Each Open is
+// one process incarnation; the owner derives collision-free ID bands from
+// it.
+func (l *Log) bumpGeneration() error {
+	path := filepath.Join(l.dir, "gen")
+	prev := uint64(0)
+	if b, err := os.ReadFile(path); err == nil {
+		if v, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64); perr == nil {
+			prev = v
+		}
+	}
+	l.gen = prev + 1
+	return writeFileAtomic(path, []byte(strconv.FormatUint(l.gen, 10)))
+}
+
+// scanDir classifies the directory contents.
+func scanDir(dir string) (segs []segment, snapSeqs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+			if _, perr := strconv.ParseUint(name[4:len(name)-4], 16, 64); perr == nil {
+				segs = append(segs, segment{path: filepath.Join(dir, name)})
+			}
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			if seq, perr := strconv.ParseUint(name[5:len(name)-5], 16, 64); perr == nil {
+				snapSeqs = append(snapSeqs, seq)
+			}
+		}
+	}
+	slices.SortFunc(segs, func(a, b segment) int { return strings.Compare(a.path, b.path) })
+	slices.Sort(snapSeqs)
+	return segs, snapSeqs, nil
+}
+
+// loadSnapshot loads the newest intact snapshot and removes broken ones.
+func (l *Log) loadSnapshot(seqs []uint64) error {
+	for i := len(seqs) - 1; i >= 0; i-- {
+		path := l.snapPath(seqs[i])
+		snap, err := readSnapshotFile(path)
+		if err != nil {
+			// A half-written snapshot (crash during WriteSnapshot before
+			// the rename... cannot happen; after a partial disk write it
+			// can): ignore it and fall back to the previous one.
+			_ = os.Remove(path)
+			continue
+		}
+		l.snap = &snap
+		return nil
+	}
+	return nil
+}
+
+// recoverSegment validates one segment, truncating a torn tail on the last
+// one and recording its entry bounds.
+func (l *Log) recoverSegment(s *segment, isLast bool) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	valid, err := scanRecords(f, func(e Entry) error {
+		if s.first == 0 {
+			s.first = e.Seq
+		}
+		s.last = e.Seq
+		if e.Seq > l.lastSeq {
+			l.lastSeq = e.Seq
+		}
+		return nil
+	})
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, errTorn) {
+		return err
+	}
+	if !isLast {
+		return fmt.Errorf("%w: torn record inside interior segment %s", ErrCorrupt, s.path)
+	}
+	return os.Truncate(s.path, valid)
+}
+
+// openActive opens the newest segment for appending, creating the first
+// one if the directory is fresh (or fully truncated).
+func (l *Log) openActive() error {
+	if len(l.segs) == 0 {
+		return l.createSegment(l.lastSeq + 1)
+	}
+	s := &l.segs[len(l.segs)-1]
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.size = st.Size()
+	return nil
+}
+
+// createSegment starts a fresh active segment whose first entry will be
+// seq. Callers hold the lock (or run before the log is shared).
+func (l *Log) createSegment(seq uint64) error {
+	path := filepath.Join(l.dir, fmt.Sprintf("wal-%016x.seg", seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.segs = append(l.segs, segment{path: path})
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.size = 0
+	return nil
+}
+
+// Generation returns this incarnation's counter (1 for the first Open of a
+// directory).
+func (l *Log) Generation() uint64 { return l.gen }
+
+// LastSeq returns the highest sequence number recorded (entry or
+// snapshot), 0 for an empty log.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Bounds returns the sequence numbers of the earliest and latest retained
+// entries; first is 0 when no entries are retained (fresh log, or all
+// truncated behind a snapshot).
+func (l *Log) Bounds() (first, last uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.segs {
+		if l.segs[i].first != 0 {
+			return l.segs[i].first, l.lastSeq
+		}
+	}
+	return 0, l.lastSeq
+}
+
+// LatestSnapshot returns the newest snapshot. The returned Data is shared;
+// callers must treat it as read-only.
+func (l *Log) LatestSnapshot() (Snapshot, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snap == nil {
+		return Snapshot{}, false
+	}
+	return *l.snap, true
+}
+
+// Append writes one entry, rotating segments as they fill. The entry is
+// durable only after the next Sync (explicit or batched).
+func (l *Log) Append(e Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: log closed")
+	}
+	if l.size >= int64(l.opts.SegmentBytes) {
+		if err := l.rotate(e.Seq); err != nil {
+			return err
+		}
+	}
+	rec := appendRecord(nil, e)
+	if _, err := l.w.Write(rec); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(rec))
+	s := &l.segs[len(l.segs)-1]
+	if s.first == 0 {
+		s.first = e.Seq
+	}
+	s.last = e.Seq
+	if e.Seq > l.lastSeq {
+		l.lastSeq = e.Seq
+	}
+	l.unsynced++
+	if l.unsynced >= l.opts.SyncEvery {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// rotate seals the active segment and opens a new one starting at seq.
+func (l *Log) rotate(seq uint64) error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.createSegment(seq)
+}
+
+// Sync flushes buffered appends and fsyncs the active segment — the
+// durability point the delivery pump hits before dispatching a batch.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// WriteSnapshot records a state-machine snapshot covering everything up to
+// and including seq, then truncates segments made redundant by it. The
+// caller hands over ownership of data.
+func (l *Log) WriteSnapshot(seq uint64, data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	body := make([]byte, 0, 12+len(data))
+	body = binary.LittleEndian.AppendUint64(body, seq)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(data)))
+	body = append(body, data...)
+	file := make([]byte, 0, 4+len(body))
+	file = binary.LittleEndian.AppendUint32(file, crc32.Checksum(body, crcTable))
+	file = append(file, body...)
+	if err := writeFileAtomic(l.snapPath(seq), file); err != nil {
+		return err
+	}
+	prev := l.snap
+	l.snap = &Snapshot{Seq: seq, Data: data}
+	l.hint = readHint{} // segment set is about to change
+	if seq > l.lastSeq {
+		l.lastSeq = seq
+	}
+	if prev != nil && prev.Seq != seq {
+		_ = os.Remove(l.snapPath(prev.Seq))
+	}
+	// Truncation: a non-active segment whose entries are all covered by
+	// the snapshot will never be replayed or served again.
+	for len(l.segs) > 1 && l.segs[0].last <= seq {
+		if err := os.Remove(l.segs[0].path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+		l.segs = l.segs[1:]
+	}
+	// When the snapshot covers the active segment too — always true for
+	// the cadence snapshot at the current cursor, and for a state
+	// transfer that jumped past the local tail — reset to a fresh empty
+	// segment based above it. Without this, appends after a jump would
+	// land in a segment holding entries far below them, and catch-up
+	// serving (which treats a segment as seq-contiguous) would silently
+	// skip the interior gap.
+	if last := &l.segs[len(l.segs)-1]; last.last <= seq {
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		for _, s := range l.segs {
+			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: truncate: %w", err)
+			}
+		}
+		l.segs = nil
+		if err := l.createSegment(seq + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Log) snapPath(seq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("snap-%016x.snap", seq))
+}
+
+// Replay streams every retained entry with Seq > after, in order — the
+// restart path that rebuilds the state machine behind the latest snapshot.
+func (l *Log) Replay(after uint64, fn func(Entry) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("wal: flush: %w", err)
+		}
+	}
+	for i := range l.segs {
+		s := &l.segs[i]
+		if s.first == 0 || s.last <= after {
+			continue
+		}
+		f, err := os.Open(s.path)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		_, err = scanRecords(f, func(e Entry) error {
+			if e.Seq <= after {
+				return nil
+			}
+			return fn(e)
+		})
+		_ = f.Close()
+		if err != nil && !errors.Is(err, errTorn) {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrom returns retained entries with after < Seq <= upTo, bounded by
+// maxEntries and maxBytes of payload — one page of a catch-up transfer.
+// more reports whether entries in range remain beyond the page.
+func (l *Log) ReadFrom(after, upTo uint64, maxEntries, maxBytes int) (entries []Entry, more bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			return nil, false, fmt.Errorf("wal: flush: %w", err)
+		}
+	}
+	bytes := 0
+	for i := range l.segs {
+		s := &l.segs[i]
+		if s.first == 0 || s.last <= after || s.first > upTo {
+			continue
+		}
+		start := int64(0)
+		if l.hint.path == s.path && l.hint.after == after {
+			start = l.hint.off
+		}
+		f, err := os.Open(s.path)
+		if err != nil {
+			return nil, false, fmt.Errorf("wal: %w", err)
+		}
+		valid, serr := scanRecordsAt(f, start, func(e Entry) error {
+			if e.Seq <= after || e.Seq > upTo {
+				return nil
+			}
+			if len(entries) >= maxEntries || bytes >= maxBytes {
+				more = true
+				return errPageFull
+			}
+			entries = append(entries, e)
+			bytes += len(e.Payload)
+			return nil
+		})
+		_ = f.Close()
+		if serr != nil && !errors.Is(serr, errTorn) && !errors.Is(serr, errPageFull) {
+			return nil, false, serr
+		}
+		if more {
+			if len(entries) > 0 {
+				l.hint = readHint{path: s.path, after: entries[len(entries)-1].Seq, off: start + valid}
+			}
+			return entries, true, nil
+		}
+	}
+	return entries, false, nil
+}
+
+// errPageFull stops a ReadFrom scan once the page limits are hit.
+var errPageFull = errors.New("wal: page full")
+
+// Close flushes, fsyncs and releases the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	l.w = nil
+	return err
+}
+
+// appendRecord frames one entry onto buf.
+func appendRecord(buf []byte, e Entry) []byte {
+	bodyLen := entryFixedSize + len(e.Payload)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(bodyLen))
+	crcAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // crc placeholder
+	bodyAt := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, e.Origin)
+	buf = binary.LittleEndian.AppendUint64(buf, e.LogicalID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Payload)))
+	buf = append(buf, e.Payload...)
+	binary.LittleEndian.PutUint32(buf[crcAt:], crc32.Checksum(buf[bodyAt:], crcTable))
+	return buf
+}
+
+// scanRecords streams every intact record of one segment to fn. It returns
+// the byte offset of the end of the last intact record; a short or
+// corrupt tail is reported as errTorn (the caller decides whether that is
+// legal), any error from fn is passed through.
+func scanRecords(f *os.File, fn func(Entry) error) (int64, error) {
+	return scanRecordsAt(f, 0, fn)
+}
+
+// scanRecordsAt is scanRecords starting at byte offset off; the returned
+// offset is relative to off.
+func scanRecordsAt(f *os.File, off int64, fn func(Entry) error) (int64, error) {
+	if off > 0 {
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+	}
+	r := bufio.NewReader(f)
+	var valid int64
+	hdr := make([]byte, recordHeader)
+	var body []byte
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if errors.Is(err, io.EOF) {
+				return valid, nil
+			}
+			return valid, errTorn // io.ErrUnexpectedEOF: partial header
+		}
+		length := binary.LittleEndian.Uint32(hdr)
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if length < entryFixedSize || length > maxRecordBytes {
+			return valid, errTorn
+		}
+		if cap(body) < int(length) {
+			body = make([]byte, length)
+		}
+		body = body[:length]
+		if _, err := io.ReadFull(r, body); err != nil {
+			return valid, errTorn
+		}
+		if crc32.Checksum(body, crcTable) != crc {
+			return valid, errTorn
+		}
+		var e Entry
+		e.Seq = binary.LittleEndian.Uint64(body)
+		e.Origin = binary.LittleEndian.Uint32(body[8:])
+		e.LogicalID = binary.LittleEndian.Uint64(body[12:])
+		plen := binary.LittleEndian.Uint32(body[20:])
+		if int(plen) != len(body)-entryFixedSize {
+			return valid, errTorn
+		}
+		e.Payload = slices.Clone(body[entryFixedSize:])
+		if err := fn(e); err != nil {
+			return valid, err
+		}
+		valid += recordHeader + int64(length)
+	}
+}
+
+// readSnapshotFile loads and validates one snapshot file.
+func readSnapshotFile(path string) (Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("wal: %w", err)
+	}
+	if len(b) < 16 {
+		return Snapshot{}, fmt.Errorf("%w: short snapshot %s", ErrCorrupt, path)
+	}
+	crc := binary.LittleEndian.Uint32(b)
+	body := b[4:]
+	if crc32.Checksum(body, crcTable) != crc {
+		return Snapshot{}, fmt.Errorf("%w: snapshot crc %s", ErrCorrupt, path)
+	}
+	seq := binary.LittleEndian.Uint64(body)
+	n := binary.LittleEndian.Uint32(body[8:])
+	if int(n) != len(body)-12 {
+		return Snapshot{}, fmt.Errorf("%w: snapshot length %s", ErrCorrupt, path)
+	}
+	return Snapshot{Seq: seq, Data: body[12:]}, nil
+}
+
+// writeFileAtomic writes data via a temp file, fsync and rename, then
+// fsyncs the directory so the rename survives a crash.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package wire
+
+import "testing"
+
+// FuzzDecodeFrame throws arbitrary bytes at every decoder the node routes
+// transport payloads to — ring frames and the catch-up request/response
+// codec. Decoding untrusted input must never panic (errors are fine); a
+// crash here would let one corrupt peer take down the whole group.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(EncodeFrame(sampleFrame()))
+	f.Add(EncodeFrame(&Frame{ViewID: 1}))
+	f.Add(EncodeCatchupReq(&CatchupReq{After: 10, UpTo: 500}))
+	f.Add(EncodeCatchupResp(&CatchupResp{Unavailable: true}))
+	f.Add(EncodeCatchupResp(&CatchupResp{
+		HasSnapshot: true,
+		SnapSeq:     77,
+		Snapshot:    []byte("snapshot-bytes"),
+		More:        true,
+		Entries: []CatchupEntry{
+			{Seq: 78, Origin: 4, LogicalID: 12, Payload: []byte("entry")},
+		},
+	}))
+	f.Add([]byte{KindFSR})
+	f.Add([]byte{KindCatchup, 2, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if fr, err := DecodeFrame(b); err == nil && fr == nil {
+			t.Fatal("DecodeFrame: nil frame without error")
+		}
+		if m, err := DecodeCatchup(b); err == nil && m == nil {
+			t.Fatal("DecodeCatchup: nil message without error")
+		}
+	})
+}

@@ -4,9 +4,10 @@
 // Three subsystems share the transport; every transport payload starts with
 // a one-byte channel kind so the node dispatcher can route it:
 //
-//	KindFSR — a Frame: ring traffic (data segments + piggybacked acks)
-//	KindVSC — a view-change control message (encoded by package vsc)
-//	KindFD  — a failure-detector heartbeat (encoded by package fd)
+//	KindFSR     — a Frame: ring traffic (data segments + piggybacked acks)
+//	KindVSC     — a view-change control message (encoded by package vsc)
+//	KindFD      — a failure-detector heartbeat (encoded by package fd)
+//	KindCatchup — a durable-log catch-up request/response (crash recovery)
 //
 // The codec is hand-rolled little-endian (stdlib encoding/binary): the frame
 // encoder sits on the hot path of every hop, so it avoids reflection and
@@ -26,6 +27,7 @@ const (
 	KindFSR byte = iota + 1
 	KindVSC
 	KindFD
+	KindCatchup
 )
 
 // ErrTruncated is returned when a buffer ends before a complete value.
@@ -275,4 +277,197 @@ func (r *reader) bytes(n int) ([]byte, error) {
 	v := r.buf[r.off : r.off+n : r.off+n]
 	r.off += n
 	return v, nil
+}
+
+// Catch-up message types (second byte of a KindCatchup payload).
+//
+// Catch-up is the crash-recovery companion of the durable log: a restarted
+// process, after rebuilding from its own snapshot + WAL, asks a peer for
+// the suffix of the delivered total order it missed while down. Entries are
+// reassembled application messages keyed by the global sequence number of
+// their final segment — exactly what the WAL stores — so the response can
+// be applied to the state machine directly, without re-running the
+// protocol.
+const (
+	catchupReq byte = iota + 1
+	catchupResp
+)
+
+// ErrBadCatchup reports an undecodable catch-up payload.
+var ErrBadCatchup = errors.New("wire: bad catch-up payload")
+
+// CatchupReq asks a peer for the delivered messages in (After, UpTo].
+type CatchupReq struct {
+	// After is the requester's last applied sequence number.
+	After uint64
+	// UpTo bounds the transfer: the requester needs nothing beyond it
+	// (messages past it arrive through live ring traffic).
+	UpTo uint64
+}
+
+// CatchupEntry is one recovered message of the total order.
+type CatchupEntry struct {
+	Seq       uint64
+	Origin    ring.ProcID
+	LogicalID uint64
+	Payload   []byte
+}
+
+// CatchupResp carries one page of a catch-up transfer.
+type CatchupResp struct {
+	// Unavailable means the peer keeps no durable log and cannot serve.
+	Unavailable bool
+	// HasSnapshot marks a state-transfer response: the requester is so far
+	// behind that the peer has truncated the entries it needs, so it hands
+	// over its latest state-machine snapshot (taken at SnapSeq) instead,
+	// followed by the entries after it.
+	HasSnapshot bool
+	SnapSeq     uint64
+	Snapshot    []byte
+	// More reports that entries in the requested range remain beyond this
+	// page; the requester asks again from the last entry it received.
+	More    bool
+	Entries []CatchupEntry
+}
+
+// catchupEntryFixed is the encoded size of an entry minus its payload;
+// used to reject forged counts before allocating.
+const catchupEntryFixed = 8 + 4 + 8 + 4
+
+// EncodeCatchupReq serializes q, prefixed with KindCatchup.
+func EncodeCatchupReq(q *CatchupReq) []byte {
+	buf := make([]byte, 0, 2+16)
+	buf = append(buf, KindCatchup, catchupReq)
+	buf = binary.LittleEndian.AppendUint64(buf, q.After)
+	buf = binary.LittleEndian.AppendUint64(buf, q.UpTo)
+	return buf
+}
+
+// EncodeCatchupResp serializes p, prefixed with KindCatchup.
+func EncodeCatchupResp(p *CatchupResp) []byte {
+	n := 2 + 1 + 4
+	if p.HasSnapshot {
+		n += 8 + 4 + len(p.Snapshot)
+	}
+	for i := range p.Entries {
+		n += catchupEntryFixed + len(p.Entries[i].Payload)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, KindCatchup, catchupResp)
+	var flags byte
+	if p.Unavailable {
+		flags |= 1
+	}
+	if p.HasSnapshot {
+		flags |= 2
+	}
+	if p.More {
+		flags |= 4
+	}
+	buf = append(buf, flags)
+	if p.HasSnapshot {
+		buf = binary.LittleEndian.AppendUint64(buf, p.SnapSeq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Snapshot)))
+		buf = append(buf, p.Snapshot...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Entries)))
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		buf = binary.LittleEndian.AppendUint64(buf, e.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Origin))
+		buf = binary.LittleEndian.AppendUint64(buf, e.LogicalID)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Payload)))
+		buf = append(buf, e.Payload...)
+	}
+	return buf
+}
+
+// DecodeCatchup parses a KindCatchup payload into *CatchupReq or
+// *CatchupResp. Like DecodeFrame it never panics on arbitrary bytes, and
+// byte slices in the result alias buf.
+func DecodeCatchup(buf []byte) (any, error) {
+	r := reader{buf: buf}
+	kind, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindCatchup {
+		return nil, fmt.Errorf("%w: kind %d", ErrBadCatchup, kind)
+	}
+	typ, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case catchupReq:
+		var q CatchupReq
+		if q.After, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if q.UpTo, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if r.rem() != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCatchup, r.rem())
+		}
+		return &q, nil
+	case catchupResp:
+		var p CatchupResp
+		flags, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		p.Unavailable = flags&1 != 0
+		p.HasSnapshot = flags&2 != 0
+		p.More = flags&4 != 0
+		if p.HasSnapshot {
+			if p.SnapSeq, err = r.u64(); err != nil {
+				return nil, err
+			}
+			n, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if p.Snapshot, err = r.bytes(int(n)); err != nil {
+				return nil, err
+			}
+		}
+		count, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(count)*catchupEntryFixed > uint64(r.rem()) {
+			return nil, ErrTruncated // forged count; refuse to allocate
+		}
+		if count > 0 {
+			p.Entries = make([]CatchupEntry, count)
+		}
+		for i := range p.Entries {
+			e := &p.Entries[i]
+			if e.Seq, err = r.u64(); err != nil {
+				return nil, err
+			}
+			origin, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			e.Origin = ring.ProcID(origin)
+			if e.LogicalID, err = r.u64(); err != nil {
+				return nil, err
+			}
+			n, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if e.Payload, err = r.bytes(int(n)); err != nil {
+				return nil, err
+			}
+		}
+		if r.rem() != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCatchup, r.rem())
+		}
+		return &p, nil
+	default:
+		return nil, fmt.Errorf("%w: type %d", ErrBadCatchup, typ)
+	}
 }

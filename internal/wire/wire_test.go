@@ -2,8 +2,10 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"reflect"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -208,5 +210,82 @@ func BenchmarkDecodeFrame8K(b *testing.B) {
 		if _, err := DecodeFrame(buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestCatchupReqRoundTrip(t *testing.T) {
+	q := &CatchupReq{After: 41, UpTo: 977}
+	got, err := DecodeCatchup(EncodeCatchupReq(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq, ok := got.(*CatchupReq)
+	if !ok {
+		t.Fatalf("decoded %T, want *CatchupReq", got)
+	}
+	if *dq != *q {
+		t.Fatalf("round trip: %+v != %+v", dq, q)
+	}
+}
+
+func TestCatchupRespRoundTrip(t *testing.T) {
+	cases := []*CatchupResp{
+		{Unavailable: true},
+		{More: true, Entries: []CatchupEntry{
+			{Seq: 7, Origin: 2, LogicalID: 99, Payload: []byte("abc")},
+			{Seq: 9, Origin: 3, LogicalID: 100, Payload: nil},
+		}},
+		{HasSnapshot: true, SnapSeq: 500, Snapshot: []byte("kv-state"),
+			Entries: []CatchupEntry{{Seq: 501, Origin: 1, LogicalID: 4, Payload: []byte("x")}}},
+		{},
+	}
+	for i, p := range cases {
+		got, err := DecodeCatchup(EncodeCatchupResp(p))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		dp, ok := got.(*CatchupResp)
+		if !ok {
+			t.Fatalf("case %d: decoded %T", i, got)
+		}
+		if dp.Unavailable != p.Unavailable || dp.HasSnapshot != p.HasSnapshot ||
+			dp.More != p.More || dp.SnapSeq != p.SnapSeq ||
+			!bytes.Equal(dp.Snapshot, p.Snapshot) || len(dp.Entries) != len(p.Entries) {
+			t.Fatalf("case %d: %+v != %+v", i, dp, p)
+		}
+		for j := range p.Entries {
+			w, g := p.Entries[j], dp.Entries[j]
+			if g.Seq != w.Seq || g.Origin != w.Origin || g.LogicalID != w.LogicalID ||
+				!bytes.Equal(g.Payload, w.Payload) {
+				t.Fatalf("case %d entry %d: %+v != %+v", i, j, g, w)
+			}
+		}
+	}
+}
+
+func TestCatchupDecodeRejectsMalformed(t *testing.T) {
+	good := EncodeCatchupResp(&CatchupResp{Entries: []CatchupEntry{
+		{Seq: 1, Origin: 1, LogicalID: 1, Payload: []byte("p")},
+	}})
+	// Every strict prefix must fail cleanly, never panic.
+	for i := 0; i < len(good); i++ {
+		if _, err := DecodeCatchup(good[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded", i)
+		}
+	}
+	if _, err := DecodeCatchup(append(slices.Clone(good), 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if _, err := DecodeCatchup([]byte{KindFSR, 1}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if _, err := DecodeCatchup([]byte{KindCatchup, 9}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	// A forged entry count must not cause a giant allocation or a panic.
+	forged := []byte{KindCatchup, 2, 0}
+	forged = binary.LittleEndian.AppendUint32(forged, 0xFFFFFFFF)
+	if _, err := DecodeCatchup(forged); err == nil {
+		t.Fatal("forged count accepted")
 	}
 }

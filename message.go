@@ -21,22 +21,43 @@ type Message struct {
 	Payload []byte
 }
 
+// asmResult classifies what one delivered segment did to its logical
+// message.
+type asmResult int
+
+const (
+	// asmPending: the message is still missing later parts.
+	asmPending asmResult = iota
+	// asmComplete: the segment completed the message.
+	asmComplete
+	// asmDropped: the segment ended a message whose earlier parts predate
+	// this process's delivery horizon (it joined mid-message), so the
+	// message cannot be reassembled here. A durable node repairs the hole
+	// through catch-up; an ephemeral joiner simply never sees the message
+	// (it missed everything before its join anyway).
+	asmDropped
+)
+
 // assembler re-joins segmented broadcasts. Segments of one logical message
 // share an origin and consecutive origin-local IDs; per-origin FIFO delivery
 // guarantees they arrive in part order, so the logical message completes
 // exactly when its last part is delivered — at the same point in the total
 // order on every process.
 type assembler struct {
-	partial map[wire.MsgID][][]byte // keyed by first segment's ID
+	partial  map[wire.MsgID][][]byte // keyed by first segment's ID
+	poisoned map[wire.MsgID]bool     // straddling messages with lost heads
 }
 
 func newAssembler() *assembler {
-	return &assembler{partial: make(map[wire.MsgID][][]byte)}
+	return &assembler{
+		partial:  make(map[wire.MsgID][][]byte),
+		poisoned: make(map[wire.MsgID]bool),
+	}
 }
 
-// add folds one delivered segment; it returns the completed message and
-// true when the segment was the last piece.
-func (a *assembler) add(d core.Delivery) (Message, bool) {
+// add folds one delivered segment, returning the completed message when
+// the segment was the last piece (asmComplete).
+func (a *assembler) add(d core.Delivery) (Message, asmResult) {
 	logical := wire.MsgID{Origin: d.ID.Origin, Local: d.ID.Local - uint64(d.Part)}
 	if d.Parts <= 1 {
 		return Message{
@@ -44,18 +65,35 @@ func (a *assembler) add(d core.Delivery) (Message, bool) {
 			Origin:    d.ID.Origin,
 			LogicalID: logical.Local,
 			Payload:   d.Body,
-		}, true
+		}, asmComplete
+	}
+	last := int(d.Part) == int(d.Parts)-1
+	if a.poisoned[logical] {
+		if last {
+			delete(a.poisoned, logical)
+			return Message{Seq: d.Seq}, asmDropped
+		}
+		return Message{}, asmPending
 	}
 	parts := a.partial[logical]
 	if parts == nil {
+		if d.Part != 0 {
+			// First sighting is a non-head part: the head was delivered
+			// before this process's horizon and will never arrive.
+			if last {
+				return Message{Seq: d.Seq}, asmDropped
+			}
+			a.poisoned[logical] = true
+			return Message{}, asmPending
+		}
 		parts = make([][]byte, d.Parts)
 		a.partial[logical] = parts
 	}
 	if int(d.Part) < len(parts) {
 		parts[d.Part] = d.Body
 	}
-	if int(d.Part) != int(d.Parts)-1 {
-		return Message{}, false
+	if !last {
+		return Message{}, asmPending
 	}
 	// Final part: all earlier parts have been delivered (per-origin FIFO).
 	var size int
@@ -72,5 +110,5 @@ func (a *assembler) add(d core.Delivery) (Message, bool) {
 		Origin:    d.ID.Origin,
 		LogicalID: logical.Local,
 		Payload:   payload,
-	}, true
+	}, asmComplete
 }

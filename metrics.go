@@ -52,6 +52,13 @@ type Metrics struct {
 	// uniformly delivered.
 	PendingReceipts int
 
+	// Applied is the highest message sequence number persisted and folded
+	// into the state machine (see Node.Applied); CatchingUp reports that
+	// the node is currently fetching missed history from its peers, with
+	// the live stream held back.
+	Applied    uint64
+	CatchingUp bool
+
 	// BroadcastLatency summarizes the last broadcasts' acceptance-to-
 	// uniform-delivery latency on this node.
 	BroadcastLatency LatencySummary

@@ -11,6 +11,7 @@ import (
 	"fsr/internal/fd"
 	"fsr/internal/ring"
 	"fsr/internal/vsc"
+	"fsr/internal/wal"
 	"fsr/internal/wire"
 	"fsr/transport"
 )
@@ -28,6 +29,26 @@ type ViewInfo struct {
 // latencyWindow bounds how many broadcast-latency samples a node retains
 // for Metrics.BroadcastLatency.
 const latencyWindow = 1024
+
+// Catch-up transfer paging: one response carries at most this many
+// recovered messages / payload bytes, so serving a restarted peer never
+// monopolizes the event loop or produces an oversized transport frame.
+const (
+	catchupMaxEntries = 256
+	catchupMaxBytes   = 1 << 20
+	// catchupMaxBacklog pauses page requests while this many recovered
+	// messages sit in catchBuf awaiting the (fsync-bound) pump, so a long
+	// transfer over a fast link cannot buffer the whole missed history in
+	// memory; the tick resumes paging once the pump drains.
+	catchupMaxBacklog = 4096
+)
+
+// incarnationBits is the width of the per-incarnation MsgID band: each
+// restart of a durable node advances the origin-local counter to
+// generation << incarnationBits, so IDs minted after a crash can never
+// collide with IDs of a previous life that may still sit in survivors'
+// recovery buffers.
+const incarnationBits = 40
 
 // Node is one FSR group member: it owns the protocol engine, the failure
 // detector and the view-change manager, and drives them over a transport.
@@ -54,11 +75,27 @@ type Node struct {
 	msgs  chan Message
 	views chan ViewInfo
 
+	// Durability (nil / zero without Config.DurableDir).
+	wlog      *wal.Log
+	sm        StateMachine
+	sinceSnap int         // messages applied since the last snapshot (pump-owned)
+	catch     *catchState // in-flight catch-up transfer (event-loop-owned)
+
 	outMu    sync.Mutex
 	outCond  *sync.Cond
 	outBuf   []Message
 	outDone  bool
 	asmState *assembler
+	// applied is the highest message sequence number persisted+applied;
+	// written by the pump under outMu, read by the event loop. While
+	// catching, the live stream is held back entirely until the catch-up
+	// transfer fills the hole below it (the transfer covers everything
+	// above the applied cursor, so held live copies simply deduplicate
+	// afterwards); catchBuf carries the recovered history from the event
+	// loop to the pump.
+	applied  uint64
+	catching bool
+	catchBuf []catchItem
 
 	subMu      sync.Mutex
 	subs       []subscriber
@@ -106,6 +143,24 @@ type subscriber struct {
 	fn func(Message)
 }
 
+// catchItem is one piece of recovered history traveling from the event
+// loop (which receives catch-up responses) to the delivery pump (which owns
+// all durable state): either a full state transfer or one message.
+type catchItem struct {
+	snap *wal.Snapshot // state transfer; nil for a message
+	msg  Message
+}
+
+// catchState tracks an in-flight catch-up transfer. Event-loop-owned.
+type catchState struct {
+	target   uint64    // catch-up is done once applied/after reaches this
+	peers    []ProcID  // candidate servers, current view order, self excluded
+	idx      int       // peer currently being asked
+	after    uint64    // highest seq handed to the pump so far
+	unavail  int       // consecutive "no durable log" answers
+	lastSend time.Time // for timeout-driven retry/rotation
+}
+
 // NewNode builds and starts a node on the given transport. The transport's
 // Self must match cfg.Self.
 func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
@@ -120,12 +175,71 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Durable recovery: rebuild the state machine and the delivery
+	// position from snapshot + WAL before the protocol stack exists, so
+	// the engine starts exactly where the previous incarnation stopped.
+	var (
+		wlog        *wal.Log
+		applied     uint64
+		startLocal  uint64
+		incarnation uint64
+	)
+	if cfg.DurableDir != "" {
+		wlog, err = wal.Open(cfg.DurableDir, wal.Options{SegmentBytes: cfg.WALSegmentBytes})
+		if err != nil {
+			return nil, fmt.Errorf("fsr: open durable dir: %w", err)
+		}
+		if snap, ok := wlog.LatestSnapshot(); ok {
+			if cfg.StateMachine != nil {
+				if err := cfg.StateMachine.Restore(snap.Data); err != nil {
+					_ = wlog.Close()
+					return nil, fmt.Errorf("fsr: restore snapshot at %d: %w", snap.Seq, err)
+				}
+			}
+			applied = snap.Seq
+		}
+		err = wlog.Replay(applied, func(e wal.Entry) error {
+			if cfg.StateMachine != nil {
+				cfg.StateMachine.Apply(Message{
+					Seq:       e.Seq,
+					Origin:    ProcID(e.Origin),
+					LogicalID: e.LogicalID,
+					Payload:   e.Payload,
+				})
+			}
+			applied = e.Seq
+			return nil
+		})
+		if err != nil {
+			_ = wlog.Close()
+			return nil, fmt.Errorf("fsr: replay WAL: %w", err)
+		}
+		incarnation = wlog.Generation()
+		startLocal = incarnation << incarnationBits
+	} else {
+		// No durable identity: a boot timestamp keeps incarnations of one
+		// ID monotone enough for the membership layer's restart handling,
+		// and seeds the MsgID band so a fast-restarted ephemeral node
+		// cannot re-mint IDs its previous life may still have in flight
+		// (~4ms resolution, wrapping after ~19h — far beyond any pending
+		// message's lifetime).
+		now := uint64(time.Now().UnixNano())
+		incarnation = now
+		startLocal = ((now >> 22) & (1<<24 - 1)) << incarnationBits
+	}
+
 	engine, err := core.NewEngine(core.Config{
 		Self:         cfg.Self,
 		SegmentSize:  cfg.SegmentSize,
 		MaxPiggyback: cfg.MaxPiggyback,
+		StartDeliver: applied + 1,
+		StartLocal:   startLocal,
 	}, view)
 	if err != nil {
+		if wlog != nil {
+			_ = wlog.Close()
+		}
 		return nil, err
 	}
 
@@ -133,6 +247,9 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		cfg:        cfg,
 		tr:         tr,
 		engine:     engine,
+		wlog:       wlog,
+		sm:         cfg.StateMachine,
+		applied:    applied,
 		inbox:      make(chan inboundPayload, 4096),
 		bcast:      make(chan bcastReq),
 		joinc:      make(chan []ProcID, 1),
@@ -162,6 +279,9 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		},
 	})
 	if err != nil {
+		if wlog != nil {
+			_ = wlog.Close()
+		}
 		return nil, err
 	}
 
@@ -170,6 +290,7 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		T:             cfg.T,
 		ChangeTimeout: cfg.ChangeTimeout,
 		Joiner:        cfg.Joiner,
+		Incarnation:   incarnation,
 		Callbacks: vsc.Callbacks{
 			Send: func(to ring.ProcID, payload []byte) {
 				_ = n.tr.Send(to, payload)
@@ -180,6 +301,9 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		},
 	}, view)
 	if err != nil {
+		if wlog != nil {
+			_ = wlog.Close()
+		}
 		return nil, err
 	}
 	if !cfg.Joiner {
@@ -213,7 +337,9 @@ func (n *Node) Self() ProcID { return n.cfg.Self }
 //
 // While at least one Subscribe handler is registered, newly dispatched
 // messages go to the handlers instead of this channel; the two are
-// alternative consumption modes for the same ordered stream.
+// alternative consumption modes for the same ordered stream. A node with a
+// Config.StateMachine feeds the state machine instead and leaves this
+// channel silent unless a Subscribe handler is registered.
 func (n *Node) Messages() <-chan Message { return n.msgs }
 
 // Subscribe registers fn to receive delivered messages in total order,
@@ -371,6 +497,19 @@ func (n *Node) Stop() {
 	n.halt()
 	n.wg.Wait()
 	_ = n.tr.Close()
+	if n.wlog != nil {
+		_ = n.wlog.Close()
+	}
+}
+
+// Applied returns the highest message sequence number this node has
+// applied — its position in the total order as an application (persisted
+// and folded into the state machine), as opposed to the protocol's
+// segment-delivery cursor. With DurableDir it survives restarts.
+func (n *Node) Applied() uint64 {
+	n.outMu.Lock()
+	defer n.outMu.Unlock()
+	return n.applied
 }
 
 // halt closes the stop channel exactly once; the event loop notices and
@@ -406,6 +545,7 @@ func (n *Node) onEvicted() {
 // install applies an agreed view: engine first, then rebroadcasts, then the
 // failure detector, then the advisory notification.
 func (n *Node) install(v core.View, sync *core.Sync, rebroadcast []core.PendingMsg) {
+	prevNext := n.engine.NextDeliver()
 	if err := n.engine.InstallView(v, sync); err != nil {
 		n.fail(err)
 		return
@@ -429,6 +569,7 @@ func (n *Node) install(v core.View, sync *core.Sync, rebroadcast []core.PendingM
 	case n.views <- info:
 	default:
 	}
+	n.refreshCatchup(v, sync, prevNext)
 }
 
 // stopping reports whether the stop channel is closed (Stop or fail).
@@ -500,14 +641,16 @@ func (n *Node) loop() {
 		}
 
 		// Backpressure: stop accepting broadcasts while the own-queue is
-		// full, the node has not joined yet, or a view change is in
-		// flight. An evicted node keeps accepting so it can reject with
-		// an error instead of blocking.
+		// full, the node has not joined yet, a view change is in flight,
+		// or the node is still catching up on missed history. An evicted
+		// node keeps accepting so it can reject with an error instead of
+		// blocking.
 		bc := n.bcast
 		n.mu.Lock()
 		joined, evicted := n.joined, n.evicted
 		n.mu.Unlock()
-		if !evicted && (n.engine.PendingOwn() >= n.cfg.MaxPendingOwn || !joined || n.mgr.Changing()) {
+		if !evicted && (n.engine.PendingOwn() >= n.cfg.MaxPendingOwn || !joined ||
+			n.mgr.Changing() || n.catch != nil) {
 			bc = nil
 		}
 
@@ -550,6 +693,7 @@ func (n *Node) loop() {
 		case now := <-tick.C:
 			n.fdet.Tick(now)
 			n.mgr.Tick(now)
+			n.tickCatchup(now)
 			n.mu.Lock()
 			joined := n.joined
 			n.mu.Unlock()
@@ -583,6 +727,8 @@ func (n *Node) snapshotMetrics() Metrics {
 		OwnQueue:         own,
 		AckQueue:         acks,
 		PendingReceipts:  len(n.receipts),
+		Applied:          n.Applied(),
+		CatchingUp:       n.catch != nil,
 		BroadcastLatency: summarizeLatency(n.latency),
 	}
 }
@@ -646,23 +792,42 @@ func (n *Node) handlePayload(in inboundPayload) {
 			return // malformed heartbeat: ignore
 		}
 		n.fdet.HandleHeartbeat(from, time.Now())
+	case wire.KindCatchup:
+		msg, err := wire.DecodeCatchup(in.payload)
+		if err != nil {
+			n.fail(err)
+			return
+		}
+		switch v := msg.(type) {
+		case *wire.CatchupReq:
+			n.serveCatchup(in.from, v)
+		case *wire.CatchupResp:
+			n.handleCatchupResp(in.from, v)
+		}
 	}
 }
 
 // deliver moves fresh engine deliveries to the assembler queue and resolves
 // receipts for own messages that completed (local delivery of an own
-// message is, by the stability rule, uniform delivery).
+// message is, by the stability rule, uniform delivery). A message the
+// assembler cannot rebuild — its head predates this process's delivery
+// horizon — becomes a hole that a durable node repairs via catch-up before
+// anything later may be applied.
 func (n *Node) deliver() {
 	ds := n.engine.Deliveries()
 	if len(ds) == 0 {
 		return
 	}
 	now := time.Now()
+	var dropSeq uint64
 	n.outMu.Lock()
 	asm := n.asm()
 	for _, d := range ds {
-		msg, done := asm.add(d)
-		if !done {
+		msg, res := asm.add(d)
+		if res != asmComplete {
+			if res == asmDropped && n.wlog != nil && msg.Seq > n.applied {
+				dropSeq = msg.Seq
+			}
 			continue
 		}
 		if msg.Origin == n.cfg.Self {
@@ -674,8 +839,17 @@ func (n *Node) deliver() {
 		}
 		n.outBuf = append(n.outBuf, msg)
 	}
+	if dropSeq > 0 {
+		// Hold the pump before releasing the lock: nothing live may be
+		// applied until catch-up fills the hole (the transfer re-covers
+		// any overlap, which the pump deduplicates).
+		n.catching = true
+	}
 	n.outCond.Signal()
 	n.outMu.Unlock()
+	if dropSeq > 0 {
+		n.extendCatchup(dropSeq)
+	}
 }
 
 // asm lazily allocates the assembler (guarded by outMu).
@@ -684,6 +858,256 @@ func (n *Node) asm() *assembler {
 		n.asmState = newAssembler()
 	}
 	return n.asmState
+}
+
+// --- Catch-up: fetching the missed suffix of the total order -------------
+//
+// A durable node that rejoins behind the group (its WAL ends at K, the
+// installed view's sync starts at S > K+1) owes its state machine the
+// messages in between — they are uniform, every survivor delivered them,
+// but the ring will never carry them again. The node asks the current
+// members (leader first) for that range, applies the transferred history
+// through the same durable pipeline as live traffic, and only then lets
+// the live stream flow. All methods below run on the event loop.
+
+// refreshCatchup runs at every view install. A hole exists exactly when
+// the engine's delivery cursor jumped forward (prevNext < NextDeliver):
+// the skipped sequence numbers will never arrive through ring traffic —
+// a rejoining or freshly admitted process sat below the installed sync
+// base. Ordinary pump lag (deliveries still buffered in-process) is NOT a
+// hole and must not trigger a transfer, or every view change would wedge
+// the group fetching history only its own pumps can produce. When a
+// catch-up is already in flight, the peer set is refreshed so a crashed
+// server is abandoned.
+func (n *Node) refreshCatchup(v core.View, sync *core.Sync, prevNext uint64) {
+	if n.wlog == nil {
+		return
+	}
+	next := n.engine.NextDeliver()
+	if next <= prevNext && n.catch == nil {
+		return // cursor did not jump: nothing is missing
+	}
+	target := next - 1
+	// A message straddling the sync base — its head delivered before the
+	// base, its tail preserved above it — can never be reassembled from
+	// live traffic here; extend the catch-up horizon past its final
+	// segment so the transfer covers it.
+	for _, m := range sync.Sequenced {
+		if m.Seq < next {
+			continue
+		}
+		if m.Seq == next && m.Part > 0 {
+			target = m.Seq + uint64(m.Parts-1-m.Part)
+		}
+		break
+	}
+	var peers []ProcID
+	for _, p := range v.Ring.Members() {
+		if p != n.cfg.Self {
+			peers = append(peers, p)
+		}
+	}
+	if n.catch == nil {
+		if n.Applied() >= target {
+			return // the skipped range was already applied before the crash
+		}
+		n.catch = &catchState{after: n.Applied()}
+	}
+	c := n.catch
+	c.target = max(c.target, target)
+	c.peers = peers
+	c.idx = 0
+	c.unavail = 0
+	n.outMu.Lock()
+	n.catching = true
+	n.outMu.Unlock()
+	n.sendCatchupReq()
+}
+
+// extendCatchup raises the catch-up horizon to cover a message the
+// assembler had to drop (deliver detected the hole and already set the
+// pump hold under outMu).
+func (n *Node) extendCatchup(target uint64) {
+	if n.catch == nil {
+		n.catch = &catchState{after: n.Applied(), peers: n.catchupPeers(n.mgr.View())}
+	}
+	if target > n.catch.target {
+		n.catch.target = target
+	}
+	n.sendCatchupReq()
+}
+
+// catchupPeers lists the candidate catch-up servers: the view's members
+// in ring order (leader first), excluding self.
+func (n *Node) catchupPeers(v core.View) []ProcID {
+	var peers []ProcID
+	for _, p := range v.Ring.Members() {
+		if p != n.cfg.Self {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// sendCatchupReq asks the current candidate peer for the next page, or
+// finishes the catch-up when the need has disappeared.
+func (n *Node) sendCatchupReq() {
+	c := n.catch
+	if c == nil {
+		return
+	}
+	after := max(n.Applied(), c.after)
+	if after >= c.target || len(c.peers) == 0 {
+		// Nothing (more) to fetch — or nobody to ask: a singleton view
+		// serves itself by definition of uniformity.
+		n.finishCatchup()
+		return
+	}
+	c.lastSend = time.Now()
+	payload := wire.EncodeCatchupReq(&wire.CatchupReq{After: after, UpTo: c.target})
+	_ = n.tr.Send(c.peers[c.idx], payload) // silence heals via tick retry
+}
+
+// finishCatchup releases the live stream.
+func (n *Node) finishCatchup() {
+	n.catch = nil
+	n.outMu.Lock()
+	if n.catching {
+		n.catching = false
+		n.outCond.Signal()
+	}
+	n.outMu.Unlock()
+}
+
+// tickCatchup retries a stalled transfer: the serving peer may have
+// crashed (rotate to the next candidate) or may itself still be applying
+// the range we need (ask again).
+func (n *Node) tickCatchup(now time.Time) {
+	c := n.catch
+	if c == nil || now.Sub(c.lastSend) < n.cfg.ChangeTimeout {
+		return
+	}
+	if n.Applied() >= c.target {
+		n.finishCatchup()
+		return
+	}
+	if n.catchBacklog() >= catchupMaxBacklog {
+		return // still draining the last pages; check again next tick
+	}
+	if len(c.peers) > 1 {
+		c.idx = (c.idx + 1) % len(c.peers)
+	}
+	n.sendCatchupReq()
+}
+
+// serveCatchup answers a peer's request for recovered history out of this
+// node's durable log. The log maintains a simple invariant — WriteSnapshot
+// removes every entry at or below the snapshot, so retained entries are
+// complete above the latest snapshot and the snapshot covers everything
+// below it. Serving therefore needs no gap heuristics (entry sequence
+// numbers are sparse — one entry per message, keyed by its final
+// segment): a requester below the snapshot gets the snapshot plus the
+// entries above it, anyone else gets entries only. This runs on the event
+// loop: the page caps (and the log's resume hint) bound the synchronous
+// disk work per request, a deliberate trade against the complexity of an
+// off-loop serving goroutine.
+func (n *Node) serveCatchup(from ProcID, req *wire.CatchupReq) {
+	if n.wlog == nil {
+		_ = n.tr.Send(from, wire.EncodeCatchupResp(&wire.CatchupResp{Unavailable: true}))
+		return
+	}
+	resp := &wire.CatchupResp{}
+	after := req.After
+	if snap, ok := n.wlog.LatestSnapshot(); ok && snap.Seq > after {
+		resp.HasSnapshot = true
+		resp.SnapSeq = snap.Seq
+		resp.Snapshot = snap.Data
+		after = snap.Seq
+	}
+	if after < req.UpTo {
+		entries, more, err := n.wlog.ReadFrom(after, req.UpTo, catchupMaxEntries, catchupMaxBytes)
+		if err != nil {
+			n.fail(err) // local disk corruption is fatal (fail-stop)
+			return
+		}
+		resp.More = more
+		resp.Entries = make([]wire.CatchupEntry, len(entries))
+		for i, e := range entries {
+			resp.Entries[i] = wire.CatchupEntry{
+				Seq:       e.Seq,
+				Origin:    ProcID(e.Origin),
+				LogicalID: e.LogicalID,
+				Payload:   e.Payload,
+			}
+		}
+	}
+	_ = n.tr.Send(from, wire.EncodeCatchupResp(resp))
+}
+
+// handleCatchupResp feeds one page of recovered history to the pump and
+// drives the transfer forward.
+func (n *Node) handleCatchupResp(from ProcID, resp *wire.CatchupResp) {
+	c := n.catch
+	if c == nil || len(c.peers) == 0 || from != c.peers[c.idx] {
+		return // stale response from an earlier attempt
+	}
+	if resp.Unavailable {
+		c.unavail++
+		if c.unavail >= len(c.peers) {
+			// Nobody in the view keeps history: proceed with the gap, the
+			// documented semantics of joining without a state transfer.
+			n.finishCatchup()
+			return
+		}
+		c.idx = (c.idx + 1) % len(c.peers)
+		n.sendCatchupReq()
+		return
+	}
+	c.unavail = 0
+	var items []catchItem
+	if resp.HasSnapshot && resp.SnapSeq > c.after {
+		items = append(items, catchItem{snap: &wal.Snapshot{Seq: resp.SnapSeq, Data: resp.Snapshot}})
+		c.after = resp.SnapSeq
+	}
+	for i := range resp.Entries {
+		e := &resp.Entries[i]
+		items = append(items, catchItem{msg: Message{
+			Seq:       e.Seq,
+			Origin:    e.Origin,
+			LogicalID: e.LogicalID,
+			Payload:   e.Payload,
+		}})
+		if e.Seq > c.after {
+			c.after = e.Seq
+		}
+	}
+	if len(items) > 0 {
+		n.outMu.Lock()
+		n.catchBuf = append(n.catchBuf, items...)
+		n.outCond.Signal()
+		n.outMu.Unlock()
+	}
+	switch {
+	case c.after >= c.target:
+		n.finishCatchup()
+	case resp.More:
+		if n.catchBacklog() < catchupMaxBacklog {
+			n.sendCatchupReq()
+		}
+		// Else: backpressure — the tick resumes paging once the pump has
+		// worked through the buffered history.
+	default:
+		// The peer has served everything it holds but the target is still
+		// ahead (it is applying the same traffic we are waiting for); the
+		// tick retries shortly.
+	}
+}
+
+// catchBacklog reports how many recovered messages await the pump.
+func (n *Node) catchBacklog() int {
+	n.outMu.Lock()
+	defer n.outMu.Unlock()
+	return len(n.catchBuf)
 }
 
 // closeDeliveries wakes the delivery pump for shutdown.
@@ -695,38 +1119,178 @@ func (n *Node) closeDeliveries() {
 }
 
 // deliveryPump moves reassembled messages from the unbounded buffer to the
-// consumers — Subscribe handlers when any are registered, the Messages
-// channel otherwise — so slow consumers cannot stall the protocol loop.
+// consumers — the durable log and state machine first, then Subscribe
+// handlers or the Messages channel — so slow consumers cannot stall the
+// protocol loop. Each batch is persisted (one fsync) before any of it is
+// dispatched: nothing an application ever observed can be lost by a crash.
+//
+// While a catch-up transfer is in flight the live stream is held back and
+// only recovered history (catchBuf) is applied, so the state machine never
+// sees the order with a gap; recovered messages reach the state machine
+// but not Subscribe/Messages — the live stream resumes once the node has
+// caught up.
 func (n *Node) deliveryPump() {
 	defer n.wg.Done()
 	defer close(n.msgs)
 	for {
 		n.outMu.Lock()
-		for len(n.outBuf) == 0 && !n.outDone {
+		for !n.pumpReadyLocked() && !n.outDone {
 			n.outCond.Wait()
 		}
-		if len(n.outBuf) == 0 && n.outDone {
-			n.outMu.Unlock()
+		recovered := n.catchBuf
+		n.catchBuf = nil
+		var live []Message
+		if !n.catching {
+			live = n.outBuf
+			n.outBuf = nil
+		}
+		done := n.outDone
+		n.outMu.Unlock()
+		if len(recovered) == 0 && len(live) == 0 {
+			if done {
+				return
+			}
+			continue
+		}
+		if err := n.applyBatch(recovered, live); err != nil {
+			n.fail(err)
 			return
 		}
-		batch := n.outBuf
-		n.outBuf = nil
-		n.outMu.Unlock()
-		for _, m := range batch {
-			n.dispatch(m)
+	}
+}
+
+// pumpReadyLocked reports whether the pump has something processable.
+// Callers hold outMu.
+func (n *Node) pumpReadyLocked() bool {
+	return len(n.catchBuf) > 0 || (!n.catching && len(n.outBuf) > 0)
+}
+
+// applyBatch runs one pump batch through the durability pipeline: append
+// every new message to the WAL, fsync once, fold into the state machine,
+// then dispatch the live ones and take a snapshot if the cadence is due.
+//
+// Recovered history and live messages are merged by sequence number (both
+// streams arrive ascending), so the state machine always sees the total
+// order: a view change can leave not-yet-applied live deliveries below the
+// recovered range in flight. Where the streams overlap, the live copy wins
+// — it is the one that reaches Subscribe/Messages — and the duplicate is
+// skipped by the cursor. Pump goroutine only.
+func (n *Node) applyBatch(recovered []catchItem, live []Message) error {
+	// n.applied is written under outMu but only ever by this goroutine,
+	// so reading it unlocked here is race-free.
+	cursor := n.applied
+	var dispatch []Message
+	appended := false
+	apply := func(m Message, isLive bool) error {
+		if m.Seq <= cursor {
+			return nil // already recovered (replay / catch-up overlap)
+		}
+		if n.wlog != nil {
+			err := n.wlog.Append(wal.Entry{
+				Seq:       m.Seq,
+				Origin:    uint32(m.Origin),
+				LogicalID: m.LogicalID,
+				Payload:   m.Payload,
+			})
+			if err != nil {
+				return err
+			}
+			appended = true
+		}
+		if n.sm != nil {
+			n.sm.Apply(m)
+		}
+		cursor = m.Seq
+		n.sinceSnap++
+		if isLive {
+			dispatch = append(dispatch, m)
+		}
+		return nil
+	}
+	applyRecovered := func(it catchItem) error {
+		if it.snap == nil {
+			return apply(it.msg, false)
+		}
+		if it.snap.Seq <= cursor {
+			return nil // stale transfer; local state is already past it
+		}
+		if n.sm != nil {
+			if err := n.sm.Restore(it.snap.Data); err != nil {
+				return fmt.Errorf("fsr: restore transferred snapshot at %d: %w", it.snap.Seq, err)
+			}
+		}
+		if n.wlog != nil {
+			if err := n.wlog.WriteSnapshot(it.snap.Seq, it.snap.Data); err != nil {
+				return err
+			}
+		}
+		cursor = it.snap.Seq
+		n.sinceSnap = 0
+		return nil
+	}
+	ri, li := 0, 0
+	for ri < len(recovered) || li < len(live) {
+		// A snapshot transfer always goes first: live messages at or below
+		// its seq are part of the state it carries, and applying them first
+		// would push the cursor past the snapshot, discarding the transfer
+		// and leaving the gap below it unfilled forever. For plain messages
+		// <= means live wins ties, so the copy that dispatches is the one
+		// applied (the recovered duplicate is skipped by the cursor).
+		takeLive := li < len(live) &&
+			(ri == len(recovered) ||
+				(recovered[ri].snap == nil && live[li].Seq <= recovered[ri].msg.Seq))
+		if takeLive {
+			if err := apply(live[li], true); err != nil {
+				return err
+			}
+			li++
+			continue
+		}
+		if err := applyRecovered(recovered[ri]); err != nil {
+			return err
+		}
+		ri++
+	}
+	if appended {
+		if err := n.wlog.Sync(); err != nil {
+			return err
 		}
 	}
+	n.outMu.Lock()
+	n.applied = cursor
+	n.outMu.Unlock()
+	for _, m := range dispatch {
+		n.dispatch(m)
+	}
+	if n.wlog != nil && n.sm != nil && n.sinceSnap >= n.cfg.SnapshotEvery {
+		data, err := n.sm.Snapshot()
+		if err != nil {
+			return fmt.Errorf("fsr: state machine snapshot: %w", err)
+		}
+		if err := n.wlog.WriteSnapshot(cursor, data); err != nil {
+			return err
+		}
+		n.sinceSnap = 0
+	}
+	return nil
 }
 
 // dispatch hands one message to the current consumption mode. A blocked
 // channel send re-evaluates when the subscriber set changes, so a consumer
 // that subscribes mid-stream takes over from the channel immediately.
+// With a StateMachine attached, the state machine (already fed by
+// applyBatch) is the consumer of record: the Messages channel is not used
+// unless a Subscribe handler is registered, so an application that never
+// drains the channel cannot wedge delivery.
 func (n *Node) dispatch(m Message) {
 	for {
 		n.subMu.Lock()
 		subs := n.subs
 		changed := n.subChanged
 		n.subMu.Unlock()
+		if len(subs) == 0 && n.sm != nil {
+			return
+		}
 		if len(subs) > 0 {
 			if n.stopping() {
 				return // drop, matching channel-mode shutdown semantics

@@ -1,0 +1,37 @@
+package fsr
+
+// StateMachine is replicated application state driven by the agreed total
+// order — the paper's motivating use case (§1): every replica applies the
+// same messages in the same order and therefore stays identical, with no
+// cross-replica coordination beyond FSR itself.
+//
+// Attach one with Config.StateMachine (or ClusterConfig.StateMachines).
+// Combined with Config.DurableDir, the node keeps a write-ahead log of the
+// delivered order and periodic snapshots: a crashed process restarted on
+// the same directory rebuilds its state from snapshot + WAL replay, then
+// fetches the suffix of the order it missed from its peers (catch-up)
+// before rejoining ring traffic.
+//
+// Lifecycle within one process incarnation: Restore at most once (at
+// startup, from the latest local snapshot, or mid-catch-up when a peer
+// hands over a full state transfer because the entries this replica needs
+// were already truncated), then Apply exactly once per message, in total
+// order. All calls are made from the node's single delivery goroutine, so
+// implementations need no locking against the node — only against their
+// own readers.
+type StateMachine interface {
+	// Apply folds one delivered message into the state. The message's Seq
+	// is its position in the total order; implementations that serve reads
+	// concurrently should treat it as their version number.
+	Apply(Message)
+	// Snapshot serializes the complete state. The node calls it every
+	// Config.SnapshotEvery applied messages and hands the bytes to the
+	// durable log (truncating the WAL behind it) and to catching-up peers.
+	// The returned slice is owned by the node. A snapshot travels to a
+	// catching-up peer in one transport frame, so over transport/tcp it
+	// must stay under tcp.MaxFrameSize (16 MiB); larger states need an
+	// out-of-band transfer today.
+	Snapshot() ([]byte, error)
+	// Restore replaces the state with a previously serialized Snapshot.
+	Restore([]byte) error
+}

@@ -37,6 +37,18 @@ type Config struct {
 	Peers map[transport.ProcID]string
 	// DialTimeout bounds one connection attempt. Defaults to 3s.
 	DialTimeout time.Duration
+	// DialBackoff paces reconnection to an unreachable peer: after a
+	// failed dial the peer enters backoff (doubling per consecutive
+	// failure, capped at DialMaxBackoff) and Sends during the window fail
+	// fast without touching the network. Callers that keep sending — the
+	// protocol stack emits heartbeats every interval — therefore drive
+	// the retry at a bounded rate, so a cluster forms when peers come up
+	// out of order and a restarted member reconnects, while a Send never
+	// sleeps (a blocking retry here would stall the caller's event loop
+	// and starve the failure detector). Defaults to 25ms.
+	DialBackoff time.Duration
+	// DialMaxBackoff caps the backoff growth. Defaults to 1s.
+	DialMaxBackoff time.Duration
 }
 
 // Transport is a TCP-backed transport endpoint.
@@ -46,10 +58,11 @@ type Transport struct {
 
 	mu      sync.Mutex
 	handler transport.Handler
-	conns   map[transport.ProcID]net.Conn // outbound, dialed
-	inbound map[net.Conn]struct{}         // accepted, closed with the endpoint
-	pending []pendingPayload              // buffered inbound before SetHandler finishes replaying
-	replay  bool                          // SetHandler is replaying pending; keep buffering
+	conns   map[transport.ProcID]net.Conn     // outbound, dialed
+	redial  map[transport.ProcID]*redialState // per-peer dial pacing
+	inbound map[net.Conn]struct{}             // accepted, closed with the endpoint
+	pending []pendingPayload                  // buffered inbound before SetHandler finishes replaying
+	replay  bool                              // SetHandler is replaying pending; keep buffering
 	closed  bool
 
 	wg sync.WaitGroup
@@ -62,6 +75,12 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 3 * time.Second
 	}
+	if cfg.DialBackoff <= 0 {
+		cfg.DialBackoff = 25 * time.Millisecond
+	}
+	if cfg.DialMaxBackoff <= 0 {
+		cfg.DialMaxBackoff = time.Second
+	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("tcp: listen %s: %w", cfg.ListenAddr, err)
@@ -70,6 +89,7 @@ func New(cfg Config) (*Transport, error) {
 		cfg:     cfg,
 		ln:      ln,
 		conns:   make(map[transport.ProcID]net.Conn),
+		redial:  make(map[transport.ProcID]*redialState),
 		inbound: make(map[net.Conn]struct{}),
 	}
 	t.wg.Add(1)
@@ -82,11 +102,25 @@ func (t *Transport) Addr() string { return t.ln.Addr().String() }
 
 // SetPeers replaces the peer address map. Intended for bootstrap flows
 // where endpoints bind ephemeral ports first and exchange addresses
-// afterwards; existing connections are unaffected.
+// afterwards; existing connections are unaffected. A peer whose address
+// changed (e.g. a member restarted on a fresh ephemeral port) leaves
+// backoff immediately.
 func (t *Transport) SetPeers(peers map[transport.ProcID]string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	for id, addr := range peers {
+		if t.cfg.Peers[id] != addr {
+			delete(t.redial, id)
+		}
+	}
 	t.cfg.Peers = peers
+}
+
+// redialState paces dials to one currently-unreachable peer.
+type redialState struct {
+	until   time.Time     // no dial before this instant
+	backoff time.Duration // next window length
+	lastErr error         // what the last real attempt said
 }
 
 // Self implements transport.Transport.
@@ -165,6 +199,9 @@ func (t *Transport) trySend(to transport.ProcID, payload []byte) error {
 }
 
 // connTo returns (dialing if necessary) the outbound connection to a peer.
+// Failed dials put the peer in a doubling backoff window during which
+// further Sends fail fast without a network attempt — reconnection is
+// paced, never blocking (see Config.DialBackoff).
 func (t *Transport) connTo(to transport.ProcID) (net.Conn, error) {
 	t.mu.Lock()
 	if c, ok := t.conns[to]; ok {
@@ -172,13 +209,30 @@ func (t *Transport) connTo(to transport.ProcID) (net.Conn, error) {
 		return c, nil
 	}
 	addr, ok := t.cfg.Peers[to]
+	if rs := t.redial[to]; ok && rs != nil && time.Now().Before(rs.until) {
+		err := rs.lastErr
+		t.mu.Unlock()
+		return nil, fmt.Errorf("tcp: peer %d in dial backoff: %w", to, err)
+	}
 	t.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("tcp: peer %d: %w", to, transport.ErrUnknownPeer)
 	}
 	c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("tcp: dial %d@%s: %w", to, addr, err)
+		err = fmt.Errorf("tcp: dial %d@%s: %w", to, addr, err)
+		t.mu.Lock()
+		rs := t.redial[to]
+		if rs == nil {
+			rs = &redialState{backoff: t.cfg.DialBackoff}
+			t.redial[to] = rs
+		} else {
+			rs.backoff = min(rs.backoff*2, t.cfg.DialMaxBackoff)
+		}
+		rs.until = time.Now().Add(rs.backoff)
+		rs.lastErr = err
+		t.mu.Unlock()
+		return nil, err
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
@@ -196,6 +250,7 @@ func (t *Transport) connTo(to transport.ProcID) (net.Conn, error) {
 		_ = c.Close()
 		return nil, transport.ErrClosed
 	}
+	delete(t.redial, to)
 	if prev, ok := t.conns[to]; ok {
 		_ = c.Close() // lost a dial race; reuse the existing connection
 		return prev, nil

@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -206,5 +207,111 @@ func TestThreeNodeMesh(t *testing.T) {
 				t.Fatalf("node %d frame %d = %q want %q", i, j, g, want)
 			}
 		}
+	}
+}
+
+// TestDialBackoffConnectsWhenPeerComesUpLate: a caller that keeps sending
+// (the way the protocol stack emits heartbeats) connects as soon as the
+// late peer's listener appears, even though every individual Send is
+// non-blocking — the paced redial bridges out-of-order startup and member
+// restarts.
+func TestDialBackoffConnectsWhenPeerComesUpLate(t *testing.T) {
+	// Reserve a loopback address, then free it for the late peer.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	_ = probe.Close()
+
+	a, err := New(Config{
+		Self:        1,
+		ListenAddr:  "127.0.0.1:0",
+		Peers:       map[transport.ProcID]string{2: addr},
+		DialBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if err := a.Send(2, []byte("early bird")); err == nil {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Bring the peer up only after the first dials have failed.
+	time.Sleep(100 * time.Millisecond)
+	b, err := New(Config{Self: 2, ListenAddr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	s := &sink{}
+	b.SetHandler(s.handler)
+
+	select {
+	case <-done:
+	case <-time.After(6 * time.Second):
+		t.Fatal("sender loop never connected to the late peer")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.got)
+		s.mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("payload never arrived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDialBackoffNeverBlocks: Sends to an absent peer must fail fast —
+// both the attempt that dials and the ones landing inside the backoff
+// window — because a sleeping Send would stall the caller's event loop
+// and starve its failure detector.
+func TestDialBackoffNeverBlocks(t *testing.T) {
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	_ = probe.Close()
+
+	a, err := New(Config{
+		Self:        1,
+		ListenAddr:  "127.0.0.1:0",
+		Peers:       map[transport.ProcID]string{2: addr},
+		DialBackoff: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 10; i++ {
+		start := time.Now()
+		if err := a.Send(2, []byte("void")); err == nil {
+			t.Fatal("Send to absent peer succeeded")
+		}
+		if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+			t.Fatalf("Send %d blocked for %v", i, elapsed)
+		}
+	}
+	// The backoff is per-peer state, not a permanent ban: once the window
+	// has passed, the next Send dials again.
+	time.Sleep(250 * time.Millisecond)
+	if err := a.Send(2, []byte("still void")); err == nil {
+		t.Fatal("Send to absent peer succeeded after backoff")
 	}
 }
