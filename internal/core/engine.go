@@ -260,6 +260,12 @@ func (e *Engine) QueueDepths() (relay, own, acks int) {
 	return len(e.relayQ), len(e.ownQ), len(e.ackQ)
 }
 
+// PendingDeliveries reports how many TO-delivered segments await a
+// Deliveries call. Runtimes that vouch for the completeness of their
+// durable log (catch-up serving) must treat a non-empty buffer as
+// in-flight work.
+func (e *Engine) PendingDeliveries() int { return len(e.out) }
+
 // Deliveries drains and returns the segments TO-delivered since the last
 // call, in total order.
 func (e *Engine) Deliveries() []Delivery {
@@ -331,7 +337,12 @@ func (e *Engine) handleData(d *wire.DataItem) error {
 	}
 	sPos, ok := r.Position(d.ID.Origin)
 	if !ok {
-		return fmt.Errorf("core: pass B for non-member origin %v", d.ID)
+		// The origin is not in this view: a preserved segment re-emitted
+		// by the new leader after a view change that excluded (crashed,
+		// departed) its origin. Route it as leader-originated — every
+		// member computes the same substitute position, so the pass-B stop
+		// and the ack hop budget stay consistent ring-wide.
+		sPos = 0
 	}
 	if e.self == r.SeqStopPos(sPos) {
 		// Pass B ends here: originate the acknowledgment (pass C).

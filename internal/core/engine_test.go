@@ -337,13 +337,47 @@ func TestAckForUnknownSegmentErrors(t *testing.T) {
 }
 
 // TestPassBNonMemberOriginErrors covers the defensive membership check.
-func TestPassBNonMemberOriginErrors(t *testing.T) {
+// TestSyncSegmentOrphanedOriginDelivers: a preserved segment whose origin
+// is not in the new view — it crashed right after its broadcast was
+// sequenced — is re-emitted by the new leader (routed as leader-originated)
+// and delivers ring-wide through the ordinary stability rules.
+func TestSyncSegmentOrphanedOriginDelivers(t *testing.T) {
 	tr := newTestRing(t, 3, 1)
-	f := &wire.Frame{ViewID: 1, Data: []wire.DataItem{
-		{ID: wire.MsgID{Origin: 77, Local: 0}, Seq: 5, Body: []byte("x")},
+	sync := &Sync{StartSeq: 1, Sequenced: []SequencedMsg{
+		{ID: wire.MsgID{Origin: 77, Local: 0}, Seq: 1, Parts: 1, Body: []byte("orphan")},
 	}}
-	if err := tr.engines[1].HandleFrame(f); err == nil {
-		t.Fatal("pass B from non-member accepted")
+	v2 := View{ID: 2, Ring: tr.view.Ring}
+	for i, e := range tr.engines {
+		if err := e.InstallView(v2, sync); err != nil {
+			t.Fatalf("InstallView at pos %d: %v", i, err)
+		}
+	}
+	tr.runQuiet(1000)
+	for i, e := range tr.engines {
+		ds := e.Deliveries()
+		if len(ds) != 1 || ds[0].Seq != 1 || !bytes.Equal(ds[0].Body, []byte("orphan")) {
+			t.Fatalf("engine %d delivered %v, want the orphaned segment at seq 1", i, ds)
+		}
+	}
+}
+
+// TestSyncSegmentsNotDeliveredBeforeStability: preserved segments must NOT
+// deliver at install time — the flush proves some contributor held them,
+// not that the new view's leader and backups store them. Only the leader's
+// re-emission round makes them deliverable.
+func TestSyncSegmentsNotDeliveredBeforeStability(t *testing.T) {
+	tr := newTestRing(t, 3, 1)
+	sync := &Sync{StartSeq: 1, Sequenced: []SequencedMsg{
+		{ID: wire.MsgID{Origin: 1, Local: 0}, Seq: 1, Parts: 1, Body: []byte("held")},
+	}}
+	v2 := View{ID: 2, Ring: tr.view.Ring}
+	for i, e := range tr.engines {
+		if err := e.InstallView(v2, sync); err != nil {
+			t.Fatalf("InstallView at pos %d: %v", i, err)
+		}
+		if ds := e.Deliveries(); len(ds) != 0 {
+			t.Fatalf("engine %d delivered %d segments at install, before stability", i, len(ds))
+		}
 	}
 }
 

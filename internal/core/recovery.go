@@ -98,15 +98,22 @@ func (e *Engine) Snapshot() RecoveryState {
 // Sync is the agreed view-change synchronization computed by the new
 // coordinator from all survivors' RecoveryStates.
 type Sync struct {
-	// StartSeq is the lowest NextDeliver among survivors: the first
-	// sequence number some survivor still needs.
+	// StartSeq is the sync base: every member's delivery cursor is at
+	// least here after the install. Normally it is the lowest NextDeliver
+	// among survivors (the first sequence number some survivor still
+	// needs); when a member has fallen behind the group's pruning horizon
+	// it is rebased above the last unsuppliable gap, and members below it
+	// repair the difference from durable logs via catch-up.
 	StartSeq uint64
-	// Sequenced is the contiguous run of segments with sequence numbers
-	// StartSeq, StartSeq+1, ... that survive the change and keep their
-	// numbers. Segments beyond the first gap were provably undelivered
-	// everywhere (delivery is in-order, and anything delivered was stable
-	// at t+1 processes of which at most t crashed) and are dropped; their
-	// origins re-broadcast them in the new view.
+	// Sequenced is the ascending run of preserved segments that survive
+	// the change with their numbers. It is contiguous from StartSeq except
+	// for entries below a rebased base (kept so their origins do not
+	// re-broadcast — they may have been delivered by an advanced member).
+	// Segments beyond the first gap at or above the group's delivery
+	// frontier were provably undelivered everywhere (delivery is in-order,
+	// and anything delivered was stable at t+1 processes of which at most
+	// t crashed) and are dropped; their origins re-broadcast them in the
+	// new view.
 	Sequenced []SequencedMsg
 }
 
@@ -162,12 +169,27 @@ func MergeRecovery(states []RecoveryState) (*Sync, error) {
 	for seq := start; ; seq++ {
 		m, ok := bySeq[seq]
 		if !ok {
-			// First gap. Anything at or above it was never delivered
-			// anywhere; but a gap below maxDelivered-1 would mean some
-			// survivor delivered past a hole, which is impossible.
+			// A gap at or above maxDelivered ends the preserved run:
+			// nothing beyond it was ever delivered anywhere, so origins
+			// re-broadcast it. A gap BELOW maxDelivered means the segment
+			// was delivered (and since pruned) by the advanced members
+			// while some member sits so far behind that nobody can
+			// re-disseminate the middle — it missed a view change and the
+			// ring kept delivering without it. Rebase the sync above the
+			// gap: members below it jump their cursor to the base at
+			// install and repair the skipped range from their peers'
+			// durable logs via catch-up (delivery is contiguous per
+			// process, so the most advanced member's log covers everything
+			// under its cursor; a member without a durable log accepts the
+			// gap, like a joiner admitted without state transfer). The
+			// entries already collected below the gap STAY in the sync:
+			// they may have been delivered by an advanced member, and
+			// dropping them would make their origins re-broadcast
+			// (Rebroadcast keys on Contains) — re-sequencing an
+			// already-delivered message, a duplicate in the total order.
 			if seq < maxDelivered {
-				return nil, fmt.Errorf("core: recovery gap at seq %d below delivered %d",
-					seq, maxDelivered-1)
+				sync.StartSeq = seq + 1
+				continue
 			}
 			break
 		}
@@ -191,10 +213,14 @@ func (rs *RecoveryState) Rebroadcast(sync *Sync) []PendingMsg {
 }
 
 // InstallView resets the engine onto a new view, applying the agreed sync.
-// In-flight old-view traffic is discarded; preserved sequenced segments
-// become deliverable immediately (the flush guarantees every new-view member
-// holds them, which is stability in the strongest sense). The caller then
-// re-broadcasts what Rebroadcast returned.
+// In-flight old-view traffic is discarded. Preserved sequenced segments are
+// registered with their numbers but NOT delivered here: the flush proves
+// some contributor held each of them, not that the new view's leader and t
+// backups store them, so delivering at install could mint history no
+// survivor repeats if this process crashed before others installed. The
+// new leader instead re-emits the preserved run as pass-B traffic and the
+// ordinary stability rules gate delivery (see the loop body). The caller
+// then re-broadcasts what Rebroadcast returned.
 func (e *Engine) InstallView(v View, sync *Sync) error {
 	pos, ok := v.Ring.Position(e.cfg.Self)
 	if !ok {
@@ -247,28 +273,48 @@ func (e *Engine) InstallView(v View, sync *Sync) error {
 	e.oldest = e.nextDel
 	e.nextSeq = max(sync.MaxSeq()+1, e.nextDel)
 
+	// Register the preserved segments. They are NOT made deliverable here:
+	// the flush proves a preserved segment was held by SOME contributor,
+	// not that the leader and t backups of the NEW view store it — a
+	// coordinator that installed, delivered and crashed before its NEWVIEW
+	// reached anyone would create deliveries no survivor ever repeats
+	// (phantom history in its durable log; the chaos harness reproduces
+	// this). Uniform stability is re-established in the new view instead,
+	// exactly as the paper prescribes ("the new leader must resend all
+	// message and sequence number pairs that have not yet been
+	// TO-delivered"): the new leader re-emits the preserved run as pass-B
+	// traffic with the original sequence numbers, and the ordinary
+	// stability rules (position >= t on pass B, stable ack on pass C) gate
+	// delivery. With T() == 0 stability IS leader storage, so registration
+	// alone suffices and segments deliver immediately.
 	for _, m := range sync.Sequenced {
-		if m.Seq < e.nextDel {
-			continue // already delivered here
-		}
 		st := e.ensure(m.ID)
 		st.seq = m.Seq
 		st.part = m.Part
 		st.parts = m.Parts
 		st.body = m.Body
 		st.haveBody = true
-		st.eligible = true
 		st.own = m.ID.Origin == e.cfg.Self
 		e.bySeq[m.Seq] = st
-	}
-	e.tryDeliver()
-	// No old-view acks will arrive for sync-installed segments; drop their
-	// pending records as soon as they are delivered.
-	for id, st := range e.pend {
-		if st.delivered {
-			delete(e.pend, id)
+		if e.self == 0 {
+			// The whole run is re-emitted — including segments this leader
+			// already delivered: a slower member still needs their
+			// stability signal.
+			e.relayQ = append(e.relayQ, wire.DataItem{
+				ID: m.ID, Seq: m.Seq, Part: m.Part, Parts: m.Parts, Body: m.Body,
+			})
+		}
+		if m.Seq < e.nextDel {
+			// Already delivered here; keep the record so re-emitted pass-B
+			// and ack traffic for it finds a home instead of erroring.
+			st.delivered = true
+			continue
+		}
+		if v.Ring.T() == 0 {
+			st.eligible = true
 		}
 	}
+	e.tryDeliver()
 	for _, m := range preserve {
 		if err := e.ReBroadcast(m); err != nil {
 			return err

@@ -177,11 +177,39 @@ func TestMergeRecoveryValidation(t *testing.T) {
 	if _, err := MergeRecovery([]RecoveryState{a, b}); err == nil {
 		t.Error("conflicting recovery states accepted")
 	}
-	// A gap below someone's delivery cursor is corruption.
+	// A gap below someone's delivery cursor means a member lagged so far
+	// behind that the middle was pruned everywhere: the sync rebases above
+	// the gap (the laggard repairs via durable-log catch-up) instead of
+	// wedging the change.
 	c := RecoveryState{NextDeliver: 5}
 	d := RecoveryState{NextDeliver: 1}
-	if _, err := MergeRecovery([]RecoveryState{c, d}); err == nil {
-		t.Error("gap below delivered cursor accepted")
+	sync, err := MergeRecovery([]RecoveryState{c, d})
+	if err != nil {
+		t.Fatalf("unsuppliable gap wedged the merge: %v", err)
+	}
+	if sync.StartSeq != 5 || len(sync.Sequenced) != 0 {
+		t.Fatalf("sync = start %d, %d preserved; want rebase to 5 with none",
+			sync.StartSeq, len(sync.Sequenced))
+	}
+	// A partially suppliable middle rebases the base but KEEPS the
+	// available entries: they may have been delivered by the advanced
+	// member, and losing them from the sync would make their origins
+	// re-broadcast already-delivered messages (duplicates in the order).
+	e := RecoveryState{NextDeliver: 6}
+	f := RecoveryState{NextDeliver: 1, Sequenced: []SequencedMsg{
+		{ID: wire.MsgID{Origin: 1, Local: 1}, Seq: 2, Parts: 1},
+		{ID: wire.MsgID{Origin: 1, Local: 3}, Seq: 4, Parts: 1},
+	}}
+	sync, err = MergeRecovery([]RecoveryState{e, f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sync.StartSeq != 6 || len(sync.Sequenced) != 2 {
+		t.Fatalf("sync = start %d, %d preserved; want base 6 keeping both entries",
+			sync.StartSeq, len(sync.Sequenced))
+	}
+	if !sync.Contains(wire.MsgID{Origin: 1, Local: 1}) || !sync.Contains(wire.MsgID{Origin: 1, Local: 3}) {
+		t.Fatal("below-base entries lost from the sync (their origins would re-broadcast)")
 	}
 }
 

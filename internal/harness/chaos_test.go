@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// seedBase picks where this run's seed range starts: FSR_SEED pins a single
+// scenario for replay; otherwise every run explores a fresh range (the
+// FoundationDB discipline — new schedules every CI run, any failure
+// replayable from its printed seed).
+func seedBase(t *testing.T) (base int64, pinned bool) {
+	if v := os.Getenv("FSR_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("FSR_SEED=%q: %v", v, err)
+		}
+		return n, true
+	}
+	return time.Now().UnixNano(), false
+}
+
+// TestScenarioDeterminism: a seed fully determines the scenario — the plan
+// renders byte-for-byte identically across generations, and the chaos
+// transport's injection schedule is likewise seed-pure (covered by
+// transport/chaos tests). This is what makes the printed repro line honest.
+func TestScenarioDeterminism(t *testing.T) {
+	for seed := int64(-3); seed < 40; seed++ {
+		a, b := Generate(seed, false).String(), Generate(seed, false).String()
+		if a != b {
+			t.Fatalf("seed %d generated two different scenarios:\n%s\n%s", seed, a, b)
+		}
+		if c := Generate(seed+1, false).String(); a == c {
+			t.Fatalf("seeds %d and %d generated identical scenarios", seed, seed+1)
+		}
+		if soak := Generate(seed, true); soak.Messages <= Generate(seed, false).Messages {
+			t.Fatalf("seed %d: soak scenario not scaled up", seed)
+		}
+	}
+}
+
+// TestScenarioCoverage: any window of `profiles` consecutive seeds covers
+// every coverage class, so the default 50-scenario run always includes
+// leader crashes, crash-restarts with catch-up and membership churn.
+func TestScenarioCoverage(t *testing.T) {
+	base := time.Now().UnixNano()
+	classes := make(map[string]bool)
+	for i := int64(0); i < profiles; i++ {
+		classes[profileName(Generate(base+i, false))] = true
+	}
+	for _, want := range []string{"timing-only", "leader-crash+restart", "follower-crash+restart", "membership-churn"} {
+		if !classes[want] {
+			t.Fatalf("class %q missing from %d consecutive seeds (base %d)", want, profiles, base)
+		}
+	}
+}
+
+// TestChaos is the short chaos pass: 50 seeded scenarios (FSR_CHAOS_COUNT
+// overrides; -short trims) against the real mem-transport stack. Replay a
+// failure with the FSR_SEED line it prints.
+func TestChaos(t *testing.T) {
+	base, pinned := seedBase(t)
+	count := 50
+	if v := os.Getenv("FSR_CHAOS_COUNT"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("FSR_CHAOS_COUNT=%q", v)
+		}
+		count = n
+	} else if testing.Short() {
+		count = 8
+	}
+	if pinned {
+		count = 1
+	}
+	for i := range count {
+		seed := base + int64(i)
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			Run(t, seed, false)
+		})
+	}
+}
+
+// TestChaosSoak runs scenarios until the FSR_CHAOS_SOAK budget (a Go
+// duration) is spent — the nightly unbounded mode. Failing seeds are also
+// appended to FSR_CHAOS_LOG when set, so CI can upload them as artifacts.
+func TestChaosSoak(t *testing.T) {
+	budget := os.Getenv("FSR_CHAOS_SOAK")
+	if budget == "" {
+		t.Skip("set FSR_CHAOS_SOAK=<duration> (e.g. 30m) to run the soak")
+	}
+	d, err := time.ParseDuration(budget)
+	if err != nil {
+		t.Fatalf("FSR_CHAOS_SOAK=%q: %v", budget, err)
+	}
+	base, pinned := seedBase(t)
+	deadline := time.Now().Add(d)
+	ran := 0
+	for i := int64(0); time.Now().Before(deadline); i++ {
+		seed := base + i
+		ok := t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			Run(t, seed, true)
+		})
+		ran++
+		if !ok {
+			if path := os.Getenv("FSR_CHAOS_LOG"); path != "" {
+				f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+				if err == nil {
+					fmt.Fprintf(f, "FSR_SEED=%d go test -race -run 'TestChaos/seed-%d' ./internal/harness\n", seed, seed)
+					_ = f.Close()
+				}
+			}
+		}
+		if pinned {
+			break // replaying one seed, not exploring
+		}
+	}
+	t.Logf("soak: %d scenarios in %v (base seed %d)", ran, d, base)
+}

@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"fmt"
+
+	"fsr"
+)
+
+// check enforces the paper's correctness claims over the recorded applied
+// histories after quiescence:
+//
+//   - Agreement / prefix consistency: every member's applied history —
+//     including crashed and departed members' — is an exact prefix of one
+//     reference history (no gap, no duplicate, no reorder anywhere).
+//   - Uniformity across ≤ t crashes: any message applied by ANY member
+//     (even one that crashed right after) is applied by every member live
+//     at the end; live members end with identical full histories.
+//   - Total order sanity: sequence numbers strictly increase and no
+//     (origin, logical ID) pair is ever applied twice, across views,
+//     leader failures and identity-preserving rebroadcasts.
+//   - FIFO per sender: one origin's messages appear in logical-ID order
+//     (incarnation banding keeps this monotone across restarts).
+//   - Receipt consistency: a receipt that resolved Delivered names a
+//     sequence number at which every live member applied exactly the
+//     broadcast's payload; a failed receipt carries a definite error (the
+//     liveness half — every receipt resolves — is enforced by the runner).
+//   - Crash-restart state equality: restarted members rebuilt from
+//     snapshot + WAL + catch-up are bit-identical to replicas that never
+//     crashed (subsumed by live-history equality, since the Recorder's
+//     state IS its applied history).
+func check(t TB, sc Scenario, logs map[fsr.ProcID][]Rec, live []fsr.ProcID, sents []sent) {
+	t.Helper()
+	seed := sc.Seed
+
+	// Reference: the longest applied history anywhere.
+	var ref []Rec
+	var refID fsr.ProcID
+	for id, log := range logs {
+		if len(log) > len(ref) {
+			ref, refID = log, id
+		}
+	}
+
+	// Per-log internal sanity: strictly increasing seqs, no duplicate
+	// logical identity, FIFO per origin.
+	for id, log := range logs {
+		var prevSeq uint64
+		seen := make(map[[2]uint64]int, len(log))
+		lastLogical := make(map[fsr.ProcID]uint64)
+		for i, rec := range log {
+			if rec.Seq <= prevSeq {
+				failf(t, seed, "node %d: seq not strictly increasing at %d: %d after %d (reorder or duplicate delivery)",
+					id, i, rec.Seq, prevSeq)
+				return
+			}
+			prevSeq = rec.Seq
+			key := [2]uint64{uint64(rec.Origin), rec.Logical}
+			if j, dup := seen[key]; dup {
+				failf(t, seed, "node %d: message origin=%d logical=%d applied twice (positions %d and %d)",
+					id, rec.Origin, rec.Logical, j, i)
+				return
+			}
+			seen[key] = i
+			if last, ok := lastLogical[rec.Origin]; ok && rec.Logical <= last {
+				failf(t, seed, "node %d: FIFO violation for origin %d at %d: logical %d after %d",
+					id, rec.Origin, i, rec.Logical, last)
+				return
+			}
+			lastLogical[rec.Origin] = rec.Logical
+		}
+	}
+
+	// Agreement: every history is an exact prefix of the reference.
+	for id, log := range logs {
+		if len(log) > len(ref) {
+			continue // impossible by construction
+		}
+		for i, rec := range log {
+			if rec != ref[i] {
+				failf(t, seed, "agreement violated: node %d position %d has %+v, node %d has %+v",
+					id, i, rec, refID, ref[i])
+				return
+			}
+		}
+	}
+
+	// Uniformity: members live at the end hold the full reference history —
+	// anything any member ever applied, the survivors all applied.
+	for _, id := range live {
+		log, ok := logs[id]
+		if !ok {
+			failf(t, seed, "live member %d recorded no history", id)
+			return
+		}
+		if len(log) != len(ref) {
+			failf(t, seed, "uniformity violated: live member %d applied %d messages, member %d applied %d",
+				id, len(log), refID, len(ref))
+			return
+		}
+	}
+
+	// Receipt consistency against the reference order.
+	bySeq := make(map[uint64]Rec, len(ref))
+	for _, rec := range ref {
+		bySeq[rec.Seq] = rec
+	}
+	delivered := 0
+	for i, s := range sents {
+		if err := s.receipt.Err(); err != nil {
+			continue // definite failure; the message may or may not appear
+		}
+		delivered++
+		seq := s.receipt.Seq()
+		rec, ok := bySeq[seq]
+		if !ok {
+			failf(t, seed, "receipt %d resolved Delivered at seq %d but no member applied that seq", i, seq)
+			return
+		}
+		if rec.Origin != s.origin || rec.Hash != s.hash || rec.Len != s.length {
+			failf(t, seed, "receipt %d (origin %d, %d bytes, hash %x) disagrees with applied record at seq %d: %+v",
+				i, s.origin, s.length, s.hash, seq, rec)
+			return
+		}
+	}
+	if len(sents) > 0 && delivered == 0 && len(ref) == 0 {
+		failf(t, seed, "no broadcast was ever delivered (%d issued)", len(sents))
+		return
+	}
+	t.Logf("checked: %d members (%d live), %d applied, %d/%d receipts delivered%s",
+		len(logs), len(live), len(ref), delivered, len(sents),
+		fmt.Sprintf(" [%s]", profileName(sc)))
+}
+
+// profileName labels the scenario's coverage class for the run log.
+func profileName(sc Scenario) string {
+	switch ((sc.Seed % profiles) + profiles) % profiles {
+	case 1:
+		return "leader-crash+restart"
+	case 2:
+		return "follower-crash+restart"
+	case 3:
+		return "membership-churn"
+	default:
+		return "timing-only"
+	}
+}

@@ -1,0 +1,748 @@
+// Package harness is the deterministic chaos harness: it drives the real
+// fsr/transport stack (no protocol mocks) through seeded randomized
+// workloads with mid-stream fault injection, then checks the paper's
+// correctness claims after quiescence — uniform total order surviving up
+// to t crashes, identity-preserving rebroadcast across leader failure,
+// FIFO per sender, receipt/delivery consistency and applied-state equality
+// across crash-restart.
+//
+// One integer seed pins a whole scenario: the cluster shape, the workload
+// (senders, message counts, payload sizes), the chaos transport's per-link
+// delay/stall schedule (transport/chaos) and the fault plan (crashes,
+// restarts, leader rotations, membership churn, slow nodes, link stalls).
+// A failing scenario prints a one-line repro of the form
+//
+//	FSR_SEED=<seed> go test -race -run 'TestChaos/seed-<seed>' ./internal/harness
+//
+// and re-running it regenerates the identical scenario plan and injection
+// schedule byte-for-byte (the goroutine scheduler still interleaves the
+// stack freely — the seed pins every injected fault, not the scheduler).
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fsr"
+	"fsr/transport/chaos"
+	"fsr/transport/mem"
+)
+
+// The chaos decorator composes with every cluster transport: it is itself
+// a ClusterTransport, and both shipped backends satisfy its Inner surface.
+var (
+	_ fsr.ClusterTransport = (*chaos.Transport)(nil)
+	_ chaos.Inner          = (*fsr.MemClusterTransport)(nil)
+	_ chaos.Inner          = (*fsr.TCPClusterTransport)(nil)
+)
+
+// EventKind enumerates the fault plan's vocabulary.
+type EventKind int
+
+const (
+	// EvCrashLeader fail-stops the current leader (sequencer).
+	EvCrashLeader EventKind = iota
+	// EvCrashFollower fail-stops a live non-leader member.
+	EvCrashFollower
+	// EvRestart restarts the most recently crashed member from its durable
+	// directory (crash-restart with catch-up).
+	EvRestart
+	// EvRotate asks the current leader for a ring rotation (§4.3.1).
+	EvRotate
+	// EvJoin admits a brand-new durable member mid-run.
+	EvJoin
+	// EvLeave makes a live non-leader member depart gracefully.
+	EvLeave
+	// EvSlowNode adds per-frame delay to one member's links; EvHealNode
+	// removes it.
+	EvSlowNode
+	EvHealNode
+	// EvStallLink holds one directed link (frames queue, none drop).
+	EvStallLink
+)
+
+var kindNames = map[EventKind]string{
+	EvCrashLeader: "crash-leader", EvCrashFollower: "crash-follower",
+	EvRestart: "restart", EvRotate: "rotate", EvJoin: "join",
+	EvLeave: "leave", EvSlowNode: "slow-node", EvHealNode: "heal-node",
+	EvStallLink: "stall-link",
+}
+
+// Event is one scheduled fault: Kind fires At after the workload starts.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	// Node selects a target by cluster index where the kind needs one
+	// (slow/heal/stall); crash/leave targets are resolved at fire time
+	// against the live membership.
+	Node int
+	// Dur parameterizes slow-node lag and link stalls.
+	Dur time.Duration
+}
+
+// Scenario is one fully derived chaos run. Everything in it is a pure
+// function of Seed, so logging the seed is logging the scenario.
+type Scenario struct {
+	Seed     int64
+	N        int // initial members
+	T        int // tolerated concurrent crashes
+	Senders  int
+	Messages int // per sender
+	MaxPay   int // payload size bound (SegmentSize*1.5 exercises reassembly)
+	Gap      time.Duration
+	Net      chaos.Options
+	Events   []Event
+}
+
+// String renders the plan — two runs of one seed must render identically
+// (asserted by TestScenarioDeterminism).
+func (s Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d n=%d t=%d senders=%d msgs=%d maxpay=%d gap=%v net{delay=[%v,%v] stallEvery=%d maxStall=%v}",
+		s.Seed, s.N, s.T, s.Senders, s.Messages, s.MaxPay, s.Gap,
+		s.Net.MinDelay, s.Net.MaxDelay, s.Net.StallEvery, s.Net.MaxStall)
+	for _, e := range s.Events {
+		fmt.Fprintf(&b, " @%v:%s", e.At.Round(time.Millisecond), kindNames[e.Kind])
+		if e.Kind == EvSlowNode || e.Kind == EvHealNode || e.Kind == EvStallLink {
+			fmt.Fprintf(&b, "(%d)", e.Node)
+		}
+		if e.Dur > 0 {
+			fmt.Fprintf(&b, "/%v", e.Dur.Round(time.Millisecond))
+		}
+	}
+	return b.String()
+}
+
+// Profile classes guarantee coverage across a seed range: every fourth
+// seed crashes the leader, every fourth crash-restarts a follower, every
+// fourth churns membership; the rest stress timing only. Extra faults
+// (rotations, slow nodes, stalls) sprinkle into all classes.
+const profiles = 4
+
+// Generate derives the scenario for a seed. Soak scales the workload up.
+func Generate(seed int64, soak bool) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	s := Scenario{
+		Seed:     seed,
+		N:        3 + rng.Intn(3), // 3..5
+		T:        1,
+		Senders:  2 + rng.Intn(3), // 2..4
+		Messages: 12 + rng.Intn(18),
+		MaxPay:   384, // SegmentSize is 256: ~40% of messages are multi-part
+		Gap:      time.Duration(rng.Intn(4)) * time.Millisecond,
+		Net: chaos.Options{
+			Seed:       seed,
+			MaxDelay:   time.Duration(1+rng.Intn(2)) * time.Millisecond,
+			StallEvery: 150,
+			MaxStall:   40 * time.Millisecond,
+		},
+	}
+	if s.N >= 5 && rng.Intn(2) == 0 {
+		s.T = 2
+	}
+	if soak {
+		s.Messages *= 3
+	}
+
+	profile := int(((seed % profiles) + profiles) % profiles)
+	base := 150*time.Millisecond + time.Duration(rng.Intn(200))*time.Millisecond
+	switch profile {
+	case 1: // leader crash, then crash-restart with catch-up
+		s.Events = append(s.Events,
+			Event{At: base, Kind: EvCrashLeader},
+			Event{At: base + 500*time.Millisecond + time.Duration(rng.Intn(300))*time.Millisecond, Kind: EvRestart},
+		)
+	case 2: // follower crash-restart with catch-up
+		s.Events = append(s.Events,
+			Event{At: base, Kind: EvCrashFollower},
+			Event{At: base + 400*time.Millisecond + time.Duration(rng.Intn(300))*time.Millisecond, Kind: EvRestart},
+		)
+		if s.T == 2 { // a second overlapping crash stays within tolerance
+			s.Events = append(s.Events, Event{At: base + 150*time.Millisecond, Kind: EvCrashFollower},
+				Event{At: base + 900*time.Millisecond, Kind: EvRestart})
+		}
+	case 3: // membership churn: admit a newcomer, lose a veteran
+		s.Events = append(s.Events,
+			Event{At: base, Kind: EvJoin},
+			Event{At: base + 300*time.Millisecond + time.Duration(rng.Intn(200))*time.Millisecond, Kind: EvLeave},
+		)
+	}
+	// Timing faults for everyone; rotation for half.
+	if rng.Intn(2) == 0 {
+		s.Events = append(s.Events, Event{At: base / 2, Kind: EvRotate})
+	}
+	if rng.Intn(2) == 0 {
+		idx := rng.Intn(s.N)
+		s.Events = append(s.Events,
+			Event{At: base / 3, Kind: EvSlowNode, Node: idx, Dur: time.Duration(5+rng.Intn(20)) * time.Millisecond},
+			Event{At: base + 300*time.Millisecond, Kind: EvHealNode, Node: idx},
+		)
+	}
+	if rng.Intn(2) == 0 {
+		s.Events = append(s.Events, Event{
+			At: base * 2 / 3, Kind: EvStallLink,
+			Node: rng.Intn(s.N), Dur: time.Duration(20+rng.Intn(60)) * time.Millisecond,
+		})
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return s
+}
+
+// --- Recording state machine ---------------------------------------------
+
+// Rec is one applied message as a replica saw it — the unit every checker
+// invariant is phrased over. Payloads are kept as a 64-bit FNV-1a hash plus
+// length, so a scenario's whole history stays cheap to snapshot and
+// transfer.
+type Rec struct {
+	Seq     uint64     `json:"s"`
+	Origin  fsr.ProcID `json:"o"`
+	Logical uint64     `json:"l"`
+	Hash    uint64     `json:"h"`
+	Len     int        `json:"n"`
+}
+
+func hashPayload(p []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(p)
+	return h.Sum64()
+}
+
+// Recorder is the harness's replicated state machine: it records the exact
+// applied sequence and carries it inside snapshots, so a replica rebuilt
+// via state transfer still exposes its full history to the checker.
+type Recorder struct {
+	mu  sync.Mutex
+	log []Rec
+}
+
+func (r *Recorder) Apply(m fsr.Message) {
+	rec := Rec{Seq: m.Seq, Origin: m.Origin, Logical: m.LogicalID,
+		Hash: hashPayload(m.Payload), Len: len(m.Payload)}
+	r.mu.Lock()
+	r.log = append(r.log, rec)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) Snapshot() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return json.Marshal(r.log)
+}
+
+func (r *Recorder) Restore(data []byte) error {
+	var log []Rec
+	if err := json.Unmarshal(data, &log); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.log = log
+	r.mu.Unlock()
+	return nil
+}
+
+// Log returns a copy of the applied history.
+func (r *Recorder) Log() []Rec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Rec(nil), r.log...)
+}
+
+// registry tracks the latest Recorder incarnation per member (a restart
+// builds a fresh instance that rebuilds its log from snapshot + WAL).
+type registry struct {
+	mu  sync.Mutex
+	sms map[fsr.ProcID]*Recorder
+}
+
+func (g *registry) factory(id fsr.ProcID) fsr.StateMachine {
+	sm := &Recorder{}
+	g.mu.Lock()
+	g.sms[id] = sm
+	g.mu.Unlock()
+	return sm
+}
+
+func (g *registry) get(id fsr.ProcID) *Recorder {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sms[id]
+}
+
+// --- Runner ---------------------------------------------------------------
+
+// sent pairs one issued broadcast with its receipt for the checker.
+type sent struct {
+	origin  fsr.ProcID
+	hash    uint64
+	length  int
+	receipt *fsr.Receipt
+}
+
+// TB is the subset of testing.TB the harness reports through.
+type TB interface {
+	Helper()
+	Logf(format string, args ...any)
+	Errorf(format string, args ...any)
+	FailNow()
+	Failed() bool
+	TempDir() string
+}
+
+// failf reports one invariant violation with the replayable repro line.
+func failf(t TB, seed int64, format string, args ...any) {
+	t.Helper()
+	t.Errorf("%s\nreplay: FSR_SEED=%d go test -race -run 'TestChaos/seed-%d' ./internal/harness",
+		fmt.Sprintf(format, args...), seed, seed)
+}
+
+// Run executes one seeded scenario end to end and checks every invariant.
+func Run(t TB, seed int64, soak bool) {
+	RunScenario(t, Generate(seed, soak))
+}
+
+// RunScenario executes one explicit scenario (Run derives it from the
+// seed; tests may tweak a generated one).
+func RunScenario(t TB, sc Scenario) {
+	t.Logf("scenario: %s", sc)
+
+	reg := &registry{sms: make(map[fsr.ProcID]*Recorder)}
+	ct := chaos.New(fsr.MemTransport(mem.NewNetwork(mem.Options{})), sc.Net)
+	nodeCfg := fsr.Config{
+		SegmentSize:       256,
+		SnapshotEvery:     32,
+		WALSegmentBytes:   4096,
+		HeartbeatInterval: 15 * time.Millisecond,
+		FailureTimeout:    300 * time.Millisecond,
+		ChangeTimeout:     400 * time.Millisecond,
+	}
+	ccfg := fsr.ClusterConfig{N: sc.N, T: sc.T, NodeConfig: nodeCfg}.
+		WithDurableDir(t.TempDir()).WithStateMachines(reg.factory)
+	cluster, err := fsr.NewCluster(ccfg, ct)
+	if err != nil {
+		failf(t, sc.Seed, "cluster: %v", err)
+		t.FailNow()
+	}
+	defer cluster.Stop()
+
+	run := &runner{t: t, sc: sc, reg: reg, ct: ct, cluster: cluster,
+		base: t.TempDir(), nodeCfg: nodeCfg}
+	run.alive = make(map[fsr.ProcID]*fsr.Node, sc.N)
+	for i, id := range cluster.IDs() {
+		run.alive[id] = cluster.Node(i)
+	}
+	defer func() {
+		// Members admitted mid-run are not owned by the Cluster.
+		run.mu.Lock()
+		extras := append([]*fsr.Node(nil), run.extras...)
+		run.mu.Unlock()
+		for _, n := range extras {
+			n.Stop()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	stopEvents := make(chan struct{})
+	wg.Add(1)
+	go func() { defer wg.Done(); run.driveEvents(stopEvents) }()
+
+	var senders sync.WaitGroup
+	for sdr := range sc.Senders {
+		senders.Add(1)
+		go func(sdr int) { defer senders.Done(); run.sender(sdr) }(sdr)
+	}
+	senders.Wait()
+	close(stopEvents)
+	wg.Wait()
+
+	run.awaitReceipts()
+	live := run.quiesce()
+	if t.Failed() {
+		return
+	}
+	check(t, sc, run.collectLogs(), live, run.sentCopy())
+}
+
+type runner struct {
+	t       TB
+	sc      Scenario
+	reg     *registry
+	ct      *chaos.Transport
+	cluster *fsr.Cluster
+	base    string
+	nodeCfg fsr.Config
+
+	mu      sync.Mutex
+	alive   map[fsr.ProcID]*fsr.Node // nodes believed running (crashed/left removed)
+	extras  []*fsr.Node              // members admitted mid-run (EvJoin)
+	crashed []int                    // cluster indexes crashed and not yet restarted
+	nextID  fsr.ProcID
+	sent    []sent
+}
+
+// sender issues this sender's share of the workload against a home node,
+// re-homing (at most once per message) if the home crashes or leaves.
+func (r *runner) sender(sdr int) {
+	// Per-sender RNG: the workload stream is independent of scheduling.
+	rng := rand.New(rand.NewSource(r.sc.Seed ^ int64(0x5eed+sdr)))
+	ids := r.cluster.IDs()
+	home := ids[sdr%len(ids)]
+	for i := range r.sc.Messages {
+		payload := r.payload(rng, sdr, i)
+		node := r.nodeFor(home)
+		if node == nil {
+			if node, home = r.anyAlive(); node == nil {
+				return // nothing left to send through
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		rcpt, err := node.Broadcast(ctx, payload)
+		cancel()
+		if err != nil {
+			// The home died mid-broadcast (ErrStopped) — legal under chaos;
+			// re-home and keep going. Context timeouts are findings.
+			if err == context.DeadlineExceeded {
+				failf(r.t, r.sc.Seed, "sender %d: broadcast %d wedged >30s (backpressure never released)", sdr, i)
+				return
+			}
+			home = ^fsr.ProcID(0) // sentinel outside the ID space: re-home next loop
+			continue
+		}
+		r.mu.Lock()
+		r.sent = append(r.sent, sent{origin: node.Self(), hash: hashPayload(payload),
+			length: len(payload), receipt: rcpt})
+		r.mu.Unlock()
+		if r.sc.Gap > 0 {
+			time.Sleep(time.Duration(rng.Int63n(int64(r.sc.Gap))))
+		}
+	}
+}
+
+// payload renders one workload message: a tag binding (seed, sender, index)
+// plus deterministic filler sized to sometimes span protocol segments.
+func (r *runner) payload(rng *rand.Rand, sdr, i int) []byte {
+	n := 1 + rng.Intn(r.sc.MaxPay)
+	p := make([]byte, 0, n+32)
+	p = fmt.Appendf(p, "c%d/s%d/m%d/", r.sc.Seed, sdr, i)
+	for len(p) < n {
+		p = append(p, byte('a'+rng.Intn(26)))
+	}
+	return p
+}
+
+func (r *runner) nodeFor(id fsr.ProcID) *fsr.Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.alive[id]
+}
+
+func (r *runner) anyAlive() (*fsr.Node, fsr.ProcID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, n := range r.alive {
+		return n, id
+	}
+	return nil, 0
+}
+
+// driveEvents fires the scenario's fault plan on schedule.
+func (r *runner) driveEvents(stop <-chan struct{}) {
+	start := time.Now()
+	for _, ev := range r.sc.Events {
+		wait := time.Until(start.Add(ev.At))
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-stop:
+				// Workload already over: fire the remaining plan immediately
+				// (restarts especially must still happen so the checker sees
+				// the catch-up) .
+				timer.Stop()
+			}
+		}
+		r.fire(ev)
+	}
+}
+
+// fire applies one fault against the current cluster state. Events whose
+// target no longer exists degrade to no-ops — the plan is generated before
+// the run, the membership evolves during it.
+func (r *runner) fire(ev Event) {
+	switch ev.Kind {
+	case EvCrashLeader, EvCrashFollower:
+		r.crash(ev.Kind == EvCrashLeader)
+	case EvRestart:
+		r.restart()
+	case EvRotate:
+		if n := r.leader(); n != nil {
+			n.RotateLeader()
+		}
+	case EvJoin:
+		r.join()
+	case EvLeave:
+		r.leave()
+	case EvSlowNode:
+		r.ct.SlowNode(r.cluster.IDs()[ev.Node], ev.Dur)
+	case EvHealNode:
+		r.ct.SlowNode(r.cluster.IDs()[ev.Node], 0)
+	case EvStallLink:
+		ids := r.cluster.IDs()
+		from := ids[ev.Node]
+		to := ids[(ev.Node+1)%len(ids)]
+		r.ct.StallLink(from, to, ev.Dur)
+	}
+}
+
+// leader returns the live node currently coordinating the group.
+func (r *runner) leader() *fsr.Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.alive {
+		v := n.CurrentView()
+		if len(v.Members) > 0 {
+			if ldr, ok := r.alive[v.Members[0]]; ok {
+				return ldr
+			}
+		}
+	}
+	return nil
+}
+
+// crash fail-stops the leader or a follower, respecting the concurrent
+// crash budget T.
+func (r *runner) crash(leader bool) {
+	target := -1
+	ldr := r.leader()
+	r.mu.Lock()
+	if len(r.crashed) >= r.sc.T {
+		r.mu.Unlock()
+		return // budget exhausted; plan generation should prevent this
+	}
+	ids := r.cluster.IDs()
+	for i, id := range ids {
+		n, ok := r.alive[id]
+		if !ok {
+			continue
+		}
+		isLdr := ldr != nil && n == ldr
+		if leader == isLdr {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.alive, ids[target])
+	r.crashed = append(r.crashed, target)
+	r.mu.Unlock()
+	r.cluster.Crash(target)
+}
+
+// restart brings the oldest crashed member back from its durable dir.
+func (r *runner) restart() {
+	r.mu.Lock()
+	if len(r.crashed) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	idx := r.crashed[0]
+	r.crashed = r.crashed[1:]
+	r.mu.Unlock()
+	node, err := r.cluster.Restart(idx)
+	if err != nil {
+		failf(r.t, r.sc.Seed, "restart of member %d: %v", idx, err)
+		return
+	}
+	r.mu.Lock()
+	r.alive[node.Self()] = node
+	r.mu.Unlock()
+}
+
+// join admits a brand-new durable member mid-run.
+func (r *runner) join() {
+	r.mu.Lock()
+	if r.nextID == 0 {
+		r.nextID = r.cluster.IDs()[len(r.cluster.IDs())-1] + 1
+	}
+	id := r.nextID
+	r.nextID++
+	var contacts []fsr.ProcID
+	for cid := range r.alive {
+		contacts = append(contacts, cid)
+	}
+	r.mu.Unlock()
+	if len(contacts) == 0 {
+		return
+	}
+	ep, err := r.ct.Join(id)
+	if err != nil {
+		failf(r.t, r.sc.Seed, "join transport endpoint for %d: %v", id, err)
+		return
+	}
+	cfg := r.nodeCfg
+	cfg.Self = id
+	cfg.Joiner = true
+	cfg.Members = contacts
+	cfg = cfg.WithDurableDir(fmt.Sprintf("%s/node-%d", r.base, id)).
+		WithStateMachine(r.reg.factory(id))
+	node, err := fsr.NewNode(cfg, ep)
+	if err != nil {
+		failf(r.t, r.sc.Seed, "join node %d: %v", id, err)
+		return
+	}
+	node.Join(contacts)
+	r.mu.Lock()
+	r.alive[id] = node
+	r.extras = append(r.extras, node)
+	r.mu.Unlock()
+}
+
+// leave departs a live non-leader veteran gracefully.
+func (r *runner) leave() {
+	ldr := r.leader()
+	r.mu.Lock()
+	var node *fsr.Node
+	for _, id := range r.cluster.IDs() {
+		if n, ok := r.alive[id]; ok && n != ldr {
+			node = n
+			break
+		}
+	}
+	if node == nil || len(r.alive) <= 2 {
+		r.mu.Unlock()
+		return // keep a workable group
+	}
+	delete(r.alive, node.Self())
+	r.mu.Unlock()
+	node.Leave()
+}
+
+func (r *runner) sentCopy() []sent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]sent(nil), r.sent...)
+}
+
+// awaitReceipts enforces the liveness half of the receipt contract: every
+// issued receipt resolves — uniform delivery or a definite error — inside
+// the deadline. A hung receipt is an invariant violation, not a timeout.
+func (r *runner) awaitReceipts() {
+	deadline := time.Now().Add(60 * time.Second)
+	for i, s := range r.sentCopy() {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		err := s.receipt.Wait(ctx)
+		cancel()
+		if err == context.DeadlineExceeded {
+			failf(r.t, r.sc.Seed, "receipt %d (origin %d, %d bytes) never resolved; group: %s",
+				i, s.origin, s.length, r.groupState())
+			r.t.FailNow()
+		}
+	}
+}
+
+// groupState renders every live node's vitals for failure diagnostics.
+func (r *runner) groupState() string {
+	r.mu.Lock()
+	nodes := make(map[fsr.ProcID]*fsr.Node, len(r.alive))
+	for id, n := range r.alive {
+		nodes[id] = n
+	}
+	r.mu.Unlock()
+	var state []string
+	for id, n := range nodes {
+		m := n.Metrics()
+		state = append(state, fmt.Sprintf("%d{view=%d ldr=%v applied=%d catch=%v own=%d relay=%d rcpt=%d err=%v}",
+			id, m.View.ID, m.IsLeader, n.Applied(), m.CatchingUp, m.OwnQueue, m.RelayQueue, m.PendingReceipts, n.Err()))
+	}
+	sort.Strings(state)
+	return strings.Join(state, " ")
+}
+
+// quiesce waits until the group is drained: every live node reports no
+// pending work and all live nodes agree on the applied frontier, stably.
+// Returns the IDs of the members live at the end.
+func (r *runner) quiesce() []fsr.ProcID {
+	r.mu.Lock()
+	nodes := make(map[fsr.ProcID]*fsr.Node, len(r.alive))
+	for id, n := range r.alive {
+		nodes[id] = n
+	}
+	r.mu.Unlock()
+
+	deadline := time.Now().Add(45 * time.Second)
+	stableSince := time.Time{}
+	var lastFrontier uint64
+	for {
+		frontier, settled := uint64(0), true
+		first := true
+		for id, n := range nodes {
+			m := n.Metrics()
+			if m.View.ID == 0 {
+				// The node halted (a halted node reports zero metrics) —
+				// e.g. it was evicted after a false suspicion under heavy
+				// load and fail-stopped, which is the documented outcome.
+				// It is no longer a live member; its history stays subject
+				// to the prefix checks via collectLogs.
+				delete(nodes, id)
+				continue
+			}
+			if m.CatchingUp || m.OwnQueue > 0 || m.RelayQueue > 0 || m.PendingReceipts > 0 {
+				settled = false
+			}
+			a := n.Applied()
+			if first {
+				frontier, first = a, false
+			} else if a != frontier {
+				settled = false
+				frontier = max(frontier, a)
+			}
+		}
+		now := time.Now()
+		if settled && frontier == lastFrontier {
+			if stableSince.IsZero() {
+				stableSince = now
+			} else if now.Sub(stableSince) > 250*time.Millisecond {
+				ids := make([]fsr.ProcID, 0, len(nodes))
+				for id := range nodes {
+					ids = append(ids, id)
+				}
+				return ids
+			}
+		} else {
+			stableSince = time.Time{}
+		}
+		lastFrontier = frontier
+		if now.After(deadline) {
+			failf(r.t, r.sc.Seed, "group never quiesced: %s", r.groupState())
+			r.t.FailNow()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// collectLogs snapshots every member's applied history (latest incarnation
+// per member, including crashed and departed ones — their prefixes are
+// checked too).
+func (r *runner) collectLogs() map[fsr.ProcID][]Rec {
+	r.reg.mu.Lock()
+	ids := make([]fsr.ProcID, 0, len(r.reg.sms))
+	for id := range r.reg.sms {
+		ids = append(ids, id)
+	}
+	r.reg.mu.Unlock()
+	logs := make(map[fsr.ProcID][]Rec, len(ids))
+	for _, id := range ids {
+		logs[id] = r.reg.get(id).Log()
+	}
+	return logs
+}

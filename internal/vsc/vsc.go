@@ -372,6 +372,20 @@ func (m *Manager) handleState(s *State) {
 			m.cfg.Callbacks.Send(p, payload)
 		}
 	}
+	// Best-effort notification to every other excluded old-view member.
+	// Under a perfect failure detector they are dead and the send costs
+	// nothing; if one is actually alive (suspicion provoked by overload —
+	// a model violation), receiving the NEWVIEW makes it evict itself and
+	// fail-stop. Without this, a live evictee never learns the group moved
+	// on: it keeps its stale view, its failure detector eventually
+	// "suspects" the silent majority, and it drifts into a rump group that
+	// can absorb rejoining members — a partition that P promises cannot
+	// form but an overloaded host can still manufacture.
+	for _, p := range m.view.Ring.Members() {
+		if p != m.cfg.Self && !slices.Contains(m.proposed, p) && !m.leavers[p] {
+			m.cfg.Callbacks.Send(p, payload)
+		}
+	}
 	m.handleNewView(nv, time.Time{})
 }
 
@@ -380,6 +394,14 @@ func (m *Manager) handleNewView(nv *NewView, now time.Time) {
 		return // stale
 	}
 	if !slices.Contains(nv.Members, m.cfg.Self) {
+		if !m.installed {
+			// A joiner awaiting admission can see the view that evicted its
+			// crashed previous incarnation (the coordinator notifies
+			// excluded old-view members best-effort, and the restarted
+			// process answers on the same transport identity). It was never
+			// a member of that view, so this is not its eviction.
+			return
+		}
 		// Excluded: graceful leave honored (or false suspicion — cannot
 		// happen with P, but do not silently diverge).
 		m.changing = false

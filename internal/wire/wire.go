@@ -324,9 +324,23 @@ type CatchupResp struct {
 	HasSnapshot bool
 	SnapSeq     uint64
 	Snapshot    []byte
+	// UpTo echoes the request's range bound, so the requester can tell
+	// which of its (possibly superseded) requests this page answers:
+	// More=false and Ceiling only speak about the range up to UpTo.
+	UpTo uint64
 	// More reports that entries in the requested range remain beyond this
 	// page; the requester asks again from the last entry it received.
-	More    bool
+	More bool
+	// Ceiling is the server's authority bound: every entry of the total
+	// order with sequence number <= Ceiling that will EVER exist is already
+	// in the server's log. A server whose delivery pipeline is fully
+	// drained can vouch for everything below its engine cursor; one with
+	// deliveries still in flight vouches only for what it has applied.
+	// With More unset, a requester whose target lies at or below Ceiling
+	// knows the absent sequence numbers in its range are dead — consumed
+	// by segments of broadcasts that never completed (e.g. the origin
+	// crashed mid-message) — and stops waiting for them.
+	Ceiling uint64
 	Entries []CatchupEntry
 }
 
@@ -345,7 +359,7 @@ func EncodeCatchupReq(q *CatchupReq) []byte {
 
 // EncodeCatchupResp serializes p, prefixed with KindCatchup.
 func EncodeCatchupResp(p *CatchupResp) []byte {
-	n := 2 + 1 + 4
+	n := 2 + 1 + 8 + 8 + 4
 	if p.HasSnapshot {
 		n += 8 + 4 + len(p.Snapshot)
 	}
@@ -365,6 +379,8 @@ func EncodeCatchupResp(p *CatchupResp) []byte {
 		flags |= 4
 	}
 	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, p.UpTo)
+	buf = binary.LittleEndian.AppendUint64(buf, p.Ceiling)
 	if p.HasSnapshot {
 		buf = binary.LittleEndian.AppendUint64(buf, p.SnapSeq)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Snapshot)))
@@ -420,6 +436,12 @@ func DecodeCatchup(buf []byte) (any, error) {
 		p.Unavailable = flags&1 != 0
 		p.HasSnapshot = flags&2 != 0
 		p.More = flags&4 != 0
+		if p.UpTo, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if p.Ceiling, err = r.u64(); err != nil {
+			return nil, err
+		}
 		if p.HasSnapshot {
 			if p.SnapSeq, err = r.u64(); err != nil {
 				return nil, err

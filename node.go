@@ -43,6 +43,11 @@ const (
 	catchupMaxBacklog = 4096
 )
 
+// maxParkedFrames bounds the frames parked during a view-change freeze; a
+// pathologically long change falls back to dropping (view-change recovery
+// then treats the overflow like any other in-flight loss).
+const maxParkedFrames = 8192
+
 // incarnationBits is the width of the per-incarnation MsgID band: each
 // restart of a durable node advances the origin-local counter to
 // generation << incarnationBits, so IDs minted after a crash can never
@@ -85,6 +90,7 @@ type Node struct {
 	outCond  *sync.Cond
 	outBuf   []Message
 	outDone  bool
+	pumpBusy bool // a popped batch is being persisted (outMu)
 	asmState *assembler
 	// applied is the highest message sequence number persisted+applied;
 	// written by the pump under outMu, read by the event loop. While
@@ -103,10 +109,12 @@ type Node struct {
 	subChanged chan struct{}
 
 	// Event-loop-owned state (no locking): receipts for own broadcasts,
-	// keyed by logical message ID, and the latency sample window.
+	// keyed by logical message ID, the latency sample window, and protocol
+	// frames parked during a view-change freeze (see handlePayload).
 	receipts map[uint64]pendingReceipt
 	latency  []time.Duration
 	latNext  int
+	parked   []*wire.Frame
 
 	wg       sync.WaitGroup
 	stopOnce sync.Once
@@ -531,7 +539,14 @@ func (n *Node) fail(err error) {
 	n.halt()
 }
 
-// onEvicted handles exclusion from the group.
+// onEvicted handles exclusion from the group: the departure (graceful
+// leave honored, or — impossible under a perfect failure detector — a
+// false suspicion) is terminal, so the node halts. Staying up would let
+// the ex-member drift into a divergent singleton group once its former
+// peers stop heartbeating it: its own failure detector would "suspect"
+// them all, install a one-member view, and re-sequence its pending
+// broadcasts in a private total order. Fail-stop is the only behavior
+// that cannot silently diverge.
 func (n *Node) onEvicted() {
 	n.mu.Lock()
 	n.evicted = true
@@ -540,6 +555,7 @@ func (n *Node) onEvicted() {
 	// not survive through other members' recovery state, so the receipts
 	// resolve with an error rather than hanging forever.
 	n.failReceipts(ErrStopped)
+	n.halt()
 }
 
 // install applies an agreed view: engine first, then rebroadcasts, then the
@@ -570,6 +586,36 @@ func (n *Node) install(v core.View, sync *core.Sync, rebroadcast []core.PendingM
 	default:
 	}
 	n.refreshCatchup(v, sync, prevNext)
+}
+
+// frozen reports whether protocol frames must be parked instead of fed to
+// the engine: a view change is in flight, or this node has not been
+// admitted yet. Event-loop context.
+func (n *Node) frozen() bool {
+	if n.mgr.Changing() {
+		return true
+	}
+	n.mu.Lock()
+	joined := n.joined
+	n.mu.Unlock()
+	return !joined
+}
+
+// replayParked feeds frames parked during a freeze to the engine once the
+// freeze lifts. Frames of a superseded view are dropped by the engine's
+// view check; frames of the just-installed view resume seamlessly.
+func (n *Node) replayParked() {
+	if len(n.parked) == 0 || n.frozen() {
+		return
+	}
+	parked := n.parked
+	n.parked = nil
+	for _, f := range parked {
+		if err := n.engine.HandleFrame(f); err != nil {
+			n.fail(err)
+			return
+		}
+	}
 }
 
 // stopping reports whether the stop channel is closed (Stop or fail).
@@ -635,6 +681,7 @@ func (n *Node) loop() {
 				break drain
 			}
 		}
+		n.replayParked()
 		n.deliver()
 		if n.sendOne() {
 			continue
@@ -644,7 +691,7 @@ func (n *Node) loop() {
 		// full, the node has not joined yet, a view change is in flight,
 		// or the node is still catching up on missed history. An evicted
 		// node keeps accepting so it can reject with an error instead of
-		// blocking.
+		// blocking during the brief window before its halt takes effect.
 		bc := n.bcast
 		n.mu.Lock()
 		joined, evicted := n.joined, n.evicted
@@ -777,6 +824,31 @@ func (n *Node) handlePayload(in inboundPayload) {
 			n.fail(err)
 			return
 		}
+		// Freeze: while a view change is in flight (or before a joiner is
+		// admitted) protocol frames are parked, not processed. The flush
+		// snapshot taken at the change's start must stay authoritative —
+		// sequencing or delivering from late in-flight frames after the
+		// freeze would let state escape the agreed sync (duplicated
+		// rebroadcasts, diverging deliveries). Parking rather than dropping
+		// also saves frames of the NEW view that arrive before our NEWVIEW
+		// does: there is no retransmission below the view-change layer, so
+		// dropping them would strand their segments forever. Replay happens
+		// on the loop as soon as the freeze lifts; old-view stragglers are
+		// then discarded by the engine's view check.
+		if n.frozen() {
+			if len(n.parked) < maxParkedFrames {
+				n.parked = append(n.parked, f)
+			}
+			return
+		}
+		// Any frames parked before the freeze lifted must go first: this
+		// frame may share a link with one of them, and per-link FIFO is the
+		// engine's ground assumption (processing it ahead of an earlier
+		// parked frame would reorder the link).
+		n.replayParked()
+		if n.stopping() {
+			return
+		}
 		if err := n.engine.HandleFrame(f); err != nil {
 			n.fail(err)
 			return
@@ -871,32 +943,37 @@ func (n *Node) asm() *assembler {
 // the live stream flow. All methods below run on the event loop.
 
 // refreshCatchup runs at every view install. A hole exists exactly when
-// the engine's delivery cursor jumped forward (prevNext < NextDeliver):
-// the skipped sequence numbers will never arrive through ring traffic —
-// a rejoining or freshly admitted process sat below the installed sync
-// base. Ordinary pump lag (deliveries still buffered in-process) is NOT a
-// hole and must not trigger a transfer, or every view change would wedge
-// the group fetching history only its own pumps can produce. When a
-// catch-up is already in flight, the peer set is refreshed so a crashed
-// server is abandoned.
+// the sync base passed this node's delivery cursor (prevNext <
+// sync.StartSeq): messages in [prevNext, StartSeq) were delivered by the
+// group while this process was down — it rejoined or was freshly admitted
+// below the base — and will never arrive through ring traffic. The
+// preserved sequenced run at or above the base is NOT a hole even though
+// installing it advances NextDeliver: those segments sit in the engine's
+// delivery buffer on their way to this node's own pump. (Treating that
+// advance as a hole would, on a view change landing mid-traffic, hold
+// every survivor's pump for a transfer no peer can serve — nobody has
+// applied the in-flight run yet — deadlocking the whole group; the chaos
+// harness finds this within seconds.) Ordinary pump lag is likewise not a
+// hole. When a catch-up is already in flight, the peer set is refreshed so
+// a crashed server is abandoned.
 func (n *Node) refreshCatchup(v core.View, sync *core.Sync, prevNext uint64) {
 	if n.wlog == nil {
 		return
 	}
-	next := n.engine.NextDeliver()
-	if next <= prevNext && n.catch == nil {
-		return // cursor did not jump: nothing is missing
+	base := sync.StartSeq
+	if base <= prevNext && n.catch == nil {
+		return // base did not pass the cursor: nothing is missing
 	}
-	target := next - 1
+	target := base - 1
 	// A message straddling the sync base — its head delivered before the
 	// base, its tail preserved above it — can never be reassembled from
 	// live traffic here; extend the catch-up horizon past its final
 	// segment so the transfer covers it.
 	for _, m := range sync.Sequenced {
-		if m.Seq < next {
+		if m.Seq < base {
 			continue
 		}
-		if m.Seq == next && m.Part > 0 {
+		if m.Seq == base && m.Part > 0 {
 			target = m.Seq + uint64(m.Parts-1-m.Part)
 		}
 		break
@@ -1016,7 +1093,7 @@ func (n *Node) serveCatchup(from ProcID, req *wire.CatchupReq) {
 		_ = n.tr.Send(from, wire.EncodeCatchupResp(&wire.CatchupResp{Unavailable: true}))
 		return
 	}
-	resp := &wire.CatchupResp{}
+	resp := &wire.CatchupResp{UpTo: req.UpTo, Ceiling: n.catchupCeiling()}
 	after := req.After
 	if snap, ok := n.wlog.LatestSnapshot(); ok && snap.Seq > after {
 		resp.HasSnapshot = true
@@ -1042,6 +1119,30 @@ func (n *Node) serveCatchup(from ProcID, req *wire.CatchupReq) {
 		}
 	}
 	_ = n.tr.Send(from, wire.EncodeCatchupResp(resp))
+}
+
+// catchupCeiling computes the authority bound this node can attach to a
+// catch-up response: the highest sequence number below which every entry
+// that will EVER exist is already in its durable log. With the delivery
+// pipeline fully drained (no buffered deliveries, no batch mid-persist, no
+// catch-up of its own) that is everything below the engine's delivery
+// cursor — sequence numbers under it with no log entry were consumed by
+// segments of broadcasts that never completed anywhere (an origin crashed
+// mid-message) and are permanently dead. With work still in flight the
+// node vouches only for what it has applied. Event-loop context.
+func (n *Node) catchupCeiling() uint64 {
+	n.outMu.Lock()
+	idle := len(n.outBuf) == 0 && len(n.catchBuf) == 0 && !n.catching && !n.pumpBusy
+	applied := n.applied
+	n.outMu.Unlock()
+	// Deliveries still buffered inside the engine (produced by earlier
+	// frames of this drain batch, not yet pulled by deliver) are in-flight
+	// work too: vouching past them would declare entries dead that are
+	// minutes — or microseconds — from existing.
+	if idle && n.engine.PendingDeliveries() == 0 {
+		return n.engine.NextDeliver() - 1
+	}
+	return applied
 }
 
 // handleCatchupResp feeds one page of recovered history to the pump and
@@ -1080,6 +1181,17 @@ func (n *Node) handleCatchupResp(from ProcID, resp *wire.CatchupResp) {
 		if e.Seq > c.after {
 			c.after = e.Seq
 		}
+		// An own broadcast can come back through recovery: it was
+		// sequenced and delivered by the group while this node lagged
+		// behind a view change, and a sync rebase kept its identity out of
+		// live re-dissemination here. Its uniform delivery is a fact —
+		// resolve the receipt (live deliveries resolve via deliver).
+		if e.Origin == n.cfg.Self {
+			if pr, ok := n.receipts[e.LogicalID]; ok {
+				delete(n.receipts, e.LogicalID)
+				pr.r.resolve(e.Seq)
+			}
+		}
 	}
 	if len(items) > 0 {
 		n.outMu.Lock()
@@ -1096,6 +1208,15 @@ func (n *Node) handleCatchupResp(from ProcID, resp *wire.CatchupResp) {
 		}
 		// Else: backpressure — the tick resumes paging once the pump has
 		// worked through the buffered history.
+	case resp.UpTo >= c.target && resp.Ceiling >= c.target:
+		// The server handed over everything it holds in a range covering
+		// our whole target (resp.UpTo guards against this page answering an
+		// earlier, shorter request — the target can grow while a request is
+		// in flight) and is authoritative through it: the sequence numbers
+		// still missing are dead (segments of broadcasts that never
+		// completed), not late. Waiting for them would wedge this node
+		// forever.
+		n.finishCatchup()
 	default:
 		// The peer has served everything it holds but the target is still
 		// ahead (it is applying the same traffic we are waiting for); the
@@ -1145,6 +1266,7 @@ func (n *Node) deliveryPump() {
 			n.outBuf = nil
 		}
 		done := n.outDone
+		n.pumpBusy = len(recovered) > 0 || len(live) > 0
 		n.outMu.Unlock()
 		if len(recovered) == 0 && len(live) == 0 {
 			if done {
@@ -1258,6 +1380,7 @@ func (n *Node) applyBatch(recovered []catchItem, live []Message) error {
 	}
 	n.outMu.Lock()
 	n.applied = cursor
+	n.pumpBusy = false // batch durable: applied now covers it
 	n.outMu.Unlock()
 	for _, m := range dispatch {
 		n.dispatch(m)

@@ -129,6 +129,119 @@ func TestReceiptFailsOnStop(t *testing.T) {
 	}
 }
 
+// TestReceiptOriginCrashesPreSequencing: the origin fail-stops before its
+// broadcast could reach the sequencer (outbound links severed, then a full
+// transport-level crash). The receipt must resolve with ErrStopped — the
+// documented "node stopped, message may or may not survive" outcome — not
+// hang waiting for a delivery that can never be observed.
+func TestReceiptOriginCrashesPreSequencing(t *testing.T) {
+	network := mem.NewNetwork(mem.Options{})
+	c, err := fsr.NewCluster(fsr.ClusterConfig{N: 3, T: 1, NodeConfig: fastConfig()},
+		fsr.MemTransport(network))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	// Stranded: nothing node 2 sends can leave it.
+	network.CutLink(c.IDs()[2], c.IDs()[0])
+	network.CutLink(c.IDs()[2], c.IDs()[1])
+	r, err := c.Node(2).Broadcast(context.Background(), []byte("unsequenced"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(2)
+	waitReceipt(t, r, 10*time.Second)
+	if r.Err() != fsr.ErrStopped {
+		t.Fatalf("receipt err = %v, want ErrStopped", r.Err())
+	}
+	if r.Seq() != 0 {
+		t.Fatalf("failed receipt carries seq %d", r.Seq())
+	}
+}
+
+// TestReceiptOriginLeavesMidFlight: a node departs gracefully with its own
+// broadcasts still in flight. Each receipt must resolve definitively —
+// either Delivered (the group sequenced it before honoring the leave) or
+// ErrStopped (the departure took the message with it) — and a Delivered
+// receipt's message must actually reach the survivors.
+func TestReceiptOriginLeavesMidFlight(t *testing.T) {
+	// Latency keeps the batch genuinely in flight when the leave lands.
+	network := mem.NewNetwork(mem.Options{Latency: 2 * time.Millisecond})
+	c, err := fsr.NewCluster(fsr.ClusterConfig{N: 4, T: 1, NodeConfig: fastConfig()},
+		fsr.MemTransport(network))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	ctx := context.Background()
+	const inflight = 10
+	receipts := make([]*fsr.Receipt, inflight)
+	for i := range inflight {
+		r, err := c.Node(3).Broadcast(ctx, []byte(fmt.Sprintf("leaving-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		receipts[i] = r
+	}
+	if !c.Node(3).Leave() {
+		t.Fatal("leave not accepted")
+	}
+	if _, ok := c.WaitView(0, 3, 10*time.Second); !ok {
+		t.Fatal("leave view never installed")
+	}
+	delivered := 0
+	for i, r := range receipts {
+		waitReceipt(t, r, 20*time.Second)
+		switch err := r.Err(); err {
+		case nil:
+			delivered++
+			if r.Seq() == 0 {
+				t.Fatalf("receipt %d delivered without a sequence number", i)
+			}
+		case fsr.ErrStopped:
+			// Definite: the departure preempted the broadcast.
+		default:
+			t.Fatalf("receipt %d resolved with undocumented error %v", i, err)
+		}
+	}
+	// Survivors deliver exactly the messages whose receipts said Delivered.
+	got := collect(t, c.Node(0), delivered)
+	for _, m := range got {
+		if m.Origin != c.IDs()[3] {
+			t.Fatalf("unexpected origin %d", m.Origin)
+		}
+	}
+}
+
+// TestReceiptWaitAfterClusterStop: waiting on a receipt after the whole
+// cluster was stopped must return ErrStopped immediately, not hang — the
+// shutdown path fails every outstanding receipt before the node exits.
+func TestReceiptWaitAfterClusterStop(t *testing.T) {
+	network := mem.NewNetwork(mem.Options{})
+	c, err := fsr.NewCluster(fsr.ClusterConfig{N: 3, T: 1, NodeConfig: fastConfig()},
+		fsr.MemTransport(network))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strand node 2's broadcast so it cannot resolve by delivery first.
+	network.CutLink(c.IDs()[2], c.IDs()[0])
+	network.CutLink(c.IDs()[2], c.IDs()[1])
+	r, err := c.Node(2).Broadcast(context.Background(), []byte("orphaned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.Wait(ctx); err != fsr.ErrStopped {
+		t.Fatalf("Wait after Cluster.Stop = %v, want ErrStopped", err)
+	}
+	// And the no-context accessors agree without blocking.
+	if r.Err() != fsr.ErrStopped || r.Seq() != 0 {
+		t.Fatalf("post-stop receipt: err=%v seq=%d", r.Err(), r.Seq())
+	}
+}
+
 // TestReceiptWaitHonorsContext: Wait returns on ctx cancellation without
 // resolving the receipt.
 func TestReceiptWaitHonorsContext(t *testing.T) {

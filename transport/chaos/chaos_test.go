@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fsr/transport"
+	"fsr/transport/mem"
+)
+
+// memInner adapts a mem.Network to the Inner surface without importing the
+// root package (mirroring what fsr.MemTransport does).
+type memInner struct{ net *mem.Network }
+
+func (m *memInner) Join(id transport.ProcID) (transport.Transport, error) { return m.net.Join(id) }
+func (m *memInner) Open() error                                           { return nil }
+func (m *memInner) Crash(id transport.ProcID)                             { m.net.Crash(id) }
+func (m *memInner) Close() error                                          { return nil }
+
+func newChaos(t *testing.T, opts Options) (*Transport, map[transport.ProcID]transport.Transport) {
+	t.Helper()
+	ct := New(&memInner{net: mem.NewNetwork(mem.Options{})}, opts)
+	eps := make(map[transport.ProcID]transport.Transport)
+	for id := transport.ProcID(1); id <= 3; id++ {
+		ep, err := ct.Join(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[id] = ep
+	}
+	if err := ct.Open(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ct.Close() })
+	return ct, eps
+}
+
+type sink struct {
+	mu  sync.Mutex
+	got []string
+}
+
+func (s *sink) handler(from transport.ProcID, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.got = append(s.got, fmt.Sprintf("%d:%s", from, payload))
+}
+
+func (s *sink) waitN(t *testing.T, n int) []string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		if len(s.got) >= n {
+			out := append([]string(nil), s.got...)
+			s.mu.Unlock()
+			return out
+		}
+		s.mu.Unlock()
+		if time.Now().After(deadline) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			t.Fatalf("timeout: have %d payloads, want %d", len(s.got), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestScheduleIsSeedDeterministic: the injected delay sequence of a link is
+// a pure function of (seed, link, frame index) — identical across
+// Transport instances with the same seed, different under another seed.
+func TestScheduleIsSeedDeterministic(t *testing.T) {
+	opts := Options{Seed: 42, MinDelay: time.Microsecond, MaxDelay: 5 * time.Millisecond,
+		StallEvery: 7, MaxStall: 20 * time.Millisecond}
+	a := New(&memInner{net: mem.NewNetwork(mem.Options{})}, opts)
+	b := New(&memInner{net: mem.NewNetwork(mem.Options{})}, opts)
+	optsOther := opts
+	optsOther.Seed = 43
+	c := New(&memInner{net: mem.NewNetwork(mem.Options{})}, optsOther)
+	same, diff := true, false
+	for i := uint64(0); i < 1000; i++ {
+		da, db, dc := a.delayFor(1, 2, i), b.delayFor(1, 2, i), c.delayFor(1, 2, i)
+		if da != db {
+			same = false
+		}
+		if da != dc {
+			diff = true
+		}
+		if da < opts.MinDelay {
+			t.Fatalf("frame %d: delay %v below MinDelay", i, da)
+		}
+	}
+	if !same {
+		t.Fatal("equal seeds produced different schedules")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Distinct links get distinct schedules under one seed.
+	if a.delayFor(1, 2, 0) == a.delayFor(2, 1, 0) && a.delayFor(1, 2, 1) == a.delayFor(2, 1, 1) &&
+		a.delayFor(1, 2, 2) == a.delayFor(2, 1, 2) {
+		t.Fatal("opposite link directions share a schedule")
+	}
+}
+
+// TestFIFOPreservedUnderJitter: heavy jitter must never reorder a link.
+func TestFIFOPreservedUnderJitter(t *testing.T) {
+	_, eps := newChaos(t, Options{Seed: 7, MaxDelay: 2 * time.Millisecond,
+		StallEvery: 10, MaxStall: 10 * time.Millisecond})
+	s := &sink{}
+	eps[2].SetHandler(s.handler)
+	const n = 200
+	for i := range n {
+		if err := eps[1].Send(2, []byte(fmt.Sprintf("m%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.waitN(t, n)
+	for i, g := range got {
+		if want := fmt.Sprintf("1:m%03d", i); g != want {
+			t.Fatalf("frame %d = %q, want %q (FIFO violated)", i, g, want)
+		}
+	}
+}
+
+// TestStallHoldsWithoutDropping: an explicit stall delays the whole link
+// but every frame still arrives, in order.
+func TestStallHoldsWithoutDropping(t *testing.T) {
+	ct, eps := newChaos(t, Options{Seed: 1})
+	s := &sink{}
+	eps[2].SetHandler(s.handler)
+	if err := eps[1].Send(2, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	s.waitN(t, 1)
+	const stall = 80 * time.Millisecond
+	ct.StallLink(1, 2, stall)
+	start := time.Now()
+	if err := eps[1].Send(2, []byte("held")); err != nil {
+		t.Fatal(err)
+	}
+	got := s.waitN(t, 2)
+	if el := time.Since(start); el < stall-10*time.Millisecond {
+		t.Fatalf("stalled frame arrived after %v, want >= %v", el, stall)
+	}
+	if got[1] != "1:held" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestSlowNodeAddsLatency: SlowNode inflates the node's link delays until
+// restored.
+func TestSlowNodeAddsLatency(t *testing.T) {
+	ct, eps := newChaos(t, Options{Seed: 1})
+	s := &sink{}
+	eps[2].SetHandler(s.handler)
+	const lag = 60 * time.Millisecond
+	ct.SlowNode(1, lag)
+	start := time.Now()
+	if err := eps[1].Send(2, []byte("sluggish")); err != nil {
+		t.Fatal(err)
+	}
+	s.waitN(t, 1)
+	if el := time.Since(start); el < lag-5*time.Millisecond {
+		t.Fatalf("slow-node frame arrived after %v, want >= %v", el, lag)
+	}
+	ct.SlowNode(1, 0)
+	start = time.Now()
+	if err := eps[1].Send(2, []byte("recovered")); err != nil {
+		t.Fatal(err)
+	}
+	s.waitN(t, 2)
+	if el := time.Since(start); el > lag {
+		t.Fatalf("restored node still slow: %v", el)
+	}
+}
+
+// TestCrashDropsQueuedFrames: frames sitting in the injection queue die
+// with the sender's crash; the crashed ID can rejoin and resume.
+func TestCrashDropsQueuedFrames(t *testing.T) {
+	ct, eps := newChaos(t, Options{Seed: 1})
+	s := &sink{}
+	eps[2].SetHandler(s.handler)
+	ct.StallLink(1, 2, time.Hour) // park everything 1 sends
+	for i := range 50 {
+		if err := eps[1].Send(2, []byte(fmt.Sprintf("doomed%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ct.Crash(1)
+	if err := eps[3].Send(2, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	got := s.waitN(t, 1)
+	if len(got) != 1 || got[0] != "3:alive" {
+		t.Fatalf("crashed sender's queued frames leaked: %v", got)
+	}
+	if err := eps[1].Send(2, []byte("ghost")); err == nil {
+		t.Fatal("send from crashed endpoint succeeded")
+	}
+	// Restart path: rejoin provisions a fresh endpoint with fresh links.
+	ep1, err := ct.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep1.Send(2, []byte("reborn")); err != nil {
+		t.Fatal(err)
+	}
+	got = s.waitN(t, 2)
+	if got[1] != "1:reborn" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestZeroOptionsTransparent: the zero-value decorator is pass-through.
+func TestZeroOptionsTransparent(t *testing.T) {
+	_, eps := newChaos(t, Options{})
+	s := &sink{}
+	eps[2].SetHandler(s.handler)
+	start := time.Now()
+	for i := range 100 {
+		if err := eps[1].Send(2, []byte(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.waitN(t, 100)
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("transparent decorator took %v for 100 frames", el)
+	}
+}

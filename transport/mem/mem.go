@@ -9,6 +9,18 @@
 // as needed, mirroring kernel socket buffers plus sender-side user-space
 // queues; flow control belongs to the layer above (the node applies
 // backpressure on Broadcast).
+//
+// Crash semantics are deterministic: Crash(id) atomically — under the hub
+// lock, with respect to every concurrent Send — detaches the endpoint,
+// discards every frame still queued for it, and purges frames it had
+// already sent from every other endpoint's queue. After Crash returns, no
+// frame from or to the crashed endpoint will ever reach a handler, except
+// frames the receiver's dispatch goroutine had already popped for delivery
+// (the analogue of bytes the receiving process already read from its
+// socket). Tests can therefore rely on a crash severing both directions at
+// one instant instead of depending on goroutine scheduling. A plain Close
+// (graceful stop) drops the endpoint's own inbound queue but lets frames it
+// already sent drain normally.
 package mem
 
 import (
@@ -67,11 +79,17 @@ func (n *Network) Join(id transport.ProcID) (*Endpoint, error) {
 	return ep, nil
 }
 
-// Crash forcibly closes id's endpoint, dropping queued traffic — fail-stop
-// semantics for fault-injection tests.
+// Crash forcibly closes id's endpoint with fail-stop semantics: while
+// holding the hub lock it detaches the endpoint and purges every frame
+// still in flight to or from it, so no concurrent Send can slip a frame
+// past the crash (see the package comment for the exact guarantee).
 func (n *Network) Crash(id transport.ProcID) {
 	n.mu.Lock()
 	ep := n.peers[id]
+	delete(n.peers, id)
+	for _, other := range n.peers {
+		other.purgeFrom(id)
+	}
 	n.mu.Unlock()
 	if ep != nil {
 		_ = ep.Close()
@@ -93,18 +111,27 @@ func (n *Network) HealLink(from, to transport.ProcID) {
 	delete(n.cut, [2]transport.ProcID{from, to})
 }
 
-// lookup returns the destination endpoint if the link is up.
-func (n *Network) lookup(from, to transport.ProcID) (*Endpoint, bool, error) {
+// route decides and performs one frame's delivery enqueue under the hub
+// lock, which is what makes Crash atomic: between the sender-liveness check
+// and the destination enqueue no crash can interleave. Lock order is
+// Network.mu -> Endpoint.mu, everywhere.
+func (n *Network) route(it item, to transport.ProcID) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.cut[[2]transport.ProcID{from, to}] {
-		return nil, true, nil // link down: silent drop
+	if _, live := n.peers[it.from]; !live {
+		// The sender was crashed while this Send was in flight; the frame
+		// dies with it (Crash already purged its queued siblings).
+		return transport.ErrClosed
 	}
-	ep, ok := n.peers[to]
+	if n.cut[[2]transport.ProcID{it.from, to}] {
+		return nil // link down: silent drop
+	}
+	dst, ok := n.peers[to]
 	if !ok {
-		return nil, false, fmt.Errorf("mem: send to %d: %w", to, transport.ErrUnknownPeer)
+		return fmt.Errorf("mem: send to %d: %w", to, transport.ErrUnknownPeer)
 	}
-	return ep, false, nil
+	dst.enqueue(it)
+	return nil
 }
 
 // remove detaches a closed endpoint from the hub.
@@ -156,13 +183,6 @@ func (e *Endpoint) Send(to transport.ProcID, payload []byte) error {
 		return transport.ErrClosed
 	}
 	e.mu.Unlock()
-	dst, linkDown, err := e.net.lookup(e.id, to)
-	if err != nil {
-		return err
-	}
-	if linkDown {
-		return nil // partitioned: message lost on the wire
-	}
 	now := time.Now()
 	sent := now
 	if bw := e.net.opts.Bandwidth; bw > 0 {
@@ -181,8 +201,7 @@ func (e *Endpoint) Send(to transport.ProcID, payload []byte) error {
 	if e.net.opts.Latency > 0 {
 		due = sent.Add(e.net.opts.Latency)
 	}
-	dst.enqueue(item{from: e.id, payload: payload, due: due})
-	return nil
+	return e.net.route(item{from: e.id, payload: payload, due: due}, to)
 }
 
 func (e *Endpoint) enqueue(it item) {
@@ -193,6 +212,20 @@ func (e *Endpoint) enqueue(it item) {
 	}
 	e.queue = append(e.queue, it)
 	e.cond.Signal()
+}
+
+// purgeFrom drops every queued frame sent by id — the receive half of the
+// atomic crash. Called with Network.mu held.
+func (e *Endpoint) purgeFrom(id transport.ProcID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	kept := e.queue[:0]
+	for _, it := range e.queue {
+		if it.from != id {
+			kept = append(kept, it)
+		}
+	}
+	e.queue = kept
 }
 
 // dispatchLoop delivers queued payloads serially to the handler.
