@@ -7,13 +7,18 @@
 //	fsr-bench -exp all
 //	fsr-bench -exp figure8
 //	fsr-bench -exp all -json BENCH_$(date +%F).json
+//	fsr-bench -exp figure7x -cpuprofile cpu.pprof -memprofile mem.pprof
 //
-// Experiments: table1, figure6, figure7, figure8, figure9, classes,
-// tradeoff, latency, segsize, stall, all.
+// Experiments: table1, figure6, figure7, figure7x, figure8, figure9,
+// classes, tradeoff, latency, segsize, stall, all. figure7x is the Figure 7
+// sweep on the modern testbed model (gigabit link, hot-path costs measured
+// against this repository's batched zero-alloc stack); the others keep the
+// paper calibration.
 //
 // With -json the results are also written as a machine-readable document,
 // so successive runs (BENCH_<date>.json) accumulate the repository's
-// performance trajectory.
+// performance trajectory. -cpuprofile/-memprofile write pprof profiles of
+// the run (`go tool pprof <binary> cpu.pprof`) for hot-path work.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"fsr/internal/bench"
@@ -29,10 +35,41 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|figure6|figure7|figure8|figure9|classes|tradeoff|latency|segsize|stall|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|figure6|figure7|figure7x|figure8|figure9|classes|tradeoff|latency|segsize|stall|all)")
 	jsonOut := flag.String("json", "", `also write the results as JSON to this file (e.g. "BENCH_2026-07-27.json")`)
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	flag.Parse()
-	if err := run(*exp, *jsonOut); err != nil {
+	var cpuOut *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fsr-bench: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		cpuOut = f
+	}
+	err := run(*exp, *jsonOut)
+	if cpuOut != nil { // stop explicitly: os.Exit below would skip defers
+		pprof.StopCPUProfile()
+		_ = cpuOut.Close()
+	}
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr == nil {
+			runtime.GC() // materialize the final live set
+			merr = pprof.WriteHeapProfile(f)
+			_ = f.Close()
+		}
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "fsr-bench: mem profile: %v\n", merr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fsr-bench: %v\n", err)
 		os.Exit(1)
 	}
@@ -55,6 +92,9 @@ func run(exp, jsonOut string) error {
 		{"figure6", func() (*metrics.Series, error) { return bench.Figure6([]int{2, 3, 4, 5, 6, 7, 8, 9, 10}) }},
 		{"figure7", func() (*metrics.Series, error) {
 			return bench.Figure7([]float64{10, 20, 30, 40, 50, 60, 70, 75, 80, 90, 100})
+		}},
+		{"figure7x", func() (*metrics.Series, error) {
+			return bench.Figure7X([]float64{50, 100, 200, 300, 400, 500, 600, 700, 750, 800, 900})
 		}},
 		{"figure8", func() (*metrics.Series, error) { return bench.Figure8([]int{2, 3, 4, 5, 6, 7, 8, 9, 10}) }},
 		{"figure9", func() (*metrics.Series, error) { return bench.Figure9([]int{1, 2, 3, 4, 5}) }},

@@ -36,6 +36,14 @@ type Config struct {
 	// (paper §4.2.2). Default core.DefaultMaxPiggyback.
 	MaxPiggyback int
 
+	// MaxFrameData bounds how many data segments one transport frame
+	// batches. Relayed traffic fills frames up to this bound (amortizing
+	// per-frame headers, syscalls and per-hop processing), while own
+	// broadcasts stay paced at one segment per frame so the paper's
+	// fairness rule keeps its guarantees. 1 restores the paper's strict
+	// one-segment-per-frame behavior. Default core.DefaultMaxFrameData.
+	MaxFrameData int
+
 	// MaxPendingOwn bounds own segments queued for initiation before
 	// Broadcast blocks (backpressure). Default 1024.
 	MaxPendingOwn int

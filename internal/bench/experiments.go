@@ -87,7 +87,13 @@ func Figure6(ns []int) (*metrics.Series, error) {
 // It returns the achieved delivered throughput (Mb/s, at the last ring
 // position) and the mean completion latency of the messages that finished.
 func throttledRun(n int, aggregate float64, horizon time.Duration) (float64, time.Duration, error) {
-	c, err := netsim.NewCluster(n, netsim.Config{T: 1})
+	return throttledRunCfg(n, netsim.Config{T: 1}, aggregate, horizon)
+}
+
+// throttledRunCfg is throttledRun on an explicit cluster model (paper
+// calibration vs the modern profile).
+func throttledRunCfg(n int, cfg netsim.Config, aggregate float64, horizon time.Duration) (float64, time.Duration, error) {
+	c, err := netsim.NewCluster(n, cfg)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -155,6 +161,28 @@ func Figure7(offeredMbps []float64) (*metrics.Series, error) {
 		XLabel: "throughput (Mb/s)", YLabel: "latency (ms)"}
 	for _, load := range offeredMbps {
 		mbps, lat, err := throttledRun(5, load*1e6, 4*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(mbps, float64(lat.Microseconds())/1000, fmt.Sprintf("offered=%.0f", load))
+	}
+	return s, nil
+}
+
+// Figure7X is the Figure 7 sweep on the modern testbed model (gigabit
+// link, netsim.ModernConfig): same protocol, same workload shape, but the
+// per-segment middleware costs re-measured against this repository's
+// overhauled Go hot path (multi-segment frames, pooled zero-alloc codec,
+// batched delivery) instead of the paper's 2006 Java/DREAM stack. On this
+// model the pre-overhaul stack still saturates at the paper's ~79 Mb/s —
+// its calibrated per-segment delivery cost, not the wire, is the ceiling,
+// which is exactly what BENCH_2026-07-27_pr3.json recorded — while the
+// batched stack pushes the knee to where the receive path maxes out.
+func Figure7X(offeredMbps []float64) (*metrics.Series, error) {
+	s := &metrics.Series{Name: "Figure 7x: latency vs throughput, overhauled hot path (n=5, 1 Gb/s)",
+		XLabel: "throughput (Mb/s)", YLabel: "latency (ms)"}
+	for _, load := range offeredMbps {
+		mbps, lat, err := throttledRunCfg(5, netsim.ModernConfig(), load*1e6, 4*time.Second)
 		if err != nil {
 			return nil, err
 		}

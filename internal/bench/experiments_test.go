@@ -59,6 +59,27 @@ func TestFigure7Knee(t *testing.T) {
 	}
 }
 
+// TestFigure7XSaturation guards the overhaul's headline: on the modern
+// testbed model the batched zero-alloc stack must saturate at no less than
+// twice the pre-overhaul 79 Mb/s ceiling recorded in
+// BENCH_2026-07-27_pr3.json, with the same flat-then-blow-up shape.
+func TestFigure7XSaturation(t *testing.T) {
+	s, err := Figure7X([]float64{200, 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, over := s.Points[0], s.Points[1]
+	if low.X < 190 || low.X > 210 {
+		t.Errorf("below saturation achieved %.1f Mb/s for 200 offered", low.X)
+	}
+	if over.X < 2*79 {
+		t.Errorf("saturation goodput %.1f Mb/s, want >= %.0f (2x the pre-overhaul ceiling)", over.X, 2*79.0)
+	}
+	if over.Y < 5*low.Y {
+		t.Errorf("no queueing blow-up past saturation: %.2fms vs %.2fms", low.Y, over.Y)
+	}
+}
+
 func TestFigure8Flat79(t *testing.T) {
 	s, err := Figure8([]int{2, 5, 8, 10})
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fsr/internal/deque"
 	"fsr/internal/ring"
 	"fsr/internal/wire"
 )
@@ -59,6 +60,14 @@ type Config struct {
 	// MaxPiggyback bounds how many acks ride on one outbound frame
 	// (paper §4.2.2). Defaults to DefaultMaxPiggyback.
 	MaxPiggyback int
+	// MaxFrameData bounds how many data segments one outbound frame
+	// carries. The fairness rule is applied per slot, so own/relay
+	// interleaving within a batched frame is exactly the sequence the
+	// single-segment engine would have sent; batching only amortizes the
+	// per-frame overhead (headers, syscalls, per-hop fixed receive cost)
+	// across segments. 1 reproduces the paper's one-segment-per-frame
+	// behavior. Defaults to DefaultMaxFrameData.
+	MaxFrameData int
 	// DeliveredBuffer is how many recently delivered segments are retained
 	// for view-change recovery (a survivor may need to re-supply segments
 	// that slower members have not delivered yet). Defaults to
@@ -83,6 +92,7 @@ type Config struct {
 const (
 	DefaultSegmentSize     = 8192
 	DefaultMaxPiggyback    = 64
+	DefaultMaxFrameData    = 8
 	DefaultDeliveredBuffer = 4096
 )
 
@@ -92,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPiggyback <= 0 {
 		c.MaxPiggyback = DefaultMaxPiggyback
+	}
+	if c.MaxFrameData <= 0 {
+		c.MaxFrameData = DefaultMaxFrameData
 	}
 	if c.DeliveredBuffer <= 0 {
 		c.DeliveredBuffer = DefaultDeliveredBuffer
@@ -120,6 +133,7 @@ type Stats struct {
 	OwnSent        uint64
 	FairnessSkips  uint64 // relay items sent ahead of an own message by the fairness rule
 	StandaloneAcks uint64 // frames that carried only acks (low-load path)
+	MultiSegFrames uint64 // outbound frames that batched more than one data segment
 }
 
 // msgState is the per-segment protocol state at one process.
@@ -150,17 +164,22 @@ type Engine struct {
 
 	pend   map[wire.MsgID]*msgState
 	bySeq  map[uint64]*msgState
-	oldest uint64 // lowest seq still retained (recovery buffer floor)
+	oldest uint64      // lowest seq still retained (recovery buffer floor)
+	free   []*msgState // recycled state records (single-goroutine freelist)
 
-	relayQ  []wire.DataItem
-	ownQ    []wire.DataItem
-	ackQ    []wire.AckItem
-	forward map[ring.ProcID]bool // fairness forward-list (paper §4.2.3)
+	relayQ   relayQueue
+	ownQ     deque.Deque[wire.DataItem]
+	ackQ     deque.Deque[wire.AckItem]
+	fwdEpoch uint64 // fairness forward-list epoch (paper §4.2.3); bumping it clears the list
 
-	out     []Delivery
+	out     []Delivery // pending deliveries; drained in place, backing array reused
 	stats   Stats
 	stopped bool
 }
+
+// maxFreeStates bounds the msgState freelist so an idle engine does not
+// pin the high-water mark of a past burst.
+const maxFreeStates = 512
 
 // NewEngine builds an engine for cfg.Self in the given initial view.
 func NewEngine(cfg Config, v View) (*Engine, error) {
@@ -180,7 +199,7 @@ func NewEngine(cfg Config, v View) (*Engine, error) {
 		oldest:    start,
 		pend:      make(map[wire.MsgID]*msgState),
 		bySeq:     make(map[uint64]*msgState),
-		forward:   make(map[ring.ProcID]bool),
+		fwdEpoch:  1,
 	}, nil
 }
 
@@ -240,24 +259,24 @@ func (e *Engine) Broadcast(payload []byte) (wire.MsgID, error) {
 			continue
 		}
 		st.queued = true
-		e.ownQ = append(e.ownQ, item)
+		e.ownQ.PushBack(item)
 	}
 	return first, nil
 }
 
 // PendingOwn returns how many own segments are still queued for initiation.
 // The runtime uses it for backpressure decisions.
-func (e *Engine) PendingOwn() int { return len(e.ownQ) }
+func (e *Engine) PendingOwn() int { return e.ownQ.Len() }
 
 // HasOutbound reports whether NextFrame would produce a frame.
 func (e *Engine) HasOutbound() bool {
-	return len(e.relayQ) > 0 || len(e.ownQ) > 0 || len(e.ackQ) > 0
+	return e.relayQ.Len() > 0 || e.ownQ.Len() > 0 || e.ackQ.Len() > 0
 }
 
 // QueueDepths reports the engine's internal queue lengths (relay, own, ack)
 // for diagnostics and load monitoring.
 func (e *Engine) QueueDepths() (relay, own, acks int) {
-	return len(e.relayQ), len(e.ownQ), len(e.ackQ)
+	return e.relayQ.Len(), e.ownQ.Len(), e.ackQ.Len()
 }
 
 // PendingDeliveries reports how many TO-delivered segments await a
@@ -267,14 +286,24 @@ func (e *Engine) QueueDepths() (relay, own, acks int) {
 func (e *Engine) PendingDeliveries() int { return len(e.out) }
 
 // Deliveries drains and returns the segments TO-delivered since the last
-// call, in total order.
+// call, in total order. The returned slice is owned by the caller; hot
+// runtimes use DrainDeliveries to reuse one buffer across drains.
 func (e *Engine) Deliveries() []Delivery {
 	if len(e.out) == 0 {
 		return nil
 	}
-	d := e.out
-	e.out = nil
-	return d
+	return e.DrainDeliveries(nil)
+}
+
+// DrainDeliveries appends the segments TO-delivered since the last drain to
+// dst (in total order) and returns it. The engine's internal buffer is
+// reset in place, so a caller that passes dst[:0] of its previous result
+// drives the delivery path with zero allocations at steady state.
+func (e *Engine) DrainDeliveries(dst []Delivery) []Delivery {
+	dst = append(dst, e.out...)
+	clear(e.out) // release Body references; the reused array must not pin buffers
+	e.out = e.out[:0]
+	return dst
 }
 
 // HandleFrame processes one inbound frame from the ring predecessor.
@@ -322,7 +351,7 @@ func (e *Engine) handleData(d *wire.DataItem) error {
 			return nil
 		}
 		// Standard/backup process: relay pass A unchanged.
-		e.relayQ = append(e.relayQ, *d)
+		e.relayQ.push(*d)
 		return nil
 	}
 
@@ -349,7 +378,7 @@ func (e *Engine) handleData(d *wire.DataItem) error {
 		e.originateAck(st, sPos)
 		return nil
 	}
-	e.relayQ = append(e.relayQ, *d)
+	e.relayQ.push(*d)
 	return nil
 }
 
@@ -374,7 +403,7 @@ func (e *Engine) afterSequencing(st *msgState, d *wire.DataItem) {
 	if d != nil {
 		item.Body = d.Body
 	}
-	e.relayQ = append(e.relayQ, item)
+	e.relayQ.push(item)
 }
 
 // originateAck creates the pass-C acknowledgment for a segment whose pass B
@@ -385,7 +414,7 @@ func (e *Engine) originateAck(st *msgState, sPos int) {
 	if hops == 0 {
 		return // t == 0 leader broadcast: everyone already delivered
 	}
-	e.ackQ = append(e.ackQ, wire.AckItem{
+	e.ackQ.PushBack(wire.AckItem{
 		ID:     st.id,
 		Seq:    st.seq,
 		Hops:   uint32(hops),
@@ -416,49 +445,80 @@ func (e *Engine) handleAck(a wire.AckItem) error {
 	}
 	if a.Hops > 1 {
 		a.Hops--
-		e.ackQ = append(e.ackQ, a)
+		e.ackQ.PushBack(a)
 	}
 	e.maybePrune(st)
 	return nil
 }
 
 // NextFrame pops the next outbound frame for the ring successor, applying
-// the fairness rule and ack piggybacking. It returns false when the engine
-// has nothing to send.
+// the fairness rule per data slot and ack piggybacking. It returns false
+// when the engine has nothing to send. Hot runtimes use FillFrame to reuse
+// one frame across sends.
 func (e *Engine) NextFrame() (*wire.Frame, bool) {
-	item, hasData := e.nextDataItem()
-	if !hasData && len(e.ackQ) == 0 {
+	f := &wire.Frame{}
+	if !e.FillFrame(f) {
 		return nil, false
 	}
-	f := &wire.Frame{ViewID: e.view.ID}
-	if hasData {
-		f.Data = []wire.DataItem{item}
-	} else {
-		e.stats.StandaloneAcks++
+	return f, true
+}
+
+// FillFrame assembles the next outbound frame into f, reusing f's Data and
+// Acks capacity: up to Config.MaxFrameData data segments — each slot chosen
+// by the §4.2.3 fairness rule, so the batched segment sequence is exactly
+// what the single-segment engine would have sent across as many frames —
+// plus up to Config.MaxPiggyback acknowledgments. It reports whether f
+// holds a frame worth sending.
+//
+// A frame closes early after carrying one own segment: the fairness rule's
+// guarantees lean on the transport pacing between a process's own sends (a
+// frame boundary is where freshly relayed traffic gets its turn), so own
+// initiation keeps its one-per-frame cadence while relayed traffic — the
+// volume that actually bounds ring throughput — batches freely.
+func (e *Engine) FillFrame(f *wire.Frame) bool {
+	f.ViewID = e.view.ID
+	f.Data = f.Data[:0]
+	f.Acks = f.Acks[:0]
+	for len(f.Data) < e.cfg.MaxFrameData {
+		item, own, ok := e.nextDataItem()
+		if !ok {
+			break
+		}
+		f.Data = append(f.Data, item)
+		if own {
+			break
+		}
 	}
-	k := min(e.cfg.MaxPiggyback, len(e.ackQ))
-	if k > 0 {
-		f.Acks = append(f.Acks, e.ackQ[:k]...)
-		e.ackQ = e.ackQ[:copy(e.ackQ, e.ackQ[k:])]
+	if len(f.Data) == 0 && e.ackQ.Len() == 0 {
+		return false
+	}
+	if len(f.Data) == 0 {
+		e.stats.StandaloneAcks++
+	} else if len(f.Data) > 1 {
+		e.stats.MultiSegFrames++
+	}
+	k := min(e.cfg.MaxPiggyback, e.ackQ.Len())
+	for range k {
+		f.Acks = append(f.Acks, e.ackQ.PopFront())
 	}
 	e.stats.FramesOut++
 	e.tryDeliver() // own t==0 leader sends may have become deliverable
-	return f, true
+	return true
 }
 
 // nextDataItem implements the paper's §4.2.3 fairness rule. When an own
 // message is pending, the earliest buffered relay of every origin not yet in
 // the forward list is sent first; only then does the own message go out, and
-// the forward list resets.
-func (e *Engine) nextDataItem() (wire.DataItem, bool) {
-	if len(e.ownQ) > 0 {
-		if idx := e.firstUnforwardedRelay(); idx >= 0 {
+// the forward list resets (one epoch bump).
+func (e *Engine) nextDataItem() (item wire.DataItem, own, ok bool) {
+	if e.ownQ.Len() > 0 {
+		if item, ok := e.relayQ.popUnforwarded(e.fwdEpoch); ok {
 			e.stats.FairnessSkips++
-			return e.takeRelay(idx), true
+			e.stats.RelayedData++
+			return item, false, true
 		}
-		item := e.ownQ[0]
-		e.ownQ = e.ownQ[:copy(e.ownQ, e.ownQ[1:])]
-		clear(e.forward)
+		item := e.ownQ.PopFront()
+		e.fwdEpoch++ // reset the forward list
 		e.stats.OwnSent++
 		if st := e.pend[item.ID]; st != nil {
 			st.queued = false
@@ -472,34 +532,13 @@ func (e *Engine) nextDataItem() (wire.DataItem, bool) {
 				st.eligible = true
 			}
 		}
-		return item, true
+		return item, true, true
 	}
-	if len(e.relayQ) > 0 {
-		return e.takeRelay(0), true
+	if item, ok := e.relayQ.popOldest(e.fwdEpoch); ok {
+		e.stats.RelayedData++
+		return item, false, true
 	}
-	return wire.DataItem{}, false
-}
-
-// firstUnforwardedRelay returns the index of the earliest relay item whose
-// origin is not in the forward list, or -1.
-func (e *Engine) firstUnforwardedRelay() int {
-	for i := range e.relayQ {
-		if !e.forward[e.relayQ[i].ID.Origin] {
-			return i
-		}
-	}
-	return -1
-}
-
-// takeRelay removes and returns relayQ[idx], recording its origin in the
-// forward list. Removal preserves the order of the remaining items, so
-// per-origin FIFO is never violated.
-func (e *Engine) takeRelay(idx int) wire.DataItem {
-	item := e.relayQ[idx]
-	e.relayQ = append(e.relayQ[:idx], e.relayQ[idx+1:]...)
-	e.forward[item.ID.Origin] = true
-	e.stats.RelayedData++
-	return item
+	return wire.DataItem{}, false, false
 }
 
 // assignSeq gives st the next sequence number (leader only).
@@ -514,14 +553,38 @@ func (e *Engine) setSeq(st *msgState, seq uint64) {
 	e.bySeq[seq] = st
 }
 
-// ensure returns the state record for id, creating it if absent.
+// ensure returns the state record for id, creating (or recycling) it if
+// absent.
 func (e *Engine) ensure(id wire.MsgID) *msgState {
 	st := e.pend[id]
 	if st == nil {
-		st = &msgState{id: id}
+		if n := len(e.free); n > 0 {
+			st = e.free[n-1]
+			e.free[n-1] = nil
+			e.free = e.free[:n-1]
+			*st = msgState{}
+		} else {
+			st = &msgState{}
+		}
+		st.id = id
 		e.pend[id] = st
 	}
 	return st
+}
+
+// recycle returns a state record to the freelist once neither index map
+// references it anymore.
+func (e *Engine) recycle(st *msgState) {
+	if e.pend[st.id] == st {
+		return
+	}
+	if s, ok := e.bySeq[st.seq]; ok && s == st {
+		return
+	}
+	if len(e.free) < maxFreeStates {
+		st.body = nil // drop the payload reference before pooling
+		e.free = append(e.free, st)
+	}
 }
 
 // tryDeliver delivers every contiguous eligible segment starting at the
@@ -581,6 +644,7 @@ func (e *Engine) maybePrune(st *msgState) {
 	}
 	if st.acksSeen >= e.expectedAckReceptions(sPos) {
 		delete(e.pend, st.id)
+		e.recycle(st)
 	}
 }
 
@@ -591,6 +655,7 @@ func (e *Engine) gcDeliveredBuffer() {
 	for e.nextDel-e.oldest > limit {
 		if st, ok := e.bySeq[e.oldest]; ok && st.delivered {
 			delete(e.bySeq, e.oldest)
+			e.recycle(st)
 		}
 		e.oldest++
 	}

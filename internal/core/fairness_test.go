@@ -23,19 +23,28 @@ func TestFairnessFigure5(t *testing.T) {
 	mk := func(origin ring.ProcID, local uint64) wire.DataItem {
 		return wire.DataItem{ID: wire.MsgID{Origin: origin, Local: local}, Parts: 1, Body: []byte{byte(origin)}}
 	}
-	e.relayQ = []wire.DataItem{mk(2, 3), mk(4, 2), mk(3, 5), mk(3, 6)}
-	e.forward = map[ring.ProcID]bool{1: true, 4: true, 0: true} // p5 is self; use p0 for the paper's p5
+	for _, d := range []wire.DataItem{mk(2, 3), mk(4, 2), mk(3, 5), mk(3, 6)} {
+		e.relayQ.push(d)
+	}
+	for _, o := range []ring.ProcID{1, 4, 0} { // p5 is self; use p0 for the paper's p5
+		e.relayQ.markForwarded(o, e.fwdEpoch)
+	}
 	if _, err := e.Broadcast([]byte("own")); err != nil {
 		t.Fatal(err)
 	}
 
+	// Collect the data-slot sequence across however many (batched) frames
+	// the engine emits; the per-slot fairness decisions must match the
+	// paper's single-segment send order exactly.
 	var got []wire.MsgID
-	for range 5 {
+	for {
 		f, ok := e.NextFrame()
-		if !ok || len(f.Data) != 1 {
-			t.Fatalf("expected a data frame, got %+v", f)
+		if !ok {
+			break
 		}
-		got = append(got, f.Data[0].ID)
+		for i := range f.Data {
+			got = append(got, f.Data[i].ID)
+		}
 	}
 	want := []wire.MsgID{
 		{Origin: 2, Local: 3}, // not in list
@@ -44,13 +53,114 @@ func TestFairnessFigure5(t *testing.T) {
 		{Origin: 4, Local: 2}, // remaining relays in FIFO order
 		{Origin: 3, Local: 6},
 	}
+	if len(got) != len(want) {
+		t.Fatalf("sent %d items, want %d (full: %v)", len(got), len(want), got)
+	}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("send order[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
 		}
 	}
-	if len(e.forward) != 2 { // p4 and p3 forwarded since the own send
-		t.Errorf("forward list after own send has %d entries, want 2", len(e.forward))
+	if n := e.relayQ.forwardedCount(e.fwdEpoch); n != 2 { // p4 and p3 forwarded since the own send
+		t.Errorf("forward list after own send has %d entries, want 2", n)
+	}
+}
+
+// TestFairnessBatchedSlots reruns the Figure 5 vectors against a batching
+// engine and checks the per-frame slot layout: the first frame batches the
+// unforwarded relays and closes right after the own segment (own sends keep
+// their one-per-frame cadence), the second batches the remaining relays.
+func TestFairnessBatchedSlots(t *testing.T) {
+	members := []ring.ProcID{0, 1, 2, 3, 4, 5}
+	v := View{ID: 1, Ring: ring.MustNew(members, 1)}
+	e, err := NewEngine(Config{Self: 5, MaxFrameData: 16}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(origin ring.ProcID, local uint64) wire.DataItem {
+		return wire.DataItem{ID: wire.MsgID{Origin: origin, Local: local}, Parts: 1, Body: []byte{byte(origin)}}
+	}
+	for _, d := range []wire.DataItem{mk(2, 3), mk(4, 2), mk(3, 5), mk(3, 6)} {
+		e.relayQ.push(d)
+	}
+	for _, o := range []ring.ProcID{1, 4, 0} {
+		e.relayQ.markForwarded(o, e.fwdEpoch)
+	}
+	if _, err := e.Broadcast([]byte("own")); err != nil {
+		t.Fatal(err)
+	}
+	wantFrames := [][]wire.MsgID{
+		{{Origin: 2, Local: 3}, {Origin: 3, Local: 5}, {Origin: 5, Local: 0}}, // relays, then own closes the frame
+		{{Origin: 4, Local: 2}, {Origin: 3, Local: 6}},                        // remaining relays batch together
+	}
+	for fi, want := range wantFrames {
+		f, ok := e.NextFrame()
+		if !ok {
+			t.Fatalf("no frame %d", fi)
+		}
+		if len(f.Data) != len(want) {
+			t.Fatalf("frame %d batched %d segments, want %d: %+v", fi, len(f.Data), len(want), f.Data)
+		}
+		for i := range want {
+			if f.Data[i].ID != want[i] {
+				t.Fatalf("frame %d slot %d = %v, want %v", fi, i, f.Data[i].ID, want[i])
+			}
+		}
+	}
+	if e.Stats().MultiSegFrames != 2 {
+		t.Errorf("MultiSegFrames = %d, want 2", e.Stats().MultiSegFrames)
+	}
+	if _, ok := e.NextFrame(); ok {
+		t.Error("queues not drained by two batched frames")
+	}
+}
+
+// TestFairnessBatchingMatchesUnbatched drives the same workload through a
+// MaxFrameData=1 engine and a batching engine and checks the flattened
+// data-slot sequences are identical.
+func TestFairnessBatchingMatchesUnbatched(t *testing.T) {
+	build := func(maxData int) *Engine {
+		members := []ring.ProcID{0, 1, 2, 3, 4, 5}
+		v := View{ID: 1, Ring: ring.MustNew(members, 1)}
+		e, err := NewEngine(Config{Self: 4, MaxFrameData: maxData}, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interleave relays from three origins with two own broadcasts.
+		for i := range 9 {
+			e.relayQ.push(wire.DataItem{
+				ID:    wire.MsgID{Origin: ring.ProcID(1 + i%3), Local: uint64(i)},
+				Parts: 1, Body: []byte{byte(i)},
+			})
+		}
+		for i := range 2 {
+			if _, err := e.Broadcast([]byte{byte(100 + i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	flat := func(e *Engine) []wire.MsgID {
+		var out []wire.MsgID
+		for {
+			f, ok := e.NextFrame()
+			if !ok {
+				return out
+			}
+			for i := range f.Data {
+				out = append(out, f.Data[i].ID)
+			}
+		}
+	}
+	single, batched := flat(build(1)), flat(build(4))
+	if len(single) != len(batched) {
+		t.Fatalf("item counts differ: %d vs %d", len(single), len(batched))
+	}
+	for i := range single {
+		if single[i] != batched[i] {
+			t.Fatalf("slot %d differs: %v vs %v\nsingle: %v\nbatched: %v",
+				i, single[i], batched[i], single, batched)
+		}
 	}
 }
 

@@ -238,3 +238,62 @@ func BenchmarkEngineHandleFrameHotPath(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineRelayHotPath measures the complete per-hop frame pipeline
+// at a standard relay process at steady state — pooled decode, HandleFrame,
+// batched FillFrame, pooled append-encode, reused delivery drain — i.e.
+// everything a loaded ring hop does per 8 KiB segment except the syscall.
+// Pre-change baseline (single-segment NextFrame, fresh frame + encode
+// buffer per hop): 1631 ns/op, 319 B/op, 3 allocs/op.
+func BenchmarkEngineRelayHotPath(b *testing.B) {
+	members := []ring.ProcID{0, 1, 2, 3, 4}
+	v := View{ID: 1, Ring: ring.MustNew(members, 1)}
+	relay, err := NewEngine(Config{Self: 3}, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := make([]byte, 8192)
+	in := &wire.Frame{ViewID: 1}
+	rx := wire.GetFrame()
+	out := wire.GetFrame()
+	inBuf := wire.GetBuf()
+	outBuf := wire.GetBuf()
+	defer wire.PutFrame(rx)
+	defer wire.PutFrame(out)
+	defer wire.PutBuf(inBuf)
+	defer wire.PutBuf(outBuf)
+	var deliveries []Delivery
+	step := func(i int) {
+		// Pass-B leader broadcast relayed through position 3: stored,
+		// relayed onward, delivered (position >= t) and — once past the
+		// recovery window — recycled, so the state maps stay flat.
+		in.Data = append(in.Data[:0], wire.DataItem{
+			ID:  wire.MsgID{Origin: 0, Local: uint64(i)},
+			Seq: uint64(i + 1), Parts: 1, Body: body,
+		})
+		inBuf.B = wire.AppendFrame(inBuf.B[:0], in)
+		if err := wire.DecodeFrameInto(rx, inBuf.B); err != nil {
+			b.Fatal(err)
+		}
+		if err := relay.HandleFrame(rx); err != nil {
+			b.Fatal(err)
+		}
+		if !relay.FillFrame(out) {
+			b.Fatal("no outbound")
+		}
+		outBuf.B = wire.AppendFrame(outBuf.B[:0], out)
+		deliveries = relay.DrainDeliveries(deliveries[:0])
+	}
+	// Fill the delivered-buffer window so recycling is active before the
+	// measurement starts.
+	warm := relay.cfg.DeliveredBuffer + 64
+	for i := 0; i < warm; i++ {
+		step(i)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(warm + i)
+	}
+}

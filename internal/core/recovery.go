@@ -252,10 +252,10 @@ func (e *Engine) InstallView(v View, sync *Sync) error {
 
 	e.view = v
 	e.self = pos
-	e.relayQ = nil
-	e.ownQ = nil
-	e.ackQ = nil
-	clear(e.forward)
+	e.relayQ.clear()
+	e.ownQ.Clear()
+	e.ackQ.Clear()
+	e.fwdEpoch++
 	e.pend = make(map[wire.MsgID]*msgState)
 	e.bySeq = make(map[uint64]*msgState)
 
@@ -300,7 +300,7 @@ func (e *Engine) InstallView(v View, sync *Sync) error {
 			// The whole run is re-emitted — including segments this leader
 			// already delivered: a slower member still needs their
 			// stability signal.
-			e.relayQ = append(e.relayQ, wire.DataItem{
+			e.relayQ.push(wire.DataItem{
 				ID: m.ID, Seq: m.Seq, Part: m.Part, Parts: m.Parts, Body: m.Body,
 			})
 		}
@@ -350,6 +350,6 @@ func (e *Engine) ReBroadcast(m PendingMsg) error {
 		return nil
 	}
 	st.queued = true
-	e.ownQ = append(e.ownQ, wire.DataItem{ID: m.ID, Part: m.Part, Parts: m.Parts, Body: m.Body})
+	e.ownQ.PushBack(wire.DataItem{ID: m.ID, Part: m.Part, Parts: m.Parts, Body: m.Body})
 	return nil
 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fsr/internal/deque"
+	"fsr/internal/ring"
+	"fsr/internal/wire"
+)
+
+// relayQueue buffers relayed data segments awaiting transmission to the
+// ring successor. It replaces the old flat slice (whose fairness scan was
+// O(queue) and whose mid-queue removal was an O(queue) splice) with one
+// ring-buffer deque per origin plus a global arrival index:
+//
+//   - per-origin FIFO is structural (a deque per origin),
+//   - global arrival order is recovered by popping the origin whose head
+//     carries the smallest arrival index,
+//   - the paper's §4.2.3 fairness scan ("earliest buffered relay of every
+//     origin not yet in the forward list") walks the origin set — bounded
+//     by the group size — instead of the whole queue,
+//   - the forward list itself is an epoch stamp per origin: resetting it
+//     after an own send is one integer increment, not a map clear.
+//
+// All pops are therefore O(origins) with zero allocation, independent of
+// how deep the queue is.
+type relayQueue struct {
+	byOrigin map[ring.ProcID]*originRelay
+	origins  []*originRelay // every origin ever seen; stable, bounded by membership
+	arrival  uint64         // global enqueue counter
+	size     int
+}
+
+// relayEntry is one queued segment stamped with its global arrival index.
+type relayEntry struct {
+	item wire.DataItem
+	idx  uint64
+}
+
+// originRelay is one origin's pending relay traffic plus its forward-list
+// epoch stamp (fwd == current epoch means "already forwarded since the
+// last own send").
+type originRelay struct {
+	origin ring.ProcID
+	fwd    uint64
+	q      deque.Deque[relayEntry]
+}
+
+// Len returns the total number of buffered segments.
+func (rq *relayQueue) Len() int { return rq.size }
+
+// ensure returns (creating if needed) the per-origin queue.
+func (rq *relayQueue) ensure(origin ring.ProcID) *originRelay {
+	if rq.byOrigin == nil {
+		rq.byOrigin = make(map[ring.ProcID]*originRelay)
+	}
+	or := rq.byOrigin[origin]
+	if or == nil {
+		or = &originRelay{origin: origin}
+		rq.byOrigin[origin] = or
+		rq.origins = append(rq.origins, or)
+	}
+	return or
+}
+
+// push appends one segment in global arrival order.
+func (rq *relayQueue) push(d wire.DataItem) {
+	or := rq.ensure(d.ID.Origin)
+	or.q.PushBack(relayEntry{item: d, idx: rq.arrival})
+	rq.arrival++
+	rq.size++
+}
+
+// popOldest removes and returns the globally earliest buffered segment,
+// recording its origin in the forward list for the given epoch.
+func (rq *relayQueue) popOldest(epoch uint64) (wire.DataItem, bool) {
+	var best *originRelay
+	for _, or := range rq.origins {
+		if or.q.Len() == 0 {
+			continue
+		}
+		if best == nil || or.q.Front().idx < best.q.Front().idx {
+			best = or
+		}
+	}
+	return rq.take(best, epoch)
+}
+
+// popUnforwarded removes and returns the earliest buffered segment whose
+// origin is not yet in the forward list of the given epoch — the fairness
+// rule's pick ahead of an own message.
+func (rq *relayQueue) popUnforwarded(epoch uint64) (wire.DataItem, bool) {
+	var best *originRelay
+	for _, or := range rq.origins {
+		if or.q.Len() == 0 || or.fwd == epoch {
+			continue
+		}
+		if best == nil || or.q.Front().idx < best.q.Front().idx {
+			best = or
+		}
+	}
+	return rq.take(best, epoch)
+}
+
+func (rq *relayQueue) take(or *originRelay, epoch uint64) (wire.DataItem, bool) {
+	if or == nil {
+		return wire.DataItem{}, false
+	}
+	or.fwd = epoch
+	rq.size--
+	return or.q.PopFront().item, true
+}
+
+// markForwarded puts origin in the forward list of the given epoch without
+// popping anything (view-change seeding and tests).
+func (rq *relayQueue) markForwarded(origin ring.ProcID, epoch uint64) {
+	rq.ensure(origin).fwd = epoch
+}
+
+// forwardedCount reports how many origins sit in the forward list of the
+// given epoch.
+func (rq *relayQueue) forwardedCount(epoch uint64) int {
+	n := 0
+	for _, or := range rq.origins {
+		if or.fwd == epoch {
+			n++
+		}
+	}
+	return n
+}
+
+// clear drops all buffered segments, forward marks AND the per-origin
+// entries themselves. It only runs at view installs, where membership may
+// have changed: keeping entries for departed origins would make every
+// hot-path scan O(origins ever seen) instead of O(current group) and pin
+// their ring buffers forever.
+func (rq *relayQueue) clear() {
+	rq.byOrigin = nil // ensure() re-creates lazily
+	clear(rq.origins)
+	rq.origins = rq.origins[:0]
+	rq.arrival, rq.size = 0, 0
+}

@@ -1,0 +1,92 @@
+// Package deque provides a growable ring-buffer double-ended queue.
+//
+// It replaces the append/copy slice queues on the protocol hot path: both
+// PushBack and PopFront are amortized O(1) with no per-element allocation
+// and no O(n) splice, and the backing array is reused across fill/drain
+// cycles, so a steady-state queue allocates nothing at all.
+package deque
+
+// Deque is a FIFO/LIFO queue over a power-of-two ring buffer. The zero
+// value is an empty, ready-to-use deque.
+type Deque[T any] struct {
+	buf  []T
+	head int // index of the front element
+	n    int // number of elements
+}
+
+const minCap = 8
+
+// Len returns the number of queued elements.
+func (d *Deque[T]) Len() int { return d.n }
+
+// PushBack appends v at the tail.
+func (d *Deque[T]) PushBack(v T) {
+	d.grow()
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = v
+	d.n++
+}
+
+// PushFront prepends v at the head.
+func (d *Deque[T]) PushFront(v T) {
+	d.grow()
+	d.head = (d.head - 1) & (len(d.buf) - 1)
+	d.buf[d.head] = v
+	d.n++
+}
+
+// PopFront removes and returns the front element. It panics on an empty
+// deque (protocol queues are always length-checked first).
+func (d *Deque[T]) PopFront() T {
+	if d.n == 0 {
+		panic("deque: PopFront on empty deque")
+	}
+	v := d.buf[d.head]
+	var zero T
+	d.buf[d.head] = zero // release references for the GC
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.n--
+	return v
+}
+
+// Front returns a pointer to the front element without removing it. It
+// panics on an empty deque.
+func (d *Deque[T]) Front() *T {
+	if d.n == 0 {
+		panic("deque: Front on empty deque")
+	}
+	return &d.buf[d.head]
+}
+
+// At returns a pointer to the i-th element from the front (0 = front).
+func (d *Deque[T]) At(i int) *T {
+	if i < 0 || i >= d.n {
+		panic("deque: index out of range")
+	}
+	return &d.buf[(d.head+i)&(len(d.buf)-1)]
+}
+
+// Clear empties the deque, zeroing the stored elements (so held references
+// are released) while keeping the backing array for reuse.
+func (d *Deque[T]) Clear() {
+	var zero T
+	for i := 0; i < d.n; i++ {
+		d.buf[(d.head+i)&(len(d.buf)-1)] = zero
+	}
+	d.head, d.n = 0, 0
+}
+
+// grow doubles the ring when full (or allocates the first buffer).
+func (d *Deque[T]) grow() {
+	if d.n < len(d.buf) {
+		return
+	}
+	c := len(d.buf) * 2
+	if c < minCap {
+		c = minCap
+	}
+	buf := make([]T, c)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
+	}
+	d.buf, d.head = buf, 0
+}

@@ -1,0 +1,158 @@
+package deque
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFIFO(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 1000; i++ {
+		d.PushBack(i)
+	}
+	if d.Len() != 1000 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		if got := d.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("len after drain = %d", d.Len())
+	}
+}
+
+func TestPushFront(t *testing.T) {
+	var d Deque[int]
+	d.PushBack(2)
+	d.PushFront(1)
+	d.PushBack(3)
+	d.PushFront(0)
+	for i := 0; i < 4; i++ {
+		if got := d.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	var d Deque[int]
+	// Interleave pushes and pops so head walks around the ring many times.
+	next, expect := 0, 0
+	for round := 0; round < 500; round++ {
+		for i := 0; i < 3; i++ {
+			d.PushBack(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if got := d.PopFront(); got != expect {
+				t.Fatalf("round %d: PopFront = %d, want %d", round, got, expect)
+			}
+			expect++
+		}
+	}
+	for d.Len() > 0 {
+		if got := d.PopFront(); got != expect {
+			t.Fatalf("drain: PopFront = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d, pushed %d", expect, next)
+	}
+}
+
+func TestFrontAt(t *testing.T) {
+	var d Deque[string]
+	d.PushBack("a")
+	d.PushBack("b")
+	d.PushBack("c")
+	if *d.Front() != "a" {
+		t.Fatalf("Front = %q", *d.Front())
+	}
+	if *d.At(2) != "c" {
+		t.Fatalf("At(2) = %q", *d.At(2))
+	}
+	*d.At(1) = "B"
+	if got := d.PopFront(); got != "a" {
+		t.Fatalf("PopFront = %q", got)
+	}
+	if got := d.PopFront(); got != "B" {
+		t.Fatalf("in-place edit lost: %q", got)
+	}
+}
+
+func TestClearKeepsCapacity(t *testing.T) {
+	var d Deque[*int]
+	x := 7
+	for i := 0; i < 100; i++ {
+		d.PushBack(&x)
+	}
+	capBefore := len(d.buf)
+	d.Clear()
+	if d.Len() != 0 {
+		t.Fatalf("len after Clear = %d", d.Len())
+	}
+	for _, p := range d.buf {
+		if p != nil {
+			t.Fatal("Clear left a live reference in the ring")
+		}
+	}
+	d.PushBack(&x)
+	if len(d.buf) != capBefore {
+		t.Fatalf("Clear dropped the backing array: cap %d -> %d", capBefore, len(d.buf))
+	}
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var d Deque[int]
+	var ref []int
+	for op := 0; op < 20000; op++ {
+		switch r := rng.Intn(4); {
+		case r == 0 && len(ref) > 0:
+			got, want := d.PopFront(), ref[0]
+			ref = ref[1:]
+			if got != want {
+				t.Fatalf("op %d: PopFront = %d, want %d", op, got, want)
+			}
+		case r == 1:
+			v := rng.Int()
+			d.PushFront(v)
+			ref = append([]int{v}, ref...)
+		default:
+			v := rng.Int()
+			d.PushBack(v)
+			ref = append(ref, v)
+		}
+		if d.Len() != len(ref) {
+			t.Fatalf("op %d: len %d != ref %d", op, d.Len(), len(ref))
+		}
+	}
+	for i, want := range ref {
+		if got := d.PopFront(); got != want {
+			t.Fatalf("drain %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PopFront on empty deque did not panic")
+		}
+	}()
+	var d Deque[int]
+	d.PopFront()
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var d Deque[[16]byte]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushBack([16]byte{})
+		d.PopFront()
+	}
+}

@@ -82,6 +82,14 @@ func TestChaos(t *testing.T) {
 			Run(t, seed, false)
 		})
 	}
+	// Coverage guard for the hot-path batching: across a full scenario run
+	// the stack must have exercised frames carrying more than one data
+	// segment end to end (engine batching -> codec -> chaos injection ->
+	// engine). A single pinned replay or a heavily trimmed run is exempt —
+	// one scenario's traffic may legitimately never bunch.
+	if !pinned && count >= 10 && MultiSegFramesObserved() == 0 {
+		t.Errorf("no multi-segment frame observed across %d scenarios: engine batching is not being exercised by chaos traffic", count)
+	}
 }
 
 // TestChaosSoak runs scenarios until the FSR_CHAOS_SOAK budget (a Go

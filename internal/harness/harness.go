@@ -28,12 +28,24 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fsr"
 	"fsr/transport/chaos"
 	"fsr/transport/mem"
 )
+
+// multiSegFrames accumulates, across every scenario this process ran, how
+// many outbound frames batched more than one data segment. The chaos suite
+// asserts it is non-zero over a run of scenarios: the hot-path batching
+// must actually be exercised by chaos traffic (frames with len(Data) > 1
+// flowing through encode, decode, chaos injection and the engine), not
+// just by unit tests.
+var multiSegFrames atomic.Uint64
+
+// MultiSegFramesObserved reports the accumulated count (see above).
+func MultiSegFramesObserved() uint64 { return multiSegFrames.Load() }
 
 // The chaos decorator composes with every cluster transport: it is itself
 // a ClusterTransport, and both shipped backends satisfy its Inner surface.
@@ -364,10 +376,25 @@ func RunScenario(t TB, sc Scenario) {
 
 	run.awaitReceipts()
 	live := run.quiesce()
+	run.recordBatching()
 	if t.Failed() {
 		return
 	}
 	check(t, sc, run.collectLogs(), live, run.sentCopy())
+}
+
+// recordBatching folds every live node's multi-segment frame count into
+// the process-wide counter (halted nodes report zero metrics).
+func (r *runner) recordBatching() {
+	r.mu.Lock()
+	nodes := make([]*fsr.Node, 0, len(r.alive))
+	for _, n := range r.alive {
+		nodes = append(nodes, n)
+	}
+	r.mu.Unlock()
+	for _, n := range nodes {
+		multiSegFrames.Add(n.Metrics().MultiSegFrames)
+	}
 }
 
 type runner struct {
@@ -661,8 +688,8 @@ func (r *runner) groupState() string {
 	var state []string
 	for id, n := range nodes {
 		m := n.Metrics()
-		state = append(state, fmt.Sprintf("%d{view=%d ldr=%v applied=%d catch=%v own=%d relay=%d rcpt=%d err=%v}",
-			id, m.View.ID, m.IsLeader, n.Applied(), m.CatchingUp, m.OwnQueue, m.RelayQueue, m.PendingReceipts, n.Err()))
+		state = append(state, fmt.Sprintf("%d{view=%d%v ldr=%v applied=%d catch=%v own=%d relay=%d rcpt=%d err=%v}",
+			id, m.View.ID, m.View.Members, m.IsLeader, n.Applied(), m.CatchingUp, m.OwnQueue, m.RelayQueue, m.PendingReceipts, n.Err()))
 	}
 	sort.Strings(state)
 	return strings.Join(state, " ")

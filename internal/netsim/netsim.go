@@ -88,6 +88,11 @@ type Config struct {
 	FrameOverhead int
 	// SegmentSize configures the engines' segmentation.
 	SegmentSize int
+	// MaxFrameData configures the engines' per-frame segment batching.
+	// The default of 1 models the paper's stack, which sent exactly one
+	// segment per frame; the modern profile raises it so per-frame costs
+	// (RxFixed, FrameOverhead) amortize across a batch.
+	MaxFrameData int
 	// T is the number of tolerated failures (backup processes).
 	T int
 }
@@ -117,7 +122,49 @@ func (c Config) withDefaults() Config {
 	if c.SegmentSize <= 0 {
 		c.SegmentSize = core.DefaultSegmentSize
 	}
+	if c.MaxFrameData <= 0 {
+		c.MaxFrameData = 1
+	}
 	return c
+}
+
+// Modern testbed constants: the same protocol on hardware and software we
+// actually have. The link steps up to gigabit Ethernet, and the per-segment
+// middleware costs are re-measured against this repository's Go stack after
+// the hot-path overhaul (pooled zero-alloc codec, batched frames, reused
+// delivery buffers) instead of the paper's Java/DREAM stack:
+// BenchmarkEngineRelayHotPath clocks the full per-hop pipeline — decode,
+// protocol handling, batched frame assembly, encode — at ~0.5 µs and
+// 0 allocs per 8 KiB segment, and the delivery pump adds a bounded
+// dispatch cost per segment. The constants below round those measurements
+// up generously (5 µs fixed + 2 ns/byte per delivered segment) so the
+// model stays pessimistic about the software while the receive path keeps
+// the paper's kernel costs (30 µs per frame + 10 ns per wire byte) — with
+// 16-segment frames those amortize to ~2 µs and the receive copy becomes
+// the bottleneck the simulation reports.
+const (
+	// ModernBandwidth is gigabit Ethernet.
+	ModernBandwidth = 1e9
+	// ModernMaxFrameData is the frame batching depth of the modern stack.
+	ModernMaxFrameData = 16
+	// ModernDeliverFixed is the measured-and-rounded fixed cost of
+	// TO-delivering one segment through the overhauled Go stack.
+	ModernDeliverFixed = 5 * time.Microsecond
+	// ModernDeliverPerByte is the per-byte delivery cost of the zero-copy
+	// path (bodies alias the receive buffer; one copy into the app).
+	ModernDeliverPerByte = 2 * time.Nanosecond
+)
+
+// ModernConfig models the overhauled stack on gigabit hardware. The paper
+// figures keep the zero-value Config (paper calibration); Figure 7x runs
+// this one.
+func ModernConfig() Config {
+	return Config{
+		Bandwidth:      ModernBandwidth,
+		MaxFrameData:   ModernMaxFrameData,
+		DeliverFixed:   ModernDeliverFixed,
+		DeliverPerByte: ModernDeliverPerByte,
+	}
 }
 
 // Cluster is a simulated FSR ring: n protocol engines wired through the
@@ -162,8 +209,9 @@ func NewCluster(n int, cfg Config) (*Cluster, error) {
 	c := &Cluster{Loop: &sim.Loop{}, cfg: cfg}
 	for i := range members {
 		engine, err := core.NewEngine(core.Config{
-			Self:        members[i],
-			SegmentSize: cfg.SegmentSize,
+			Self:         members[i],
+			SegmentSize:  cfg.SegmentSize,
+			MaxFrameData: cfg.MaxFrameData,
 		}, view)
 		if err != nil {
 			return nil, err

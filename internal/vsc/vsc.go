@@ -179,6 +179,14 @@ func (m *Manager) RequestJoin(contact []ring.ProcID) {
 
 // RequestLeave announces this process's graceful departure.
 func (m *Manager) RequestLeave() {
+	if !m.installed {
+		// Not admitted yet: there is no membership to leave. Fail-stop
+		// directly, matching Leave's contract that the node halts.
+		if m.cfg.Callbacks.Evicted != nil {
+			m.cfg.Callbacks.Evicted()
+		}
+		return
+	}
 	req := EncodeLeaveReq(&LeaveReq{ID: m.cfg.Self})
 	if coord, isSelf := m.coordinator(); !isSelf {
 		m.cfg.Callbacks.Send(coord, req)
@@ -236,12 +244,67 @@ func (m *Manager) nextMembers() []ring.ProcID {
 	return append(out, js...)
 }
 
+// hasQuorum reports whether a proposed membership retains a primary
+// component of the current view: at least half of its members. This is
+// the split-brain guard for the case the perfect-failure-detector model
+// excludes but an overloaded host manufactures anyway: asymmetric false
+// suspicion, where a small live faction believes the rest crashed and
+// would otherwise install a rump view carrying the same epoch as the
+// majority's next view, after which each side drops the other's NEWVIEW
+// as stale and the histories diverge forever (found by the chaos harness,
+// seed 1785168074707084626, where a 2-of-5 faction installed a private
+// view). A strict-minority side now never proposes: either the majority's
+// NEWVIEW arrives and evicts it (fail-stop, the documented
+// false-suspicion outcome), or — if its suspicions were transient — it
+// rejoins the majority's next view.
+//
+// Exactly half still qualifies: losing half the view at once (e.g. the
+// old coordinator and another member crashing together mid-change) is a
+// recovery the protocol supports, and the survivors cannot distinguish it
+// from a symmetric partition. The residual hole is therefore a perfectly
+// even split under MUTUAL false suspicion, which requires n even and both
+// halves to suspect each other within one view — strictly rarer than the
+// minority rumps this guard removes, and impossible under the crash-stop
+// model proper.
+func (m *Manager) hasQuorum(proposed []ring.ProcID) bool {
+	cur := m.view.Ring.Members()
+	kept := 0
+	for _, p := range cur {
+		// A registered graceful leaver counts as support: it is a live,
+		// cooperating member that asked to be excluded — unlike a
+		// suspected member, it cannot be the other side of a partition
+		// (it evicts itself on the NEWVIEW). Without this, a leave
+		// overlapping a tolerated crash would push the retained count
+		// below half and wedge the change forever.
+		if slices.Contains(proposed, p) || m.leavers[p] {
+			kept++
+		}
+	}
+	return 2*kept >= len(cur)
+}
+
 // startChange (re)starts a view change with a fresh epoch, self as
 // coordinator.
 func (m *Manager) startChange(now time.Time) {
+	if !m.installed {
+		// A pre-admission joiner never coordinates. Its bootstrap view
+		// makes it "coordinator" of a group of one, so every trigger that
+		// reaches a joiner — a JoinReq from a fellow restarted member, a
+		// change-timeout Tick while frozen on a real prepare — would
+		// otherwise let two restarted processes mint a rump view of their
+		// own, colliding with (and diverging from) the real group's next
+		// epoch. Found by the chaos harness (seed 1785168074707084626:
+		// two crash-restarted members installed a private two-member view
+		// carrying the same epoch as the survivors' view). Admission is
+		// always driven by a real member's coordinator.
+		return
+	}
 	members := m.nextMembers()
 	if len(members) == 0 {
 		return
+	}
+	if !m.hasQuorum(members) {
+		return // minority side of a (suspected) partition: must not propose
 	}
 	m.myEpoch = max(m.hiEpoch, m.myEpoch) + 1
 	m.proposed = members

@@ -463,3 +463,148 @@ func TestRestartedMemberResync(t *testing.T) {
 		t.Fatalf("second restart left epoch at %d (was %d)", got, epoch)
 	}
 }
+
+// TestSymmetricFalseSuspicionNoSplitBrain: when two live factions each
+// falsely suspect the other (the overload case the perfect-FD model
+// excludes), only a faction holding a primary component of the current
+// view may propose; the minority installs nothing of its own and halts
+// when the majority's NEWVIEW evicts it — so two disjoint views can never
+// carry the same epoch. Found by the chaos harness (seed
+// 1785168074707084626).
+func TestSymmetricFalseSuspicionNoSplitBrain(t *testing.T) {
+	ids := []ring.ProcID{0, 1, 2, 3, 4}
+	v := groupView(t, ids, 2)
+	h := newHarness(t)
+	for _, id := range ids {
+		h.add(id, v, false)
+	}
+	// Factions {0,1,2} and {3,4} suspect each other. Node 3 only becomes
+	// coordinator of its faction once it has suspected 0, 1 and 2 — at
+	// which point its candidate view {3,4} holds 2 of 5 members: no
+	// primary component, so it must propose nothing at all.
+	for _, b := range []ring.ProcID{3, 4} {
+		for _, a := range []ring.ProcID{0, 1, 2} {
+			h.managers[b].OnSuspect(a, h.now)
+		}
+	}
+	for _, a := range []ring.ProcID{0, 1, 2} {
+		for _, b := range []ring.ProcID{3, 4} {
+			h.managers[a].OnSuspect(b, h.now)
+		}
+	}
+	h.pump()
+	// The majority faction installs the next view without 3 and 4.
+	for _, a := range []ring.ProcID{0, 1, 2} {
+		got := h.lastView(a)
+		if got.ID <= v.ID {
+			t.Fatalf("majority member %d stuck in view %d", a, got.ID)
+		}
+		if want := []ring.ProcID{0, 1, 2}; !reflect.DeepEqual(got.Ring.Members(), want) {
+			t.Fatalf("majority member %d installed %v, want %v", a, got.Ring.Members(), want)
+		}
+	}
+	// The minority proposed nothing (no install of its own) and was
+	// evicted by the majority's best-effort NEWVIEW instead of diverging.
+	for _, b := range []ring.ProcID{3, 4} {
+		for _, inst := range h.installs[b] {
+			if !inst.Ring.Contains(0) {
+				t.Fatalf("minority member %d installed a rump view %v", b, inst.Ring.Members())
+			}
+		}
+		if !h.evicted[b] {
+			t.Fatalf("minority member %d never evicted itself", b)
+		}
+	}
+}
+
+// TestMinoritySurvivorBlocks: a strict minority of the current view (one
+// survivor of three here) holds no primary component and must not found a
+// rump view, no matter how long its timeouts fire; exactly half (one
+// survivor of two) remains a supported recovery.
+func TestMinoritySurvivorBlocks(t *testing.T) {
+	ids := []ring.ProcID{7, 8, 9}
+	v := groupView(t, ids, 1)
+	h := newHarness(t)
+	for _, id := range ids {
+		h.add(id, v, false)
+	}
+	h.managers[9].OnSuspect(7, h.now)
+	h.managers[9].OnSuspect(8, h.now)
+	h.pump()
+	h.now = h.now.Add(time.Second)
+	h.managers[9].Tick(h.now)
+	h.pump()
+	if len(h.installs[9]) != 0 {
+		t.Fatalf("minority survivor installed %v", h.installs[9])
+	}
+
+	// Exactly half: a 2-member group evicting its crashed second member.
+	ids2 := []ring.ProcID{7, 9}
+	v2 := groupView(t, ids2, 1)
+	h2 := newHarness(t)
+	h2.add(7, v2, false)
+	h2.add(9, v2, false)
+	h2.crash(9)
+	h2.managers[7].OnSuspect(9, h2.now)
+	h2.pump()
+	got := h2.lastView(7)
+	if want := []ring.ProcID{7}; !reflect.DeepEqual(got.Ring.Members(), want) {
+		t.Fatalf("survivor installed %v, want %v", got.Ring.Members(), want)
+	}
+}
+
+// TestJoinersNeverCoordinate: two pre-admission joiners that learn of each
+// other (restart storms cross-send JoinReqs to every known contact) must
+// not assemble a private view among themselves; admission only ever comes
+// from a real member's coordinator.
+func TestJoinersNeverCoordinate(t *testing.T) {
+	h := newHarness(t)
+	a := h.add(20, core.View{ID: 0, Ring: ring.MustNew([]ring.ProcID{20}, 0)}, true)
+	b := h.add(21, core.View{ID: 0, Ring: ring.MustNew([]ring.ProcID{21}, 0)}, true)
+	a.RequestJoin([]ring.ProcID{21})
+	b.RequestJoin([]ring.ProcID{20})
+	h.pump()
+	if len(h.installs[20]) != 0 || len(h.installs[21]) != 0 {
+		t.Fatalf("joiners installed views among themselves: %v / %v",
+			h.installs[20], h.installs[21])
+	}
+	// A change-timeout tick on a frozen joiner must not mint a view either.
+	h.now = h.now.Add(time.Second)
+	a.Tick(h.now)
+	b.Tick(h.now)
+	h.pump()
+	if len(h.installs[20]) != 0 || len(h.installs[21]) != 0 {
+		t.Fatalf("joiner tick minted a view: %v / %v", h.installs[20], h.installs[21])
+	}
+}
+
+// TestLeaveOverlappingCrashStillCompletes: a graceful leaver counts as
+// quorum support (it is live and cooperating), so a leave announced just
+// before a tolerated crash must not push the retained count below half
+// and wedge the group — the coordinator still installs the shrunken view
+// and the leaver still learns of its departure.
+func TestLeaveOverlappingCrashStillCompletes(t *testing.T) {
+	ids := []ring.ProcID{0, 1, 2}
+	h := newHarness(t)
+	bootstrap(t, h, ids)
+	// Member 1 asks to leave; its request reaches coordinator 0 but member
+	// 2 crashes before the change completes.
+	h.managers[1].RequestLeave()
+	h.crash(2)
+	h.suspectEverywhere(2)
+	h.pump()
+	h.now = h.now.Add(time.Second)
+	for _, id := range []ring.ProcID{0, 1} {
+		if !h.crashed[id] {
+			h.managers[id].Tick(h.now)
+		}
+	}
+	h.pump()
+	got := h.lastView(0)
+	if want := []ring.ProcID{0}; !reflect.DeepEqual(got.Ring.Members(), want) {
+		t.Fatalf("survivor installed %v, want %v", got.Ring.Members(), want)
+	}
+	if !h.evicted[1] {
+		t.Fatal("leaver never learned its departure completed")
+	}
+}

@@ -1,6 +1,9 @@
 package wire
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+)
 
 // FuzzDecodeFrame throws arbitrary bytes at every decoder the node routes
 // transport payloads to — ring frames and the catch-up request/response
@@ -9,6 +12,25 @@ import "testing"
 func FuzzDecodeFrame(f *testing.F) {
 	f.Add(EncodeFrame(sampleFrame()))
 	f.Add(EncodeFrame(&Frame{ViewID: 1}))
+	// A batched hot-path frame as the live engine now emits it: several
+	// data segments per frame (relayed pass-B traffic of distinct origins,
+	// a multi-part message straddling the batch, one pass-A segment) plus
+	// piggybacked acks. Before engine-side batching the corpus never saw a
+	// frame with more than one DataItem coming from real traffic.
+	f.Add(EncodeFrame(&Frame{
+		ViewID: 4,
+		Data: []DataItem{
+			{ID: MsgID{Origin: 2, Local: 11}, Seq: 31, Part: 0, Parts: 1, Body: []byte("relay-b")},
+			{ID: MsgID{Origin: 3, Local: 7}, Seq: 32, Part: 0, Parts: 3, Body: []byte("part-0")},
+			{ID: MsgID{Origin: 3, Local: 8}, Seq: 33, Part: 1, Parts: 3, Body: []byte("part-1")},
+			{ID: MsgID{Origin: 3, Local: 9}, Seq: 34, Part: 2, Parts: 3, Body: []byte("part-2")},
+			{ID: MsgID{Origin: 5, Local: 0}, Seq: 0, Part: 0, Parts: 1, Body: []byte("pass-a")},
+		},
+		Acks: []AckItem{
+			{ID: MsgID{Origin: 2, Local: 10}, Seq: 30, Hops: 4, Stable: true},
+			{ID: MsgID{Origin: 4, Local: 2}, Seq: 29, Hops: 1, Stable: false},
+		},
+	}))
 	f.Add(EncodeCatchupReq(&CatchupReq{After: 10, UpTo: 500}))
 	f.Add(EncodeCatchupResp(&CatchupResp{Unavailable: true}))
 	f.Add(EncodeCatchupResp(&CatchupResp{
@@ -24,9 +46,38 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{KindCatchup, 2, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, b []byte) {
-		if fr, err := DecodeFrame(b); err == nil && fr == nil {
+		fr, err := DecodeFrame(b)
+		if err == nil && fr == nil {
 			t.Fatal("DecodeFrame: nil frame without error")
 		}
+		// The pooled decoder must agree with the allocating one on both
+		// acceptance and content, including when reusing a dirty frame.
+		reused := GetFrame()
+		err2 := DecodeFrameInto(reused, b)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("DecodeFrame err=%v, DecodeFrameInto err=%v", err, err2)
+		}
+		if err == nil {
+			if fr.ViewID != reused.ViewID || len(fr.Data) != len(reused.Data) || len(fr.Acks) != len(reused.Acks) {
+				t.Fatalf("decoders disagree: %+v vs %+v", fr, reused)
+			}
+			// Compare item contents too: the dirty-frame-reuse bugs
+			// DecodeFrameInto risks are exactly stale fields/bodies
+			// surviving with matching counts.
+			for i := range fr.Data {
+				a, c := &fr.Data[i], &reused.Data[i]
+				if a.ID != c.ID || a.Seq != c.Seq || a.Part != c.Part ||
+					a.Parts != c.Parts || !bytes.Equal(a.Body, c.Body) {
+					t.Fatalf("data[%d] disagree: %+v vs %+v", i, a, c)
+				}
+			}
+			for i := range fr.Acks {
+				if fr.Acks[i] != reused.Acks[i] {
+					t.Fatalf("ack[%d] disagree: %+v vs %+v", i, fr.Acks[i], reused.Acks[i])
+				}
+			}
+		}
+		PutFrame(reused)
 		if m, err := DecodeCatchup(b); err == nil && m == nil {
 			t.Fatal("DecodeCatchup: nil message without error")
 		}

@@ -1,0 +1,55 @@
+package wire
+
+import "sync"
+
+// Pooled frames and scratch buffers for the hot frame path. One ring hop
+// costs one decode (inbound) and one encode (outbound); both run through
+// these pools so a steady-state node allocates nothing per frame:
+//
+//	inbound:  f := GetFrame(); DecodeFrameInto(f, payload); ...; PutFrame(f)
+//	outbound: b := GetBuf();   b.B = AppendFrame(b.B, f); send; PutBuf(b)
+//
+// Only the Frame struct, its item slices and the encode scratch space are
+// pooled — the payload buffer backing decoded bodies is owned by the
+// protocol layer for as long as any segment body lives (the engine retains
+// bodies until delivery and recovery-buffer eviction), so inbound payloads
+// are never recycled here.
+
+var framePool = sync.Pool{New: func() any { return &Frame{} }}
+
+// GetFrame returns an empty frame whose Data/Acks capacity is reused from
+// earlier decodes.
+func GetFrame() *Frame {
+	return framePool.Get().(*Frame)
+}
+
+// PutFrame recycles f. The caller must not retain f or its item slices;
+// body references are dropped here so pooling never pins payload buffers.
+func PutFrame(f *Frame) {
+	clear(f.Data)
+	clear(f.Acks)
+	f.Data = f.Data[:0]
+	f.Acks = f.Acks[:0]
+	f.ViewID = 0
+	framePool.Put(f)
+}
+
+// Buf is one pooled encode buffer. It wraps the slice so growing it inside
+// AppendFrame updates the pooled object in place and the Get/Put round
+// trip allocates nothing.
+type Buf struct{ B []byte }
+
+var bufPool = sync.Pool{New: func() any { return &Buf{B: make([]byte, 0, 4096)} }}
+
+// GetBuf returns a pooled buffer with empty length and reusable capacity.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuf recycles a buffer. The caller must not use b (or aliases of b.B)
+// afterwards.
+func PutBuf(b *Buf) {
+	bufPool.Put(b)
+}

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendFrameMatchesEncode: AppendFrame into an arbitrary prefix must
+// produce exactly EncodeFrame's bytes after the prefix.
+func TestAppendFrameMatchesEncode(t *testing.T) {
+	f := sampleFrame()
+	want := EncodeFrame(f)
+	for _, prefix := range [][]byte{nil, {}, []byte("prefix")} {
+		got := AppendFrame(append([]byte(nil), prefix...), f)
+		if !bytes.Equal(got[:len(prefix)], prefix) {
+			t.Fatalf("prefix clobbered: %q", got[:len(prefix)])
+		}
+		if !bytes.Equal(got[len(prefix):], want) {
+			t.Fatalf("AppendFrame after %q diverges from EncodeFrame", prefix)
+		}
+	}
+}
+
+// TestDecodeFrameIntoReuse decodes different frames through one reused
+// Frame and checks no state leaks between decodes.
+func TestDecodeFrameIntoReuse(t *testing.T) {
+	big := benchFrame(5)
+	small := &Frame{ViewID: 9, Acks: []AckItem{{ID: MsgID{Origin: 1, Local: 2}, Seq: 3, Hops: 1}}}
+	var f Frame
+	if err := DecodeFrameInto(&f, EncodeFrame(big)); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Data) != 5 || len(f.Acks) != 8 {
+		t.Fatalf("big decode: %d data, %d acks", len(f.Data), len(f.Acks))
+	}
+	if err := DecodeFrameInto(&f, EncodeFrame(small)); err != nil {
+		t.Fatal(err)
+	}
+	if f.ViewID != 9 || len(f.Data) != 0 || len(f.Acks) != 1 {
+		t.Fatalf("reused decode leaked state: %+v", f)
+	}
+	if f.Acks[0] != small.Acks[0] {
+		t.Fatalf("ack mismatch: %+v", f.Acks[0])
+	}
+}
+
+// TestDecodeFrameIntoForgedCounts: a header announcing more items than the
+// buffer can hold must fail before any large allocation.
+func TestDecodeFrameIntoForgedCounts(t *testing.T) {
+	buf := EncodeFrame(&Frame{ViewID: 1})
+	// Patch nData (offset 9..10, little-endian u16) to 65535.
+	buf[9], buf[10] = 0xFF, 0xFF
+	var f Frame
+	if err := DecodeFrameInto(&f, buf); err == nil {
+		t.Fatal("forged data count accepted")
+	}
+}
+
+// TestFramePoolRoundTrip: a recycled frame comes back empty and body
+// references do not survive PutFrame.
+func TestFramePoolRoundTrip(t *testing.T) {
+	f := GetFrame()
+	if err := DecodeFrameInto(f, EncodeFrame(sampleFrame())); err != nil {
+		t.Fatal(err)
+	}
+	data := f.Data
+	PutFrame(f)
+	for i := range data[:cap(data)] {
+		if data[:cap(data)][i].Body != nil {
+			t.Fatal("PutFrame kept a body reference alive")
+		}
+	}
+	g := GetFrame()
+	if len(g.Data) != 0 || len(g.Acks) != 0 || g.ViewID != 0 {
+		t.Fatalf("pooled frame not cleared: %+v", g)
+	}
+	PutFrame(g)
+}
+
+// TestBufPoolRoundTrip: buffers come back empty and are reusable.
+func TestBufPoolRoundTrip(t *testing.T) {
+	b := GetBuf()
+	b.B = AppendFrame(b.B, sampleFrame())
+	if len(b.B) == 0 {
+		t.Fatal("nothing encoded")
+	}
+	PutBuf(b)
+	c := GetBuf()
+	if len(c.B) != 0 {
+		t.Fatalf("pooled buffer not reset: %d bytes", len(c.B))
+	}
+	PutBuf(c)
+}

@@ -95,9 +95,23 @@ func (f *Frame) EncodedSize() int {
 	return n
 }
 
-// EncodeFrame serializes f, prefixed with KindFSR.
+// EncodeFrame serializes f, prefixed with KindFSR, into a fresh buffer.
+// The hot path uses AppendFrame with a pooled buffer instead.
 func EncodeFrame(f *Frame) []byte {
-	buf := make([]byte, 0, f.EncodedSize())
+	return AppendFrame(make([]byte, 0, f.EncodedSize()), f)
+}
+
+// AppendFrame appends the serialized form of f (prefixed with KindFSR) to
+// dst and returns the extended slice. With a dst of sufficient capacity it
+// performs no allocation; the frame encoder runs on every ring hop, so the
+// node drives it with pooled buffers (GetBuf/PutBuf).
+func AppendFrame(dst []byte, f *Frame) []byte {
+	buf := dst
+	if rem := cap(buf) - len(buf); rem < f.EncodedSize() {
+		grown := make([]byte, len(buf), len(buf)+f.EncodedSize())
+		copy(grown, buf)
+		buf = grown
+	}
 	buf = append(buf, KindFSR)
 	buf = binary.LittleEndian.AppendUint64(buf, f.ViewID)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Data)))
@@ -131,48 +145,64 @@ func EncodeFrame(f *Frame) []byte {
 // include the leading KindFSR byte. Body slices alias buf; callers that
 // retain bodies beyond the life of buf must copy them.
 func DecodeFrame(buf []byte) (*Frame, error) {
+	var f Frame
+	if err := DecodeFrameInto(&f, buf); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// DecodeFrameInto parses buf into f, reusing f's Data and Acks capacity —
+// the pooled-decoder half of the zero-alloc frame path (see GetFrame).
+// All item bodies alias buf (the decoder materializes nothing: every body
+// is a view into the one backing buffer the transport handed over), so buf
+// is owned by the protocol layer from here on. On error f's contents are
+// unspecified.
+func DecodeFrameInto(f *Frame, buf []byte) error {
 	r := reader{buf: buf}
 	kind, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if kind != KindFSR {
-		return nil, fmt.Errorf("wire: frame kind %d, want %d", kind, KindFSR)
+		return fmt.Errorf("wire: frame kind %d, want %d", kind, KindFSR)
 	}
-	var f Frame
+	f.Data = f.Data[:0]
+	f.Acks = f.Acks[:0]
 	if f.ViewID, err = r.u64(); err != nil {
-		return nil, err
+		return err
 	}
 	nData, err := r.u16()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	nAcks, err := r.u16()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if nData > 0 {
-		f.Data = make([]DataItem, nData)
+	// Bound the counts by the remaining bytes before growing any slice, so
+	// a forged header cannot force a large allocation.
+	if int(nData)*dataFixedSize+int(nAcks)*ackSize > r.rem() {
+		return ErrTruncated
 	}
-	for i := range f.Data {
-		d := &f.Data[i]
-		if err := decodeDataInto(&r, d); err != nil {
-			return nil, err
+	for i := 0; i < int(nData); i++ {
+		var d DataItem
+		if err := decodeDataInto(&r, &d); err != nil {
+			return err
 		}
+		f.Data = append(f.Data, d)
 	}
-	if nAcks > 0 {
-		f.Acks = make([]AckItem, nAcks)
-	}
-	for i := range f.Acks {
-		a := &f.Acks[i]
-		if err := decodeAckInto(&r, a); err != nil {
-			return nil, err
+	for i := 0; i < int(nAcks); i++ {
+		var a AckItem
+		if err := decodeAckInto(&r, &a); err != nil {
+			return err
 		}
+		f.Acks = append(f.Acks, a)
 	}
 	if r.rem() != 0 {
-		return nil, fmt.Errorf("wire: %d trailing bytes after frame", r.rem())
+		return fmt.Errorf("wire: %d trailing bytes after frame", r.rem())
 	}
-	return &f, nil
+	return nil
 }
 
 func decodeDataInto(r *reader, d *DataItem) error {

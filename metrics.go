@@ -43,6 +43,9 @@ type Metrics struct {
 	// paper's §4.2.3 fairness rule; StandaloneAcks counts frames that
 	// carried only acknowledgments.
 	FairnessSkips, StandaloneAcks uint64
+	// MultiSegFrames counts outbound frames that batched more than one
+	// data segment (the hot-path batching introduced with MaxFrameData).
+	MultiSegFrames uint64
 
 	// RelayQueue, OwnQueue and AckQueue are the engine's current queue
 	// depths (load indicators; OwnQueue >= MaxPendingOwn means Broadcast

@@ -116,6 +116,17 @@ type Node struct {
 	latNext  int
 	parked   []*wire.Frame
 
+	// Hot-path scratch, event-loop-owned and reused across passes so the
+	// steady-state frame pipeline allocates nothing: the batch-capable
+	// transport (nil when the transport only does per-payload Send), the
+	// outbound frame being assembled, the pooled encode buffers of the
+	// current flush, and the engine delivery drain buffer.
+	batcher      transport.BatchSender
+	sendFrame    wire.Frame
+	sendBufs     []*wire.Buf
+	sendPayloads [][]byte
+	delivBuf     []core.Delivery
+
 	wg       sync.WaitGroup
 	stopOnce sync.Once
 
@@ -241,6 +252,7 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		Self:         cfg.Self,
 		SegmentSize:  cfg.SegmentSize,
 		MaxPiggyback: cfg.MaxPiggyback,
+		MaxFrameData: cfg.MaxFrameData,
 		StartDeliver: applied + 1,
 		StartLocal:   startLocal,
 	}, view)
@@ -273,6 +285,7 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		lastView:   viewInfo(view),
 	}
 	n.outCond = sync.NewCond(&n.outMu)
+	n.batcher, _ = tr.(transport.BatchSender)
 
 	n.fdet, err = fd.New(fd.Config{
 		Self:     cfg.Self,
@@ -610,9 +623,12 @@ func (n *Node) replayParked() {
 	}
 	parked := n.parked
 	n.parked = nil
-	for _, f := range parked {
-		if err := n.engine.HandleFrame(f); err != nil {
-			n.fail(err)
+	for i, f := range parked {
+		err := n.engine.HandleFrame(f)
+		wire.PutFrame(f)
+		parked[i] = nil
+		if err != nil {
+			n.fail(err) // remaining parked frames are garbage-collected
 			return
 		}
 	}
@@ -652,11 +668,14 @@ func (n *Node) failReceipts(err error) {
 // loop is the single event-loop goroutine owning all protocol state.
 //
 // Each iteration first drains all queued inbound payloads (so the engine
-// sees the current ring state), then transmits at most one frame. The
+// sees the current ring state), then flushes every frame the engine has
+// ready to the successor in one transport batch. Relayed traffic batches
+// into multi-segment frames; own initiation stays paced at one segment per
+// frame (FillFrame closes a frame after an own send), which is what lets
+// the paper's fairness rule keep interleaving relayed traffic with own
+// messages instead of flushing whole own-queues in one burst. The
 // transport's pacing — NIC serialization, socket-buffer backpressure —
-// therefore throttles the loop between frames, which is exactly what lets
-// the paper's fairness rule interleave relayed traffic with own messages
-// instead of flushing whole own-queues in one burst.
+// still throttles the loop between flushes.
 func (n *Node) loop() {
 	defer n.wg.Done()
 	tick := time.NewTicker(n.cfg.HeartbeatInterval / 2)
@@ -683,7 +702,7 @@ func (n *Node) loop() {
 		}
 		n.replayParked()
 		n.deliver()
-		if n.sendOne() {
+		if n.sendReady() {
 			continue
 		}
 
@@ -770,6 +789,7 @@ func (n *Node) snapshotMetrics() Metrics {
 		OwnSent:          st.OwnSent,
 		FairnessSkips:    st.FairnessSkips,
 		StandaloneAcks:   st.StandaloneAcks,
+		MultiSegFrames:   st.MultiSegFrames,
 		RelayQueue:       relay,
 		OwnQueue:         own,
 		AckQueue:         acks,
@@ -791,8 +811,11 @@ func (n *Node) recordLatency(d time.Duration) {
 	n.latNext = (n.latNext + 1) % latencyWindow
 }
 
-// sendOne transmits at most one outbound frame; it reports whether it did.
-func (n *Node) sendOne() bool {
+// sendReady flushes every frame the engine has ready — each one batching up
+// to MaxFrameData segments under the per-slot fairness rule — to the ring
+// successor in a single SendBatch (one vectored write on TCP), encoding
+// through pooled buffers. It reports whether any frame went out.
+func (n *Node) sendReady() bool {
 	if n.mgr.Changing() {
 		return false
 	}
@@ -801,15 +824,50 @@ func (n *Node) sendOne() bool {
 	if !ok || succ == n.cfg.Self {
 		return false
 	}
-	f, ok := n.engine.NextFrame()
-	if !ok {
+	if n.batcher == nil {
+		// Transport without batch support: per-frame sends; each encoded
+		// buffer's ownership passes to the transport, so no pooling here.
+		sent := false
+		for {
+			f, ok := n.engine.NextFrame()
+			if !ok {
+				break
+			}
+			if err := n.tr.Send(succ, wire.EncodeFrame(f)); err != nil {
+				// Successor unreachable: the FD takes it from here.
+				if sent {
+					n.deliver()
+				}
+				return false
+			}
+			sent = true
+		}
+		if sent {
+			n.deliver()
+		}
+		return sent
+	}
+	for n.engine.FillFrame(&n.sendFrame) {
+		b := wire.GetBuf()
+		b.B = wire.AppendFrame(b.B, &n.sendFrame)
+		n.sendBufs = append(n.sendBufs, b)
+		n.sendPayloads = append(n.sendPayloads, b.B)
+	}
+	if len(n.sendPayloads) == 0 {
 		return false
 	}
-	if err := n.tr.Send(succ, wire.EncodeFrame(f)); err != nil {
-		return false // successor unreachable: the FD takes it from here
+	// SendBatch leaves buffer ownership with the caller, so the pooled
+	// encode buffers recycle immediately after the (single) write.
+	err := n.batcher.SendBatch(succ, n.sendPayloads)
+	for i := range n.sendBufs {
+		wire.PutBuf(n.sendBufs[i])
+		n.sendBufs[i] = nil
+		n.sendPayloads[i] = nil
 	}
+	n.sendBufs = n.sendBufs[:0]
+	n.sendPayloads = n.sendPayloads[:0]
 	n.deliver()
-	return true
+	return err == nil // unreachable successor: the FD takes it from here
 }
 
 // handlePayload dispatches one transport payload by channel kind.
@@ -819,8 +877,13 @@ func (n *Node) handlePayload(in inboundPayload) {
 	}
 	switch in.payload[0] {
 	case wire.KindFSR:
-		f, err := wire.DecodeFrame(in.payload)
-		if err != nil {
+		// Pooled decode: the Frame struct and its item slices recycle once
+		// the engine has consumed the frame (the engine copies what it
+		// keeps; segment bodies alias in.payload, which the protocol layer
+		// owns from here on, not the pooled frame).
+		f := wire.GetFrame()
+		if err := wire.DecodeFrameInto(f, in.payload); err != nil {
+			wire.PutFrame(f)
 			n.fail(err)
 			return
 		}
@@ -837,7 +900,9 @@ func (n *Node) handlePayload(in inboundPayload) {
 		// then discarded by the engine's view check.
 		if n.frozen() {
 			if len(n.parked) < maxParkedFrames {
-				n.parked = append(n.parked, f)
+				n.parked = append(n.parked, f) // pooled again after replay
+			} else {
+				wire.PutFrame(f)
 			}
 			return
 		}
@@ -847,9 +912,12 @@ func (n *Node) handlePayload(in inboundPayload) {
 		// parked frame would reorder the link).
 		n.replayParked()
 		if n.stopping() {
+			wire.PutFrame(f)
 			return
 		}
-		if err := n.engine.HandleFrame(f); err != nil {
+		err := n.engine.HandleFrame(f)
+		wire.PutFrame(f)
+		if err != nil {
 			n.fail(err)
 			return
 		}
@@ -886,7 +954,8 @@ func (n *Node) handlePayload(in inboundPayload) {
 // horizon — becomes a hole that a durable node repairs via catch-up before
 // anything later may be applied.
 func (n *Node) deliver() {
-	ds := n.engine.Deliveries()
+	n.delivBuf = n.engine.DrainDeliveries(n.delivBuf[:0])
+	ds := n.delivBuf
 	if len(ds) == 0 {
 		return
 	}
@@ -919,6 +988,7 @@ func (n *Node) deliver() {
 	}
 	n.outCond.Signal()
 	n.outMu.Unlock()
+	clear(ds) // release Body references held in the reused drain buffer
 	if dropSeq > 0 {
 		n.extendCatchup(dropSeq)
 	}

@@ -287,7 +287,10 @@ type endpoint struct {
 	inner transport.Transport
 }
 
-var _ transport.Transport = (*endpoint)(nil)
+var (
+	_ transport.Transport   = (*endpoint)(nil)
+	_ transport.BatchSender = (*endpoint)(nil)
+)
 
 func (e *endpoint) Self() transport.ProcID         { return e.inner.Self() }
 func (e *endpoint) SetHandler(h transport.Handler) { e.inner.SetHandler(h) }
@@ -302,6 +305,21 @@ func (e *endpoint) Send(to transport.ProcID, payload []byte) error {
 		return err
 	}
 	return l.enqueue(payload)
+}
+
+// SendBatch implements transport.BatchSender by looping over the injection
+// queue, so every frame of a batch still gets its own seeded delay draw
+// and the injection schedule stays a pure function of the per-link frame
+// index. The link (and the inner transport behind it) retains payloads
+// past the call, while the batch contract leaves the buffers with the
+// caller — so each payload is copied here.
+func (e *endpoint) SendBatch(to transport.ProcID, payloads [][]byte) error {
+	for _, p := range payloads {
+		if err := e.Send(to, append([]byte(nil), p...)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close closes the member's outbound links and its inner endpoint.

@@ -58,7 +58,7 @@ type Transport struct {
 
 	mu      sync.Mutex
 	handler transport.Handler
-	conns   map[transport.ProcID]net.Conn     // outbound, dialed
+	conns   map[transport.ProcID]*peerConn    // outbound, dialed
 	redial  map[transport.ProcID]*redialState // per-peer dial pacing
 	inbound map[net.Conn]struct{}             // accepted, closed with the endpoint
 	pending []pendingPayload                  // buffered inbound before SetHandler finishes replaying
@@ -68,7 +68,58 @@ type Transport struct {
 	wg sync.WaitGroup
 }
 
-var _ transport.Transport = (*Transport)(nil)
+var (
+	_ transport.Transport   = (*Transport)(nil)
+	_ transport.BatchSender = (*Transport)(nil)
+)
+
+// peerConn is one dialed outbound connection plus its write state. Writes
+// to one peer serialize on the peer's own mutex — never on the transport
+// lock — so a slow or wedged successor cannot head-of-line-block traffic
+// (catch-up serving, failure-detector heartbeats) to other peers.
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	// Write scratch, reused under mu: length prefixes and the vectored
+	// write list. One batch of k payloads becomes 2k buffers (header,
+	// payload, header, payload, ...) flushed by a single net.Buffers
+	// write — one writev syscall for any batch that fits the iovec limit,
+	// and no per-send header allocation.
+	hdrs []byte
+	vecs net.Buffers
+}
+
+// appendFrame queues one length-prefixed payload on the scratch write list.
+// Callers hold pc.mu.
+func (pc *peerConn) appendFrame(payload []byte) {
+	off := len(pc.hdrs)
+	pc.hdrs = binary.LittleEndian.AppendUint32(pc.hdrs, uint32(len(payload)))
+	pc.vecs = append(pc.vecs, pc.hdrs[off:off+4], payload)
+}
+
+// flush writes the queued (header, payload) list as one vectored write and
+// resets the scratch. On error it also reports how many frames were fully
+// consumed by the kernel before the failure, so a retry can skip them: a
+// fully-consumed frame may already have reached the receiver, and
+// re-sending it on a fresh connection would double-deliver (a duplicated
+// ack for an already-pruned segment is a protocol error that halts the
+// receiving node). A partially-consumed frame is safe to resend whole —
+// the receiver discards the truncated tail of the dead connection's
+// stream. Callers hold pc.mu.
+func (pc *peerConn) flush() (completedFrames int, err error) {
+	v := pc.vecs // WriteTo consumes its receiver; keep pc.vecs for reuse
+	_, err = v.WriteTo(pc.conn)
+	if err != nil {
+		// v retains the unwritten suffix (a partially-written buffer stays,
+		// resliced); fully consumed buffers = total - remaining, and a frame
+		// is complete only when both its header and payload buffers are.
+		completedFrames = (len(pc.vecs) - len(v)) / 2
+	}
+	clear(pc.vecs) // drop payload references so pooled buffers are not pinned
+	pc.vecs = pc.vecs[:0]
+	pc.hdrs = pc.hdrs[:0]
+	return completedFrames, err
+}
 
 // New starts listening and returns the endpoint.
 func New(cfg Config) (*Transport, error) {
@@ -88,7 +139,7 @@ func New(cfg Config) (*Transport, error) {
 	t := &Transport{
 		cfg:     cfg,
 		ln:      ln,
-		conns:   make(map[transport.ProcID]net.Conn),
+		conns:   make(map[transport.ProcID]*peerConn),
 		redial:  make(map[transport.ProcID]*redialState),
 		inbound: make(map[net.Conn]struct{}),
 	}
@@ -158,51 +209,67 @@ func (t *Transport) SetHandler(h transport.Handler) {
 
 // Send implements transport.Transport: it frames payload and writes it on
 // the (possibly freshly dialed) connection to the peer. Writes to one peer
-// are serialized; a failed write closes the connection and returns the
-// error after one redial attempt.
+// serialize on that peer's own lock; a failed write closes the connection
+// and returns the error after one redial attempt.
 func (t *Transport) Send(to transport.ProcID, payload []byte) error {
+	return t.send(to, payload)
+}
+
+// SendBatch implements transport.BatchSender: the payloads go out in order
+// as one length-prefixed vectored write — a single syscall for the whole
+// batch on the common path. The buffers are fully written (or the batch has
+// failed) by return, so the caller may reuse them immediately.
+func (t *Transport) SendBatch(to transport.ProcID, payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	return t.send(to, payloads...)
+}
+
+func (t *Transport) send(to transport.ProcID, payloads ...[]byte) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return transport.ErrClosed
 	}
 	t.mu.Unlock()
-	if err := t.trySend(to, payload); err == nil {
+	done, err := t.trySend(to, payloads)
+	if err == nil {
 		return nil
 	}
-	// One redial: the previous connection may have died idle.
+	// One redial: the previous connection may have died idle. Only the
+	// frames the kernel had not fully accepted are rewritten — anything
+	// fully consumed before the failure may already be at the receiver,
+	// and resending it would double-deliver. (Fully-consumed-but-lost
+	// frames die with the connection, the same crash-loss semantics a
+	// successful-then-reset single Send always had.)
 	t.dropConn(to)
-	return t.trySend(to, payload)
+	_, err = t.trySend(to, payloads[done:])
+	return err
 }
 
-func (t *Transport) trySend(to transport.ProcID, payload []byte) error {
-	conn, err := t.connTo(to)
+func (t *Transport) trySend(to transport.ProcID, payloads [][]byte) (completedFrames int, err error) {
+	pc, err := t.connTo(to)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	hdr := make([]byte, 4)
-	binary.LittleEndian.PutUint32(hdr, uint32(len(payload)))
-	// Serialize writes per connection under the transport lock: frames are
-	// small relative to socket buffers, and n is small in this domain.
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return transport.ErrClosed
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for _, p := range payloads {
+		pc.appendFrame(p)
 	}
-	if _, err := conn.Write(hdr); err != nil {
-		return fmt.Errorf("tcp: write header to %d: %w", to, err)
+	done, err := pc.flush()
+	if err != nil {
+		return done, fmt.Errorf("tcp: write %d payload(s) to %d: %w", len(payloads), to, err)
 	}
-	if _, err := conn.Write(payload); err != nil {
-		return fmt.Errorf("tcp: write payload to %d: %w", to, err)
-	}
-	return nil
+	return len(payloads), nil
 }
 
 // connTo returns (dialing if necessary) the outbound connection to a peer.
 // Failed dials put the peer in a doubling backoff window during which
 // further Sends fail fast without a network attempt — reconnection is
 // paced, never blocking (see Config.DialBackoff).
-func (t *Transport) connTo(to transport.ProcID) (net.Conn, error) {
+func (t *Transport) connTo(to transport.ProcID) (*peerConn, error) {
 	t.mu.Lock()
 	if c, ok := t.conns[to]; ok {
 		t.mu.Unlock()
@@ -255,15 +322,16 @@ func (t *Transport) connTo(to transport.ProcID) (net.Conn, error) {
 		_ = c.Close() // lost a dial race; reuse the existing connection
 		return prev, nil
 	}
-	t.conns[to] = c
-	return c, nil
+	pc := &peerConn{conn: c}
+	t.conns[to] = pc
+	return pc, nil
 }
 
 func (t *Transport) dropConn(to transport.ProcID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if c, ok := t.conns[to]; ok {
-		_ = c.Close()
+	if pc, ok := t.conns[to]; ok {
+		_ = pc.conn.Close()
 		delete(t.conns, to)
 	}
 }
@@ -341,15 +409,15 @@ func (t *Transport) Close() error {
 	}
 	t.closed = true
 	conns := t.conns
-	t.conns = map[transport.ProcID]net.Conn{}
+	t.conns = map[transport.ProcID]*peerConn{}
 	inbound := make([]net.Conn, 0, len(t.inbound))
 	for c := range t.inbound {
 		inbound = append(inbound, c)
 	}
 	t.mu.Unlock()
 	err := t.ln.Close()
-	for _, c := range conns {
-		_ = c.Close()
+	for _, pc := range conns {
+		_ = pc.conn.Close()
 	}
 	for _, c := range inbound {
 		_ = c.Close()

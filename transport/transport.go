@@ -36,6 +36,23 @@ var (
 // payload buffer is owned by the handler after the call.
 type Handler func(from ProcID, payload []byte)
 
+// BatchSender is an optional Transport capability for the hot frame path:
+// SendBatch queues several payloads to one peer in order, as one network
+// operation where the backend allows (transport/tcp turns a batch into a
+// single vectored write). Two contract differences from Send:
+//
+//   - Ordering: the payloads are delivered in slice order, FIFO with
+//     respect to every other Send/SendBatch to the same destination.
+//   - Ownership: the payload buffers remain owned by the CALLER once
+//     SendBatch returns — the implementation must have fully transmitted
+//     or copied them. This is what lets the node recycle encode buffers.
+//
+// Runtimes type-assert for this interface and fall back to per-payload
+// Send when it is absent, so custom transports need not implement it.
+type BatchSender interface {
+	SendBatch(to ProcID, payloads [][]byte) error
+}
+
 // Transport is one process's endpoint: asynchronous reliable FIFO unicast
 // to any known peer.
 type Transport interface {
