@@ -10,7 +10,11 @@
 //	BenchmarkRoundModelClasses           broadcasts/round per protocol class
 //
 // cmd/fsr-bench prints the full series for EXPERIMENTS.md.
-package fsr
+//
+// External test package: internal/bench itself imports fsr (the loopback
+// TCP experiments run the real cluster), so these benchmarks must sit
+// outside package fsr to avoid an import cycle.
+package fsr_test
 
 import (
 	"fmt"

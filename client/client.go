@@ -1,0 +1,103 @@
+// Package client connects non-member publishers and subscribers to an FSR
+// group over TCP.
+//
+// The ordering core stays a fixed, small ring — that is what gives the
+// protocol its throughput — while any number of clients use the total
+// order through it: Dial returns an fsr.Session whose Publish is pipelined
+// and idempotent (each publish carries a client-assigned ID, so retries
+// across a member crash commit exactly once) and whose Subscribe streams
+// the committed order from any offset, replaying the members' durable logs
+// and then following the live tail, resuming gap-free across failover to a
+// different member.
+//
+//	s, err := client.Dial(client.Config{Addrs: memberAddrs})
+//	...
+//	r, _ := s.Publish(ctx, []byte("order me"))
+//	seq := r.Seq() // committed offset
+//	for off, m := range s.Subscribe(ctx, 1) { ... }
+//
+// In-process code gets the identical interface from Node.Session or
+// Cluster.Dial; everything written against fsr.Session runs unchanged
+// against either.
+package client
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"fsr"
+	"fsr/transport/tcp"
+)
+
+// Config parameterizes Dial.
+type Config struct {
+	// Addrs are the listen addresses of the group members; the session
+	// binds to one at a time and rotates through the rest on failure.
+	// Required.
+	Addrs []string
+
+	// ID is the client's identity — the dedup key that makes publish
+	// retries idempotent and the Origin subscribers see on this client's
+	// messages. It must be >= fsr.ClientIDBase and unique among live
+	// clients. Zero picks a random ID: fine for a client that lives and
+	// dies with its process; supply a stable ID to extend exactly-once
+	// publishing across client restarts.
+	ID fsr.ProcID
+
+	// Window bounds in-flight publishes (default 64); DialTimeout bounds
+	// one connection attempt (default 3s). AckTimeout and ProbeTimeout
+	// are the failover triggers for publishes and subscriptions — see
+	// fsr.SessionOptions.
+	Window       int
+	DialTimeout  time.Duration
+	AckTimeout   time.Duration
+	ProbeTimeout time.Duration
+}
+
+// Dial connects to the group and returns its session. It fails fast when
+// no member is reachable; once connected, the session fails over between
+// members internally and Close is the only way to end it.
+func Dial(cfg Config) (fsr.Session, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("client: no member addresses")
+	}
+	if cfg.ID == 0 {
+		// A fresh identity per session: the high bit marks the client ID
+		// space, the rest is random (collisions across concurrently live
+		// clients are the operator's responsibility when setting explicit
+		// IDs, and ~2^31 random choices here).
+		cfg.ID = fsr.ClientIDBase + fsr.ProcID(rand.Uint32N(1<<31))
+	}
+	if cfg.ID < fsr.ClientIDBase {
+		return nil, fmt.Errorf("client: ID %d is in the member ID space (must be >= %d)", cfg.ID, fsr.ClientIDBase)
+	}
+	return fsr.DialSession(&dialer{cfg: cfg}, fsr.SessionOptions{
+		Window:       cfg.Window,
+		AckTimeout:   cfg.AckTimeout,
+		ProbeTimeout: cfg.ProbeTimeout,
+	})
+}
+
+// dialer rotates the session across the configured member addresses.
+type dialer struct {
+	cfg Config
+
+	mu   sync.Mutex
+	next int
+}
+
+// Dial implements fsr.LinkDialer.
+func (d *dialer) Dial(h func(payload []byte)) (fsr.SessionLink, error) {
+	d.mu.Lock()
+	addr := d.cfg.Addrs[d.next%len(d.cfg.Addrs)]
+	d.next++
+	d.mu.Unlock()
+	cc, err := tcp.DialConn(addr, d.cfg.ID, d.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cc.SetHandler(h)
+	return cc, nil
+}

@@ -1,0 +1,51 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"fsr"
+	"fsr/client"
+)
+
+// A remote session over real TCP: three group members in this process (a
+// deployment would run them as separate processes — same wire traffic),
+// one non-member client publishing and subscribing through them.
+func Example() {
+	ct := fsr.TCPTransport(nil)
+	cluster, err := fsr.NewCluster(fsr.ClusterConfig{N: 3, T: 1}, ct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	s, err := client.Dial(client.Config{Addrs: ct.Addrs()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	for i := range 3 {
+		r, err := s.Publish(ctx, fmt.Appendf(nil, "event %d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.Wait(ctx); err != nil {
+			log.Fatal(err) // committed: durable at the member, uniformly ordered
+		}
+	}
+
+	got := 0
+	for _, m := range s.Subscribe(ctx, 1) {
+		fmt.Printf("%s\n", m.Payload)
+		if got++; got == 3 {
+			break
+		}
+	}
+	// Output:
+	// event 0
+	// event 1
+	// event 2
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"slices"
+	"sync"
 	"time"
 
 	"fsr/transport"
@@ -146,6 +147,21 @@ func (t *TCPClusterTransport) Join(id ProcID) (transport.Transport, error) {
 	return ep, nil
 }
 
+// Addrs returns the members' actual listen addresses (resolving ephemeral
+// ports) in member-ID order — what a remote client.Dial needs.
+func (t *TCPClusterTransport) Addrs() []string {
+	ids := make([]ProcID, 0, len(t.eps))
+	for id := range t.eps {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	addrs := make([]string, 0, len(ids))
+	for _, id := range ids {
+		addrs = append(addrs, t.eps[id].Addr())
+	}
+	return addrs
+}
+
 // Open implements ClusterTransport: every endpoint learns every other's
 // actual listen address (resolving ephemeral ports).
 func (t *TCPClusterTransport) Open() error {
@@ -185,6 +201,9 @@ type Cluster struct {
 	ct    ClusterTransport
 	nodes []*Node
 	ids   []ProcID
+
+	mu         sync.Mutex
+	nextClient ProcID // client IDs handed out by Dial
 }
 
 // NewCluster builds and starts N nodes on the given cluster transport.
@@ -295,6 +314,77 @@ func (c *Cluster) Restart(i int) (*Node, error) {
 	c.nodes[i] = node
 	return node, nil
 }
+
+// Dial connects a new session client to the cluster: a non-member
+// publisher/subscriber speaking the client sub-protocol to one member at a
+// time over the cluster's own transport, with automatic failover when the
+// serving member crashes or leaves. It is the transport-agnostic sibling
+// of client.Dial — over TCPTransport the frames cross real sockets, over
+// MemTransport (optionally wrapped in chaos) they stay in process.
+//
+// The returned Session lives independently of the member nodes; close it
+// when done. Options' zero values select the defaults.
+func (c *Cluster) Dial(opts SessionOptions) (Session, error) {
+	c.mu.Lock()
+	id := ClientIDBase + c.nextClient
+	c.nextClient++
+	c.mu.Unlock()
+	tr, err := c.ct.Join(id)
+	if err != nil {
+		return nil, fmt.Errorf("fsr: dial session: %w", err)
+	}
+	if err := c.ct.Open(); err != nil {
+		_ = tr.Close()
+		return nil, fmt.Errorf("fsr: dial session: %w", err)
+	}
+	inner := opts.OnClose
+	opts.OnClose = func() {
+		_ = tr.Close()
+		if inner != nil {
+			inner()
+		}
+	}
+	s, err := DialSession(&clusterLinkDialer{tr: tr, members: c.IDs()}, opts)
+	if err != nil {
+		_ = tr.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// clusterLinkDialer rotates a session client across the cluster members,
+// all reached through the client's one transport endpoint.
+type clusterLinkDialer struct {
+	tr      transport.Transport
+	members []ProcID
+
+	mu   sync.Mutex
+	next int
+}
+
+// Dial implements LinkDialer: bind to the next member in rotation. Liveness
+// is probed by the session's HELLO — a dead member fails the first send
+// (or times out) and the rotation moves on.
+func (d *clusterLinkDialer) Dial(h func(payload []byte)) (SessionLink, error) {
+	d.tr.SetHandler(func(from transport.ProcID, payload []byte) { h(payload) })
+	d.mu.Lock()
+	member := d.members[d.next%len(d.members)]
+	d.next++
+	d.mu.Unlock()
+	return clusterLink{tr: d.tr, to: member}, nil
+}
+
+// clusterLink is one client-to-member binding on the shared endpoint.
+type clusterLink struct {
+	tr transport.Transport
+	to ProcID
+}
+
+func (l clusterLink) Send(payload []byte) error { return l.tr.Send(l.to, payload) }
+
+// Close implements SessionLink; the endpoint is shared across bindings and
+// owned by the session's OnClose.
+func (l clusterLink) Close() error { return nil }
 
 // Stop shuts down every node and releases the cluster transport.
 func (c *Cluster) Stop() {

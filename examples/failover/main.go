@@ -1,9 +1,12 @@
-// Failover: crash the leader (the fixed sequencer itself) in the middle of
-// a broadcast stream and watch the group reconfigure — the failure
-// detector fires, the view change promotes the first backup to leader, the
-// new leader re-disseminates the undelivered sequenced messages, and the
-// stream continues with uniform total order intact. Nothing delivered
-// anywhere before the crash is lost.
+// Failover: crash the member serving a client session — which is also the
+// leader, the fixed sequencer itself — in the middle of a publish stream
+// and watch both layers recover: the group reconfigures (the failure
+// detector fires, the view change promotes the first backup, the new
+// leader re-disseminates undelivered sequenced messages), and the session
+// fails over to another member, retrying its unacked publishes
+// idempotently. Every publish commits exactly once and a subscriber
+// resumes the stream gap-free — nothing delivered anywhere before the
+// crash is lost, nothing is duplicated.
 package main
 
 import (
@@ -24,6 +27,11 @@ func main() {
 
 func run() error {
 	const nodes = 5
+	dir, err := os.MkdirTemp("", "fsr-failover-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
 	cluster, err := fsr.NewCluster(fsr.ClusterConfig{
 		N: nodes, T: 2,
 		NodeConfig: fsr.Config{
@@ -31,27 +39,32 @@ func run() error {
 			FailureTimeout:    200 * time.Millisecond,
 			ChangeTimeout:     400 * time.Millisecond,
 		},
-	}, fsr.MemTransport(nil))
+	}.WithDurableDir(dir), fsr.MemTransport(nil))
 	if err != nil {
 		return err
 	}
 	defer cluster.Stop()
 
+	// A session client bound (by rotation order) to node 0 — the leader.
+	sess, err := cluster.Dial(fsr.SessionOptions{AckTimeout: time.Second})
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
 	ctx := context.Background()
-	// Pre-crash traffic from node 3, still in flight when the leader dies.
-	// The receipts resolve even though the sequencer is about to crash:
-	// uniformity holds across the view change.
+	// Pre-crash publishes, still in flight when the serving member dies.
 	const preCrash = 12
-	receipts := make([]*fsr.Receipt, preCrash)
+	receipts := make([]*fsr.Receipt, 0, preCrash)
 	for i := range preCrash {
-		r, err := cluster.Node(3).Broadcast(ctx, []byte(fmt.Sprintf("pre-%d", i)))
+		r, err := sess.Publish(ctx, fmt.Appendf(nil, "pre-%d", i))
 		if err != nil {
 			return err
 		}
-		receipts[i] = r
+		receipts = append(receipts, r)
 	}
 
-	fmt.Println("crashing the leader (node 0, the sequencer)...")
+	fmt.Println("crashing the serving member (node 0 — also the sequencer)...")
 	cluster.Crash(0)
 
 	v, ok := cluster.WaitView(1, nodes-1, 10*time.Second)
@@ -60,42 +73,47 @@ func run() error {
 	}
 	fmt.Printf("view %d installed: members=%v — new leader is %d\n", v.ID, v.Members, v.Members[0])
 
-	// Post-crash traffic through the new leader.
+	// The session keeps publishing: it has already redialed a survivor.
 	const postCrash = 5
 	for i := range postCrash {
-		if _, err := cluster.Node(2).Broadcast(ctx, []byte(fmt.Sprintf("post-%d", i))); err != nil {
+		r, err := sess.Publish(ctx, fmt.Appendf(nil, "post-%d", i))
+		if err != nil {
 			return err
 		}
+		receipts = append(receipts, r)
 	}
 
-	// Every pre-crash broadcast still reaches uniform delivery.
+	// Every publish — including the ones in flight when their serving
+	// member crashed — commits: the session retried them idempotently
+	// against a survivor, and the dedup filter guarantees exactly once.
 	for i, r := range receipts {
 		if err := r.Wait(ctx); err != nil {
-			return fmt.Errorf("pre-crash broadcast %d never became uniform: %w", i, err)
+			return fmt.Errorf("publish %d never committed across the crash: %w", i, err)
 		}
 	}
-	fmt.Printf("all %d pre-crash receipts resolved across the leader crash ✔\n", preCrash)
+	fmt.Printf("all %d receipts resolved across the serving-member crash ✔\n", len(receipts))
 
-	// All survivors deliver all 17 messages in the same order.
+	// The same session streams the order back from offset 1 — gap-free,
+	// exactly once, even though the member that first served it is gone.
 	want := preCrash + postCrash
-	var ref []string
-	for i := 1; i < nodes; i++ {
-		var got []string
-		for len(got) < want {
-			m := <-cluster.Node(i).Messages()
-			got = append(got, fmt.Sprintf("%d:%s", m.Origin, m.Payload))
-		}
-		if ref == nil {
-			ref = got
-			continue
-		}
-		for j := range got {
-			if got[j] != ref[j] {
-				return fmt.Errorf("node %d disagrees at %d: %s vs %s", i, j, got[j], ref[j])
-			}
+	seen := make(map[string]int, want)
+	got := 0
+	for _, m := range sess.Subscribe(ctx, 1) {
+		seen[string(m.Payload)]++
+		if got++; got == want {
+			break
 		}
 	}
-	fmt.Printf("all %d survivors delivered %d messages in one agreed order across the crash ✔\n",
-		nodes-1, want)
+	for i := range preCrash {
+		if c := seen[fmt.Sprintf("pre-%d", i)]; c != 1 {
+			return fmt.Errorf("pre-%d delivered %d times, want exactly once", i, c)
+		}
+	}
+	for i := range postCrash {
+		if c := seen[fmt.Sprintf("post-%d", i)]; c != 1 {
+			return fmt.Errorf("post-%d delivered %d times, want exactly once", i, c)
+		}
+	}
+	fmt.Printf("subscriber replayed all %d messages exactly once across the crash ✔\n", want)
 	return nil
 }

@@ -1,6 +1,9 @@
 // Quickstart: a five-process FSR group in one binary, showing the two
 // guarantees that matter — every process delivers the same messages in the
-// same order (uniform total order broadcast), no matter who sends.
+// same order (uniform total order broadcast), no matter who sends — through
+// the Session API: publish into the order, then stream it back from offset
+// 1. The same Session interface serves remote clients (client.Dial) and
+// in-process members (Node.Session) identically.
 package main
 
 import (
@@ -27,7 +30,7 @@ func run() error {
 	}
 	defer cluster.Stop()
 
-	// Concurrent broadcasts from three different senders.
+	// Concurrent publishes from three different members' sessions.
 	ctx := context.Background()
 	sends := []struct {
 		node    int
@@ -41,7 +44,7 @@ func run() error {
 	}
 	receipts := make([]*fsr.Receipt, len(sends))
 	for i, s := range sends {
-		r, err := cluster.Node(s.node).Broadcast(ctx, []byte(s.payload))
+		r, err := cluster.Node(s.node).Session().Publish(ctx, []byte(s.payload))
 		if err != nil {
 			return err
 		}
@@ -51,29 +54,33 @@ func run() error {
 	// by the leader and backup, so it survives any tolerated crash.
 	for i, r := range receipts {
 		if err := r.Wait(ctx); err != nil {
-			return fmt.Errorf("broadcast %d: %w", i, err)
+			return fmt.Errorf("publish %d: %w", i, err)
 		}
 	}
-	fmt.Println("all broadcasts uniformly delivered (receipts resolved)")
+	fmt.Println("all publishes uniformly delivered (receipts resolved)")
 
-	// Every node receives the same five messages in the same global order.
-	fmt.Println("deliveries (identical at every node):")
-	var reference []fsr.Message
-	for i := 0; i < 5; i++ {
-		node := cluster.Node(i)
-		var got []fsr.Message
-		for len(got) < len(sends) {
-			got = append(got, <-node.Messages())
+	// Every member streams the same five messages at the same offsets.
+	// Subscribe(ctx, 1) replays the order from the first offset — a late
+	// consumer misses nothing.
+	fmt.Println("the order (identical at every node):")
+	var refOffsets []fsr.Offset
+	for i := range 5 {
+		var offsets []fsr.Offset
+		for off, m := range cluster.Node(i).Session().Subscribe(ctx, 1) {
+			if i == 0 {
+				fmt.Printf("  offset=%d origin=%d %q\n", off, m.Origin, m.Payload)
+			}
+			offsets = append(offsets, off)
+			if len(offsets) == len(sends) {
+				break
+			}
 		}
 		if i == 0 {
-			reference = got
-			for _, m := range got {
-				fmt.Printf("  seq=%d origin=%d %q\n", m.Seq, m.Origin, m.Payload)
-			}
+			refOffsets = offsets
 			continue
 		}
-		for j, m := range got {
-			if m.Seq != reference[j].Seq || m.Origin != reference[j].Origin {
+		for j := range offsets {
+			if offsets[j] != refOffsets[j] {
 				return fmt.Errorf("node %d disagrees at position %d", i, j)
 			}
 		}

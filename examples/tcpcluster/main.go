@@ -1,10 +1,10 @@
 // TCP cluster: the same FSR stack the other examples run in memory, but
-// over real sockets — three nodes on loopback TCP, each with its own
-// transport endpoint, exchanging broadcasts exactly as three separate
-// processes would (see cmd/fsr-node for the multi-process form).
-// TCPTransport binds each member to an ephemeral loopback port and
-// exchanges the addresses automatically — the bootstrap a deployment tool
-// would do.
+// over real sockets — three members on loopback TCP plus a NON-MEMBER
+// client (package client) publishing and subscribing through them. The
+// ordering core stays a fixed three-process ring; the client uses the
+// total order over the wire without joining it, which is how this stack
+// scales past the ring: any number of clients, a small ordering core (see
+// cmd/fsr-node for the multi-process form).
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"fsr"
+	"fsr/client"
 )
 
 func main() {
@@ -25,61 +26,70 @@ func main() {
 
 func run() error {
 	const n = 3
-	cluster, err := fsr.NewCluster(fsr.ClusterConfig{N: n, T: 1}, fsr.TCPTransport(nil))
+	ct := fsr.TCPTransport(nil)
+	cluster, err := fsr.NewCluster(fsr.ClusterConfig{N: n, T: 1}, ct)
 	if err != nil {
 		return err
 	}
 	defer cluster.Stop()
 
+	// Two remote clients dial the members' listen addresses. Each gets a
+	// random client identity; publishes are pipelined and idempotent.
 	ctx := context.Background()
+	addrs := ct.Addrs()
+	publishers := make([]fsr.Session, 2)
+	for i := range publishers {
+		s, err := client.Dial(client.Config{Addrs: addrs})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		publishers[i] = s
+	}
+
 	const per = 5
 	var wg sync.WaitGroup
-	for i := range n {
+	errs := make(chan error, len(publishers))
+	for i, s := range publishers {
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, s fsr.Session) {
 			defer wg.Done()
-			node := cluster.Node(i)
 			for j := range per {
-				payload := fmt.Sprintf("node%d msg%d", i, j)
-				r, err := node.Broadcast(ctx, []byte(payload))
+				r, err := s.Publish(ctx, fmt.Appendf(nil, "client%d msg%d", i, j))
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "broadcast: %v\n", err)
+					errs <- fmt.Errorf("publish: %w", err)
 					return
 				}
 				if err := r.Wait(ctx); err != nil {
-					fmt.Fprintf(os.Stderr, "broadcast not delivered: %v\n", err)
+					errs <- fmt.Errorf("publish not committed: %w", err)
 					return
 				}
 			}
-		}(i)
+		}(i, s)
 	}
 	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
 
-	total := n * per
-	var ref []string
-	for i := range n {
-		node := cluster.Node(i)
-		var got []string
-		for len(got) < total {
-			m := <-node.Messages()
-			got = append(got, fmt.Sprintf("[%d]%d:%s", m.Seq, m.Origin, m.Payload))
-		}
-		if i == 0 {
-			ref = got
-			for _, line := range got {
-				fmt.Println(line)
-			}
-			continue
-		}
-		for j := range got {
-			if got[j] != ref[j] {
-				return fmt.Errorf("node %d disagrees at %d: %s vs %s", i, j, got[j], ref[j])
-			}
+	// A third client streams the whole order back — every message exactly
+	// once, tagged with its publisher's client identity.
+	sub, err := client.Dial(client.Config{Addrs: addrs})
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	total := per * len(publishers)
+	got := 0
+	for off, m := range sub.Subscribe(ctx, 1) {
+		fmt.Printf("offset=%d publisher=%d %q\n", off, m.Origin, m.Payload)
+		if got++; got == total {
+			break
 		}
 	}
-	m := cluster.Node(0).Metrics()
-	fmt.Printf("%d broadcasts over real TCP, identical order at all %d nodes ✔\n", total, n)
-	fmt.Printf("leader metrics: frames in/out %d/%d, sequenced %d, delivered %d, p99 latency %v\n",
-		m.FramesIn, m.FramesOut, m.Sequenced, m.Delivered, m.BroadcastLatency.P99)
+	fmt.Printf("%d messages from %d non-member clients, one total order over real TCP ✔\n",
+		total, len(publishers))
 	return nil
 }

@@ -29,6 +29,21 @@
 // writes. Node.Metrics reports protocol counters, queue depths and a
 // broadcast-latency summary.
 //
+// # Sessions: using the order without joining the ring
+//
+// The ring stays small — that is where its throughput comes from — and
+// everything else connects as a client through the Session interface:
+// pipelined exactly-once Publish and offset-resumable, gap-free
+// Subscribe, surviving crashes of the serving member by failing over to
+// another. Remote clients over TCP use package client (client.Dial);
+// Cluster.Dial runs the same client sub-protocol over any cluster
+// transport; Node.Session serves the identical interface in process.
+//
+//	s, _ := client.Dial(client.Config{Addrs: memberAddrs})
+//	r, _ := s.Publish(ctx, []byte("order me"))
+//	_ = r.Wait(ctx) // committed: durable at the member, uniformly ordered
+//	for off, m := range s.Subscribe(ctx, 1) { ... }
+//
 // # Durable state machine replication
 //
 // Attach a StateMachine and a durable directory to turn the agreed order

@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFigure7TCPSmoke: the loopback-TCP experiment must run and deliver a
+// sane non-zero rate (short horizons; the committed BENCH numbers use the
+// full ones).
+func TestFigure7TCPSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP bench smoke")
+	}
+	mbps, err := tcpSaturatedThroughput(1, 800*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mbps <= 0 {
+		t.Fatalf("no throughput measured: %v Mb/s", mbps)
+	}
+	cm, err := tcpClientThroughput(800 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm <= 0 {
+		t.Fatalf("no client throughput measured: %v Mb/s", cm)
+	}
+	t.Logf("member k=1: %.1f Mb/s; client: %.1f Mb/s", mbps, cm)
+}

@@ -107,7 +107,14 @@ func check(t TB, sc Scenario, logs map[fsr.ProcID][]Rec, live []fsr.ProcID, sent
 	delivered := 0
 	for i, s := range sents {
 		if err := s.receipt.Err(); err != nil {
-			continue // definite failure; the message may or may not appear
+			if s.mustDeliver {
+				// Session publishes survive member crashes by failover —
+				// exactly-once means exactly once, not at-most-once.
+				failf(t, seed, "client publish %d (origin %d, %d bytes) failed instead of committing: %v",
+					i, s.origin, s.length, err)
+				return
+			}
+			continue // member broadcast on a crashed node; may or may not appear
 		}
 		delivered++
 		seq := s.receipt.Seq()
@@ -140,6 +147,8 @@ func profileName(sc Scenario) string {
 		return "follower-crash+restart"
 	case 3:
 		return "membership-churn"
+	case 4:
+		return "client-sessions"
 	default:
 		return "timing-only"
 	}

@@ -109,16 +109,26 @@ type Scenario struct {
 	Messages int // per sender
 	MaxPay   int // payload size bound (SegmentSize*1.5 exercises reassembly)
 	Gap      time.Duration
-	Net      chaos.Options
-	Events   []Event
+	// Clients are non-member session clients (Cluster.Dial): each runs a
+	// pipelined publisher of ClientMsgs messages and an offset-1
+	// subscriber, both surviving member crashes via session failover. The
+	// checker then requires publish-exactly-once (every client receipt
+	// resolves delivered; no (client, pubID) twice) and
+	// subscribe-gap-freedom (each subscriber saw exactly the reference
+	// history).
+	Clients    int
+	ClientMsgs int // per client
+	Net        chaos.Options
+	Events     []Event
 }
 
 // String renders the plan — two runs of one seed must render identically
 // (asserted by TestScenarioDeterminism).
 func (s Scenario) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "seed=%d n=%d t=%d senders=%d msgs=%d maxpay=%d gap=%v net{delay=[%v,%v] stallEvery=%d maxStall=%v}",
+	fmt.Fprintf(&b, "seed=%d n=%d t=%d senders=%d msgs=%d maxpay=%d gap=%v clients=%dx%d net{delay=[%v,%v] stallEvery=%d maxStall=%v}",
 		s.Seed, s.N, s.T, s.Senders, s.Messages, s.MaxPay, s.Gap,
+		s.Clients, s.ClientMsgs,
 		s.Net.MinDelay, s.Net.MaxDelay, s.Net.StallEvery, s.Net.MaxStall)
 	for _, e := range s.Events {
 		fmt.Fprintf(&b, " @%v:%s", e.At.Round(time.Millisecond), kindNames[e.Kind])
@@ -132,11 +142,12 @@ func (s Scenario) String() string {
 	return b.String()
 }
 
-// Profile classes guarantee coverage across a seed range: every fourth
-// seed crashes the leader, every fourth crash-restarts a follower, every
-// fourth churns membership; the rest stress timing only. Extra faults
-// (rotations, slow nodes, stalls) sprinkle into all classes.
-const profiles = 4
+// Profile classes guarantee coverage across a seed range: every fifth
+// seed crashes the leader, every fifth crash-restarts a follower, every
+// fifth churns membership, every fifth drives non-member client sessions
+// through a serving-member crash; the rest stress timing only. Extra
+// faults (rotations, slow nodes, stalls) sprinkle into all classes.
+const profiles = 5
 
 // Generate derives the scenario for a seed. Soak scales the workload up.
 func Generate(seed int64, soak bool) Scenario {
@@ -184,6 +195,19 @@ func Generate(seed int64, soak bool) Scenario {
 		s.Events = append(s.Events,
 			Event{At: base, Kind: EvJoin},
 			Event{At: base + 300*time.Millisecond + time.Duration(rng.Intn(200))*time.Millisecond, Kind: EvLeave},
+		)
+	case 4: // client sessions across a serving-member crash
+		s.Clients = 1 + rng.Intn(2)
+		s.ClientMsgs = 10 + rng.Intn(15)
+		if soak {
+			s.ClientMsgs *= 3
+		}
+		// Sessions bind to the first member of the rotation — initially
+		// the leader — so a leader crash is a serving-member crash: the
+		// clients fail over mid-stream and retry their unacked publishes.
+		s.Events = append(s.Events,
+			Event{At: base, Kind: EvCrashLeader},
+			Event{At: base + 500*time.Millisecond + time.Duration(rng.Intn(300))*time.Millisecond, Kind: EvRestart},
 		)
 	}
 	// Timing faults for everyone; rotation for half.
@@ -296,6 +320,10 @@ type sent struct {
 	hash    uint64
 	length  int
 	receipt *fsr.Receipt
+	// mustDeliver marks a session-client publish: the session survives
+	// member crashes by failing over, so a receipt that resolves with an
+	// error (rather than a commit) is an invariant violation.
+	mustDeliver bool
 }
 
 // TB is the subset of testing.TB the harness reports through.
@@ -365,10 +393,25 @@ func RunScenario(t TB, sc Scenario) {
 	wg.Add(1)
 	go func() { defer wg.Done(); run.driveEvents(stopEvents) }()
 
+	// Non-member session clients: pipelined publishers and offset-1
+	// subscribers riding through the fault plan on session failover.
+	subCtx, subCancel := context.WithCancel(context.Background())
+	defer subCancel()
+	collectors := run.startClients(subCtx)
+	defer func() {
+		for _, c := range collectors {
+			c.sess.Close()
+		}
+	}()
+
 	var senders sync.WaitGroup
 	for sdr := range sc.Senders {
 		senders.Add(1)
 		go func(sdr int) { defer senders.Done(); run.sender(sdr) }(sdr)
+	}
+	for _, c := range collectors {
+		senders.Add(1)
+		go func(c *clientRun) { defer senders.Done(); run.clientPublisher(c) }(c)
 	}
 	senders.Wait()
 	close(stopEvents)
@@ -380,7 +423,152 @@ func RunScenario(t TB, sc Scenario) {
 	if t.Failed() {
 		return
 	}
-	check(t, sc, run.collectLogs(), live, run.sentCopy())
+	logs := run.collectLogs()
+	run.checkSubscribers(logs, collectors)
+	subCancel()
+	if t.Failed() {
+		return
+	}
+	check(t, sc, logs, live, run.sentCopy())
+}
+
+// clientRun is one session client: its session, identity, and the
+// subscriber's collected stream.
+type clientRun struct {
+	idx  int
+	id   fsr.ProcID
+	sess fsr.Session
+
+	mu   sync.Mutex
+	recs []Rec
+	err  error
+}
+
+// startClients dials the scenario's session clients and starts their
+// offset-1 subscribers.
+func (r *runner) startClients(subCtx context.Context) []*clientRun {
+	collectors := make([]*clientRun, 0, r.sc.Clients)
+	for i := range r.sc.Clients {
+		sess, err := r.cluster.Dial(fsr.SessionOptions{
+			Window:       32,
+			AckTimeout:   time.Second,
+			ProbeTimeout: 1500 * time.Millisecond,
+		})
+		if err != nil {
+			failf(r.t, r.sc.Seed, "client %d: dial session: %v", i, err)
+			r.t.FailNow()
+		}
+		// Cluster.Dial hands out client IDs in call order from ClientIDBase;
+		// these are the first (and only) dials on this cluster.
+		c := &clientRun{idx: i, id: fsr.ClientIDBase + fsr.ProcID(i), sess: sess}
+		collectors = append(collectors, c)
+		go c.subscribe(subCtx)
+	}
+	return collectors
+}
+
+// subscribe streams the whole order from offset 1 into the collector. A
+// state snapshot (the stream resumed below a member's truncation point)
+// replaces the collected prefix — the Recorder's snapshot IS its history.
+func (c *clientRun) subscribe(ctx context.Context) {
+	for _, m := range c.sess.Subscribe(ctx, 1) {
+		if m.Snapshot {
+			var log []Rec
+			if err := json.Unmarshal(m.Payload, &log); err != nil {
+				c.mu.Lock()
+				c.err = fmt.Errorf("undecodable snapshot at %d: %v", m.Seq, err)
+				c.mu.Unlock()
+				return
+			}
+			c.mu.Lock()
+			c.recs = log
+			c.mu.Unlock()
+			continue
+		}
+		rec := Rec{Seq: m.Seq, Origin: m.Origin, Logical: m.LogicalID,
+			Hash: hashPayload(m.Payload), Len: len(m.Payload)}
+		c.mu.Lock()
+		c.recs = append(c.recs, rec)
+		c.mu.Unlock()
+	}
+}
+
+// clientPublisher issues one client's pipelined publish workload.
+func (r *runner) clientPublisher(c *clientRun) {
+	rng := rand.New(rand.NewSource(r.sc.Seed ^ int64(0xc11e47+c.idx)))
+	for i := range r.sc.ClientMsgs {
+		n := 1 + rng.Intn(r.sc.MaxPay)
+		payload := make([]byte, 0, n+32)
+		payload = fmt.Appendf(payload, "cc%d/c%d/m%d/", r.sc.Seed, c.idx, i)
+		for len(payload) < n {
+			payload = append(payload, byte('a'+rng.Intn(26)))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		rcpt, err := c.sess.Publish(ctx, payload)
+		cancel()
+		if err != nil {
+			// The session retries internally; Publish only fails on
+			// timeout (window never opened) or Close — both findings here.
+			failf(r.t, r.sc.Seed, "client %d: publish %d failed: %v", c.idx, i, err)
+			return
+		}
+		r.mu.Lock()
+		r.sent = append(r.sent, sent{origin: c.id, hash: hashPayload(payload),
+			length: len(payload), receipt: rcpt, mustDeliver: true})
+		r.mu.Unlock()
+		if r.sc.Gap > 0 {
+			time.Sleep(time.Duration(rng.Int63n(int64(r.sc.Gap))))
+		}
+	}
+}
+
+// checkSubscribers enforces subscribe-gap-freedom: after quiescence every
+// client subscriber catches up to the reference history exactly — no gap,
+// duplicate or reorder anywhere in its stream, across every failover it
+// performed.
+func (r *runner) checkSubscribers(logs map[fsr.ProcID][]Rec, collectors []*clientRun) {
+	if len(collectors) == 0 {
+		return
+	}
+	var ref []Rec
+	for _, log := range logs {
+		if len(log) > len(ref) {
+			ref = log
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for _, c := range collectors {
+		for {
+			c.mu.Lock()
+			recs, err := c.recs, c.err
+			c.mu.Unlock()
+			if err != nil {
+				failf(r.t, r.sc.Seed, "client %d subscriber: %v", c.idx, err)
+				return
+			}
+			if len(recs) >= len(ref) {
+				if len(recs) > len(ref) {
+					failf(r.t, r.sc.Seed, "client %d subscriber saw %d messages, reference has %d (duplicate delivery)",
+						c.idx, len(recs), len(ref))
+					return
+				}
+				for i := range ref {
+					if recs[i] != ref[i] {
+						failf(r.t, r.sc.Seed, "client %d subscriber diverges at %d: got %+v want %+v (gap or reorder)",
+							c.idx, i, recs[i], ref[i])
+						return
+					}
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				failf(r.t, r.sc.Seed, "client %d subscriber stuck at %d/%d messages; session err=%v; group: %s",
+					c.idx, len(recs), len(ref), c.sess.Err(), r.groupState())
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
 }
 
 // recordBatching folds every live node's multi-segment frame count into

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"fsr/internal/ring"
+)
+
+func TestClientCodecRoundTrip(t *testing.T) {
+	msgs := []any{
+		&ClientHello{MaxEventBytes: 1 << 20},
+		&ClientHello{},
+		&ClientPublish{PubID: 7, Payload: []byte("payload")},
+		&ClientPublish{PubID: 1},
+		&ClientPubAck{PubID: 7, Seq: 1234},
+		&ClientPubAck{PubID: 9},
+		&ClientSubscribe{SubID: 3, From: 42},
+		&ClientSubscribe{SubID: 3, Cancel: true},
+		&ClientEvent{Sub: 3},
+		&ClientEvent{Sub: 3, HasSnapshot: true, SnapSeq: 90, Snapshot: []byte("state")},
+		&ClientEvent{Sub: 1, Entries: []ClientEventEntry{
+			{Seq: 91, Origin: 1<<31 + 5, Logical: 1, Payload: []byte("a")},
+			{Seq: 93, Origin: 2, Logical: 17, Payload: []byte("bb")},
+		}},
+		&ClientRedirect{Reason: RedirectWelcome, Applied: 55, Members: []ring.ProcID{1, 2, 3}},
+		&ClientRedirect{Reason: RedirectCannotServe, Sub: 3},
+	}
+	for _, m := range msgs {
+		var enc []byte
+		switch v := m.(type) {
+		case *ClientHello:
+			enc = EncodeClientHello(v)
+		case *ClientPublish:
+			enc = EncodeClientPublish(v)
+		case *ClientPubAck:
+			enc = EncodeClientPubAck(v)
+		case *ClientSubscribe:
+			enc = EncodeClientSubscribe(v)
+		case *ClientEvent:
+			enc = EncodeClientEvent(v)
+		case *ClientRedirect:
+			enc = EncodeClientRedirect(v)
+		}
+		if enc[0] != KindClient {
+			t.Fatalf("%T: missing KindClient prefix", m)
+		}
+		got, err := DecodeClient(enc)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		if !clientEqual(m, got) {
+			t.Fatalf("round trip mismatch:\nsent %#v\ngot  %#v", m, got)
+		}
+	}
+}
+
+// clientEqual compares two client messages structurally (nil and empty
+// byte slices are interchangeable on the wire).
+func clientEqual(a, b any) bool {
+	switch x := a.(type) {
+	case *ClientHello:
+		y, ok := b.(*ClientHello)
+		return ok && *x == *y
+	case *ClientPublish:
+		y, ok := b.(*ClientPublish)
+		return ok && x.PubID == y.PubID && bytes.Equal(x.Payload, y.Payload)
+	case *ClientPubAck:
+		y, ok := b.(*ClientPubAck)
+		return ok && *x == *y
+	case *ClientSubscribe:
+		y, ok := b.(*ClientSubscribe)
+		return ok && *x == *y
+	case *ClientEvent:
+		y, ok := b.(*ClientEvent)
+		if !ok || x.Sub != y.Sub || x.HasSnapshot != y.HasSnapshot ||
+			x.SnapSeq != y.SnapSeq || !bytes.Equal(x.Snapshot, y.Snapshot) ||
+			len(x.Entries) != len(y.Entries) {
+			return false
+		}
+		for i := range x.Entries {
+			ex, ey := &x.Entries[i], &y.Entries[i]
+			if ex.Seq != ey.Seq || ex.Origin != ey.Origin ||
+				ex.Logical != ey.Logical || !bytes.Equal(ex.Payload, ey.Payload) {
+				return false
+			}
+		}
+		return true
+	case *ClientRedirect:
+		y, ok := b.(*ClientRedirect)
+		if !ok || x.Reason != y.Reason || x.Applied != y.Applied ||
+			x.Sub != y.Sub || len(x.Members) != len(y.Members) {
+			return false
+		}
+		for i := range x.Members {
+			if x.Members[i] != y.Members[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func TestClientDecodeRejectsMalformed(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{KindClient},
+		{KindClient, 0},
+		{KindClient, 99},
+		{KindFSR, clientHello, 0, 0, 0, 0},
+		// Publish announcing more payload than present.
+		{KindClient, clientPublish, 1, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF},
+		// Event with a forged entry count.
+		{KindClient, clientEvent, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF},
+		// Redirect with a forged member count.
+		{KindClient, clientRedirect, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF},
+		// Trailing garbage after a valid pub ack.
+		append(EncodeClientPubAck(&ClientPubAck{PubID: 1, Seq: 2}), 0),
+	}
+	for i, c := range cases {
+		if _, err := DecodeClient(c); err == nil {
+			t.Errorf("case %d: malformed payload decoded without error: %x", i, c)
+		}
+	}
+}

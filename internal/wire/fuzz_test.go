@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"testing"
+
+	"fsr/internal/ring"
 )
 
 // FuzzDecodeFrame throws arbitrary bytes at every decoder the node routes
@@ -42,6 +44,18 @@ func FuzzDecodeFrame(f *testing.F) {
 			{Seq: 78, Origin: 4, LogicalID: 12, Payload: []byte("entry")},
 		},
 	}))
+	// Client sub-protocol corpus: every message type a member or client
+	// routes through DecodeClient, plus forged-count shapes.
+	f.Add(EncodeClientHello(&ClientHello{MaxEventBytes: 1 << 16}))
+	f.Add(EncodeClientPublish(&ClientPublish{PubID: 3, Payload: []byte("pub")}))
+	f.Add(EncodeClientPubAck(&ClientPubAck{PubID: 3, Seq: 41}))
+	f.Add(EncodeClientSubscribe(&ClientSubscribe{SubID: 1, From: 7}))
+	f.Add(EncodeClientEvent(&ClientEvent{Sub: 1, Entries: []ClientEventEntry{
+		{Seq: 8, Origin: 1<<31 + 9, Logical: 2, Payload: []byte("ev")},
+	}}))
+	f.Add(EncodeClientEvent(&ClientEvent{Sub: 1, HasSnapshot: true, SnapSeq: 6, Snapshot: []byte("snap")}))
+	f.Add(EncodeClientRedirect(&ClientRedirect{Reason: RedirectView, Applied: 10, Members: []ring.ProcID{1, 2, 3}}))
+	f.Add([]byte{KindClient, clientEvent, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{KindFSR})
 	f.Add([]byte{KindCatchup, 2, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{})
@@ -80,6 +94,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		PutFrame(reused)
 		if m, err := DecodeCatchup(b); err == nil && m == nil {
 			t.Fatal("DecodeCatchup: nil message without error")
+		}
+		if m, err := DecodeClient(b); err == nil && m == nil {
+			t.Fatal("DecodeClient: nil message without error")
 		}
 	})
 }

@@ -8,6 +8,7 @@
 //	KindVSC     — a view-change control message (encoded by package vsc)
 //	KindFD      — a failure-detector heartbeat (encoded by package fd)
 //	KindCatchup — a durable-log catch-up request/response (crash recovery)
+//	KindClient  — the client sub-protocol (non-member publish/subscribe)
 //
 // The codec is hand-rolled little-endian (stdlib encoding/binary): the frame
 // encoder sits on the hot path of every hop, so it avoids reflection and
@@ -28,6 +29,7 @@ const (
 	KindVSC
 	KindFD
 	KindCatchup
+	KindClient
 )
 
 // ErrTruncated is returned when a buffer ends before a complete value.

@@ -9,16 +9,26 @@ import (
 // same total order at every group member.
 type Message struct {
 	// Seq is the global sequence number of the message's final segment —
-	// its position in the total order (identical at every process within
-	// an epoch).
+	// its position (offset) in the total order (identical at every process
+	// within an epoch).
 	Seq uint64
-	// Origin is the broadcasting process.
+	// Origin is the publishing process: the broadcasting ring member, or —
+	// for messages published through a Session client — the client's ID
+	// (>= ClientIDBase).
 	Origin ProcID
-	// LogicalID is the wire identity of the message's first segment;
-	// together with Origin it names the broadcast uniquely across views.
+	// LogicalID names the broadcast uniquely together with Origin, across
+	// views and retries: the wire identity of the message's first segment
+	// for member broadcasts, the client-assigned publish ID for session
+	// publishes.
 	LogicalID uint64
 	// Payload is the reassembled application payload. The receiver owns it.
 	Payload []byte
+	// Snapshot marks a state transfer on a subscription stream only: a
+	// Subscribe that resumed below the group's log truncation point starts
+	// with one pair whose Payload is the application snapshot covering
+	// every message up to Seq. Never set on Messages/StateMachine
+	// deliveries.
+	Snapshot bool
 }
 
 // asmResult classifies what one delivered segment did to its logical

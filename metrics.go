@@ -62,6 +62,15 @@ type Metrics struct {
 	Applied    uint64
 	CatchingUp bool
 
+	// SessionPublishes counts client publishes committed through this
+	// member; SessionDuplicates counts duplicate publishes (retries after
+	// crashes or lost acks) this member filtered out of the order at apply
+	// time; SessionSubscribers is the number of remote subscriptions
+	// currently being served.
+	SessionPublishes   uint64
+	SessionDuplicates  uint64
+	SessionSubscribers int
+
 	// BroadcastLatency summarizes the last broadcasts' acceptance-to-
 	// uniform-delivery latency on this node.
 	BroadcastLatency LatencySummary

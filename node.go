@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fsr/internal/core"
@@ -86,6 +87,10 @@ type Node struct {
 	sinceSnap int         // messages applied since the last snapshot (pump-owned)
 	catch     *catchState // in-flight catch-up transfer (event-loop-owned)
 
+	// Session serving: the publish dedup index, parked client publishes
+	// and remote subscription pagers (see nodesession.go).
+	sess *sessSrv
+
 	outMu    sync.Mutex
 	outCond  *sync.Cond
 	outBuf   []Message
@@ -107,6 +112,11 @@ type Node struct {
 	subs       []subscriber
 	nextSubID  uint64
 	subChanged chan struct{}
+	// msgsClaimed flips once Messages() is called: only then does a full
+	// channel block dispatch (the caller promised to drain). Unclaimed,
+	// the channel is best-effort up to its buffer — a member consumed
+	// purely through StateMachine or Sessions cannot be wedged by it.
+	msgsClaimed atomic.Bool
 
 	// Event-loop-owned state (no locking): receipts for own broadcasts,
 	// keyed by logical message ID, the latency sample window, and protocol
@@ -203,6 +213,7 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		applied     uint64
 		startLocal  uint64
 		incarnation uint64
+		index       pubIndex // client-publish dedup index, rebuilt with the state
 	)
 	if cfg.DurableDir != "" {
 		wlog, err = wal.Open(cfg.DurableDir, wal.Options{SegmentBytes: cfg.WALSegmentBytes})
@@ -210,8 +221,14 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 			return nil, fmt.Errorf("fsr: open durable dir: %w", err)
 		}
 		if snap, ok := wlog.LatestSnapshot(); ok {
+			// Snapshots are node-level: the publish index rides in front of
+			// the application state (see wrapSnapshot).
+			idxBytes, app := openSnapshot(snap.Data)
+			if idxBytes != nil {
+				index, _ = decodePubIndex(idxBytes)
+			}
 			if cfg.StateMachine != nil {
-				if err := cfg.StateMachine.Restore(snap.Data); err != nil {
+				if err := cfg.StateMachine.Restore(app); err != nil {
 					_ = wlog.Close()
 					return nil, fmt.Errorf("fsr: restore snapshot at %d: %w", snap.Seq, err)
 				}
@@ -219,6 +236,9 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 			applied = snap.Seq
 		}
 		err = wlog.Replay(applied, func(e wal.Entry) error {
+			if e.Origin >= uint32(ClientIDBase) {
+				index.add(ProcID(e.Origin), e.LogicalID, e.Seq)
+			}
 			if cfg.StateMachine != nil {
 				cfg.StateMachine.Apply(Message{
 					Seq:       e.Seq,
@@ -286,6 +306,14 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 	}
 	n.outCond = sync.NewCond(&n.outMu)
 	n.batcher, _ = tr.(transport.BatchSender)
+	n.sess = newSessSrv(n)
+	n.sess.index = index
+	if wlog == nil {
+		// No durable log: retain a bounded in-memory tail of the applied
+		// order for subscribers. The horizon rises past anything this
+		// member never delivered (a joiner's missed prefix, holes).
+		n.sess.memlog = &memLog{}
+	}
 
 	n.fdet, err = fd.New(fd.Config{
 		Self:     cfg.Self,
@@ -338,9 +366,10 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		}
 	})
 
-	n.wg.Add(2)
+	n.wg.Add(3)
 	go n.loop()
 	go n.deliveryPump()
+	go n.sess.ackLoop()
 	return n, nil
 }
 
@@ -361,7 +390,17 @@ func (n *Node) Self() ProcID { return n.cfg.Self }
 // alternative consumption modes for the same ordered stream. A node with a
 // Config.StateMachine feeds the state machine instead and leaves this
 // channel silent unless a Subscribe handler is registered.
-func (n *Node) Messages() <-chan Message { return n.msgs }
+//
+// Claim the channel (call Messages) before the stream starts: until the
+// first call the channel is filled best-effort only — once its buffer is
+// full further messages skip it, so a member consumed through its
+// StateMachine or through Sessions is never wedged by an unread channel.
+// After the first call a full channel blocks dispatch (later messages are
+// never dropped), as a claimed stream must stay complete.
+func (n *Node) Messages() <-chan Message {
+	n.msgsClaimed.Store(true)
+	return n.msgs
+}
 
 // Subscribe registers fn to receive delivered messages in total order,
 // starting with the first message dispatched after registration. All
@@ -598,6 +637,9 @@ func (n *Node) install(v core.View, sync *core.Sync, rebroadcast []core.PendingM
 	case n.views <- info:
 	default:
 	}
+	// Connected session clients learn the new view (best-effort): a client
+	// bound to a departed member fails over sooner than its timeouts.
+	n.sess.notifyClients(wire.RedirectView)
 	n.refreshCatchup(v, sync, prevNext)
 }
 
@@ -645,8 +687,11 @@ func (n *Node) stopping() bool {
 }
 
 // shutdown is the loop's single exit path: stop the engine, fail whatever
-// broadcasts cannot complete, and release the delivery pump.
+// broadcasts cannot complete, and release the delivery pump. Session
+// clients get a best-effort goodbye so they fail over immediately instead
+// of waiting out their timeouts.
 func (n *Node) shutdown() {
+	n.sess.notifyClients(wire.RedirectBye)
 	n.engine.Stop()
 	err := n.Err()
 	if err == nil {
@@ -718,6 +763,10 @@ func (n *Node) loop() {
 		if !evicted && (n.engine.PendingOwn() >= n.cfg.MaxPendingOwn || !joined ||
 			n.mgr.Changing() || n.catch != nil) {
 			bc = nil
+		} else if !evicted {
+			// The same gate just opened for client publishes parked under
+			// backpressure: broadcast them now.
+			n.drainClientPubs()
 		}
 
 		select {
@@ -733,7 +782,7 @@ func (n *Node) loop() {
 				req.resp <- bcastResp{err: ErrStopped}
 				break
 			}
-			first, err := n.engine.Broadcast(req.payload)
+			first, err := n.engine.Broadcast(wrapRaw(req.payload))
 			if err != nil {
 				req.resp <- bcastResp{err: err}
 				break
@@ -775,7 +824,7 @@ func (n *Node) loop() {
 func (n *Node) snapshotMetrics() Metrics {
 	st := n.engine.Stats()
 	relay, own, acks := n.engine.QueueDepths()
-	return Metrics{
+	m := Metrics{
 		View:             n.CurrentView(),
 		IsLeader:         n.engine.IsLeader(),
 		FramesIn:         st.FramesIn,
@@ -798,6 +847,12 @@ func (n *Node) snapshotMetrics() Metrics {
 		CatchingUp:       n.catch != nil,
 		BroadcastLatency: summarizeLatency(n.latency),
 	}
+	n.sess.mu.Lock()
+	m.SessionPublishes = n.sess.pubsAccepted
+	m.SessionDuplicates = n.sess.dupsFiltered
+	m.SessionSubscribers = len(n.sess.subs)
+	n.sess.mu.Unlock()
+	return m
 }
 
 // recordLatency folds one acceptance-to-delivery sample into the bounded
@@ -944,6 +999,8 @@ func (n *Node) handlePayload(in inboundPayload) {
 		case *wire.CatchupResp:
 			n.handleCatchupResp(in.from, v)
 		}
+	case wire.KindClient:
+		n.handleClientPayload(in.from, in.payload)
 	}
 }
 
@@ -960,14 +1017,18 @@ func (n *Node) deliver() {
 		return
 	}
 	now := time.Now()
-	var dropSeq uint64
+	var dropSeq, horizonSeq uint64
 	n.outMu.Lock()
 	asm := n.asm()
 	for _, d := range ds {
 		msg, res := asm.add(d)
 		if res != asmComplete {
-			if res == asmDropped && n.wlog != nil && msg.Seq > n.applied {
-				dropSeq = msg.Seq
+			if res == asmDropped && msg.Seq > n.applied {
+				if n.wlog != nil {
+					dropSeq = msg.Seq
+				} else {
+					horizonSeq = msg.Seq // ephemeral: an unservable hole
+				}
 			}
 			continue
 		}
@@ -991,6 +1052,9 @@ func (n *Node) deliver() {
 	clear(ds) // release Body references held in the reused drain buffer
 	if dropSeq > 0 {
 		n.extendCatchup(dropSeq)
+	}
+	if horizonSeq > 0 {
+		n.sess.raiseHorizon(horizonSeq)
 	}
 }
 
@@ -1028,6 +1092,12 @@ func (n *Node) asm() *assembler {
 // a crashed server is abandoned.
 func (n *Node) refreshCatchup(v core.View, sync *core.Sync, prevNext uint64) {
 	if n.wlog == nil {
+		// An ephemeral member joining below the sync base will never see
+		// the skipped prefix: its subscriber horizon rises past it, so
+		// offset subscriptions are redirected to a member that has it.
+		if sync.StartSeq > prevNext && sync.StartSeq > 0 {
+			n.sess.raiseHorizon(sync.StartSeq - 1)
+		}
 		return
 	}
 	base := sync.StartSeq
@@ -1357,9 +1427,13 @@ func (n *Node) pumpReadyLocked() bool {
 	return len(n.catchBuf) > 0 || (!n.catching && len(n.outBuf) > 0)
 }
 
-// applyBatch runs one pump batch through the durability pipeline: append
-// every new message to the WAL, fsync once, fold into the state machine,
-// then dispatch the live ones and take a snapshot if the cadence is due.
+// applyBatch runs one pump batch through the durability pipeline: open
+// each message's envelope (filtering duplicate client publishes out of the
+// order — a deterministic decision, every member's index evolves from the
+// same applied prefix), append every surviving message to the WAL, fsync
+// once, fold into the state machine, then acknowledge the batch's client
+// publishes, dispatch the live messages and take a snapshot if the cadence
+// is due.
 //
 // Recovered history and live messages are merged by sequence number (both
 // streams arrive ascending), so the state machine always sees the total
@@ -1372,17 +1446,29 @@ func (n *Node) applyBatch(recovered []catchItem, live []Message) error {
 	// so reading it unlocked here is race-free.
 	cursor := n.applied
 	var dispatch []Message
+	var finals []Message // applied messages in final form, for the memlog
+	var acks []pubAck
 	appended := false
 	apply := func(m Message, isLive bool) error {
 		if m.Seq <= cursor {
 			return nil // already recovered (replay / catch-up overlap)
 		}
+		// Live messages carry the ring envelope; recovered history arrives
+		// in final form from a peer's (already filtered) log.
+		final, dup, ack := n.sess.classify(m, isLive)
+		if ack != nil {
+			acks = append(acks, *ack)
+		}
+		cursor = m.Seq
+		if dup {
+			return nil // duplicate client publish: filtered from the order
+		}
 		if n.wlog != nil {
 			err := n.wlog.Append(wal.Entry{
-				Seq:       m.Seq,
-				Origin:    uint32(m.Origin),
-				LogicalID: m.LogicalID,
-				Payload:   m.Payload,
+				Seq:       final.Seq,
+				Origin:    uint32(final.Origin),
+				LogicalID: final.LogicalID,
+				Payload:   final.Payload,
 			})
 			if err != nil {
 				return err
@@ -1390,12 +1476,12 @@ func (n *Node) applyBatch(recovered []catchItem, live []Message) error {
 			appended = true
 		}
 		if n.sm != nil {
-			n.sm.Apply(m)
+			n.sm.Apply(final)
 		}
-		cursor = m.Seq
 		n.sinceSnap++
+		finals = append(finals, final)
 		if isLive {
-			dispatch = append(dispatch, m)
+			dispatch = append(dispatch, final)
 		}
 		return nil
 	}
@@ -1406,8 +1492,13 @@ func (n *Node) applyBatch(recovered []catchItem, live []Message) error {
 		if it.snap.Seq <= cursor {
 			return nil // stale transfer; local state is already past it
 		}
+		// A transferred snapshot is node-level: publish index + app state.
+		idxBytes, app := openSnapshot(it.snap.Data)
+		if idxBytes != nil {
+			n.sess.restoreIndex(idxBytes)
+		}
 		if n.sm != nil {
-			if err := n.sm.Restore(it.snap.Data); err != nil {
+			if err := n.sm.Restore(app); err != nil {
 				return fmt.Errorf("fsr: restore transferred snapshot at %d: %w", it.snap.Seq, err)
 			}
 		}
@@ -1448,10 +1539,16 @@ func (n *Node) applyBatch(recovered []catchItem, live []Message) error {
 			return err
 		}
 	}
+	// The ephemeral order tail must hold the batch before applied covers
+	// it, or a subscription pager could skip it (it pages up to applied).
+	n.sess.retainBatch(finals)
 	n.outMu.Lock()
 	n.applied = cursor
 	n.pumpBusy = false // batch durable: applied now covers it
 	n.outMu.Unlock()
+	// Batch durable and visible: wake subscription pagers and acknowledge
+	// the client publishes it committed.
+	n.sess.commitBatch(acks)
 	for _, m := range dispatch {
 		n.dispatch(m)
 	}
@@ -1460,7 +1557,7 @@ func (n *Node) applyBatch(recovered []catchItem, live []Message) error {
 		if err != nil {
 			return fmt.Errorf("fsr: state machine snapshot: %w", err)
 		}
-		if err := n.wlog.WriteSnapshot(cursor, data); err != nil {
+		if err := n.wlog.WriteSnapshot(cursor, wrapSnapshot(n.sess.snapshotIndex(), data)); err != nil {
 			return err
 		}
 		n.sinceSnap = 0
@@ -1490,6 +1587,16 @@ func (n *Node) dispatch(m Message) {
 			}
 			for _, s := range subs {
 				s.fn(m)
+			}
+			return
+		}
+		if !n.msgsClaimed.Load() {
+			// Nobody has claimed the channel: fill its buffer for a late
+			// claimant, but never block the pump on it (a member serving
+			// only sessions has no channel reader at all).
+			select {
+			case n.msgs <- m:
+			default:
 			}
 			return
 		}

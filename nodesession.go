@@ -1,0 +1,858 @@
+package fsr
+
+import (
+	"context"
+	"encoding/binary"
+	"iter"
+	"slices"
+	"sync"
+	"time"
+
+	"fsr/internal/wire"
+)
+
+// This file is the member half of the Session API: the broadcast-payload
+// envelope that carries client identity through the ring, the deterministic
+// publish-dedup index that makes client retries idempotent, and the serving
+// of remote client sessions (publishes, offset subscriptions, redirects).
+
+// --- Broadcast payload envelope ------------------------------------------
+//
+// Every payload handed to the protocol engine is enveloped with one byte of
+// provenance. Member broadcasts are envRaw (the byte plus the application
+// payload); client publishes are envClient and additionally carry the
+// client's ID and publish ID — the identity every member needs at apply
+// time to filter duplicate publishes out of the order deterministically.
+// The envelope exists only inside the ring: it is stripped before anything
+// reaches a WAL entry, a StateMachine, or a consumer.
+
+const (
+	envRaw    byte = 0
+	envClient byte = 1
+)
+
+const envClientHeader = 1 + 4 + 8 // kind + client ID + pub ID
+
+func wrapRaw(payload []byte) []byte {
+	buf := make([]byte, 1+len(payload))
+	buf[0] = envRaw
+	copy(buf[1:], payload)
+	return buf
+}
+
+func wrapClient(cid ProcID, pubID uint64, payload []byte) []byte {
+	buf := make([]byte, envClientHeader+len(payload))
+	buf[0] = envClient
+	binary.LittleEndian.PutUint32(buf[1:], uint32(cid))
+	binary.LittleEndian.PutUint64(buf[5:], pubID)
+	copy(buf[envClientHeader:], payload)
+	return buf
+}
+
+// openEnvelope splits one enveloped engine payload. Unknown leading bytes
+// are treated as a raw payload (defense in depth; every in-tree producer
+// envelopes).
+func openEnvelope(p []byte) (inner []byte, cid ProcID, pubID uint64, isClient bool) {
+	if len(p) >= envClientHeader && p[0] == envClient {
+		return p[envClientHeader:], ProcID(binary.LittleEndian.Uint32(p[1:])),
+			binary.LittleEndian.Uint64(p[5:]), true
+	}
+	if len(p) >= 1 && p[0] == envRaw {
+		return p[1:], 0, 0, false
+	}
+	return p, 0, 0, false
+}
+
+// --- Publish dedup index --------------------------------------------------
+
+// pubRecall is how many sequence-number recalls per client the index keeps
+// below its contiguous floor: a duplicate publish that old still acks as
+// committed, but with Seq 0 (position no longer remembered).
+const pubRecall = 1024
+
+// pubIndex records which (client, pubID) pairs are committed, and at what
+// offset. It is a pure function of the applied prefix of the total order —
+// every member evolves an identical index, which is what makes the
+// duplicate filter deterministic — and it rides inside snapshots so a
+// state transfer is as complete as a WAL replay.
+type pubIndex struct {
+	clients map[ProcID]*clientPubs
+}
+
+type clientPubs struct {
+	floor    uint64            // every pubID <= floor is committed
+	prunedTo uint64            // seqs at or below this were discarded
+	seqs     map[uint64]uint64 // committed pubID -> offset, above prunedTo
+}
+
+// committed reports whether (cid, pubID) is in the applied order, and at
+// which offset (0 when the position has been pruned from recall).
+func (x *pubIndex) committed(cid ProcID, pubID uint64) (uint64, bool) {
+	st := x.clients[cid]
+	if st == nil {
+		return 0, false
+	}
+	if seq, ok := st.seqs[pubID]; ok {
+		return seq, true
+	}
+	if pubID <= st.floor {
+		return 0, true
+	}
+	return 0, false
+}
+
+// add records a commit; it reports false (and changes nothing) when the
+// pair was already committed.
+func (x *pubIndex) add(cid ProcID, pubID, seq uint64) bool {
+	if _, dup := x.committed(cid, pubID); dup {
+		return false
+	}
+	if x.clients == nil {
+		x.clients = make(map[ProcID]*clientPubs)
+	}
+	st := x.clients[cid]
+	if st == nil {
+		st = &clientPubs{seqs: make(map[uint64]uint64)}
+		x.clients[cid] = st
+	}
+	st.seqs[pubID] = seq
+	for {
+		if _, ok := st.seqs[st.floor+1]; !ok {
+			break
+		}
+		st.floor++
+	}
+	for st.floor > pubRecall && st.prunedTo < st.floor-pubRecall {
+		st.prunedTo++
+		delete(st.seqs, st.prunedTo)
+	}
+	return true
+}
+
+// encode serializes the index (sorted, so equal indexes encode equally).
+func (x *pubIndex) encode() []byte {
+	cids := make([]ProcID, 0, len(x.clients))
+	for cid := range x.clients {
+		cids = append(cids, cid)
+	}
+	slices.Sort(cids)
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(cids)))
+	for _, cid := range cids {
+		st := x.clients[cid]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(cid))
+		buf = binary.LittleEndian.AppendUint64(buf, st.floor)
+		buf = binary.LittleEndian.AppendUint64(buf, st.prunedTo)
+		ids := make([]uint64, 0, len(st.seqs))
+		for id := range st.seqs {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+		for _, id := range ids {
+			buf = binary.LittleEndian.AppendUint64(buf, id)
+			buf = binary.LittleEndian.AppendUint64(buf, st.seqs[id])
+		}
+	}
+	return buf
+}
+
+// decodePubIndex rebuilds an index from encode's output.
+func decodePubIndex(buf []byte) (pubIndex, bool) {
+	var x pubIndex
+	if len(buf) < 4 {
+		return x, false
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	for range n {
+		if len(buf) < 4+8+8+4 {
+			return x, false
+		}
+		cid := ProcID(binary.LittleEndian.Uint32(buf))
+		st := &clientPubs{
+			floor:    binary.LittleEndian.Uint64(buf[4:]),
+			prunedTo: binary.LittleEndian.Uint64(buf[12:]),
+			seqs:     make(map[uint64]uint64),
+		}
+		cnt := binary.LittleEndian.Uint32(buf[20:])
+		buf = buf[24:]
+		if uint64(len(buf)) < uint64(cnt)*16 {
+			return x, false
+		}
+		for range cnt {
+			st.seqs[binary.LittleEndian.Uint64(buf)] = binary.LittleEndian.Uint64(buf[8:])
+			buf = buf[16:]
+		}
+		if x.clients == nil {
+			x.clients = make(map[ProcID]*clientPubs)
+		}
+		x.clients[cid] = st
+	}
+	return x, len(buf) == 0
+}
+
+// --- Snapshot wrapper -----------------------------------------------------
+//
+// Durable snapshots are node-level: the publish index followed by the
+// application StateMachine snapshot, so a member rebuilt by state transfer
+// filters duplicates exactly like one that replayed the whole order.
+
+var snapMagic = [4]byte{'F', 'S', 'R', '1'}
+
+func wrapSnapshot(index, app []byte) []byte {
+	buf := make([]byte, 0, 4+4+len(index)+len(app))
+	buf = append(buf, snapMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(index)))
+	buf = append(buf, index...)
+	return append(buf, app...)
+}
+
+// openSnapshot splits a node-level snapshot; data without the wrapper is
+// treated as a bare application snapshot with an empty index.
+func openSnapshot(data []byte) (index, app []byte) {
+	if len(data) < 8 || [4]byte(data[:4]) != snapMagic {
+		return nil, data
+	}
+	n := binary.LittleEndian.Uint32(data[4:])
+	if uint64(len(data)-8) < uint64(n) {
+		return nil, data
+	}
+	return data[8 : 8+n], data[8+n:]
+}
+
+// --- In-memory order tail (non-durable members) ---------------------------
+
+// memLogCap bounds how much of the applied order a member without a
+// durable log retains for subscribers. Offsets that have fallen off (or
+// predate the first subscription) are below the member's horizon — it
+// answers RedirectCannotServe and the client tries another member.
+const memLogCap = 4096
+
+type memLog struct {
+	base    uint64 // offsets <= base are below the horizon
+	entries []Message
+}
+
+// append retains one applied message, evicting the oldest quarter when
+// capacity is reached (chunked, so the compaction memmove amortizes to
+// O(1) per append).
+func (l *memLog) append(m Message) {
+	if len(l.entries) >= memLogCap {
+		drop := memLogCap / 4
+		l.base = l.entries[drop-1].Seq
+		l.entries = append(l.entries[:0], l.entries[drop:]...)
+	}
+	l.entries = append(l.entries, m)
+}
+
+// read returns up to max entries with Seq > after.
+func (l *memLog) read(after uint64, max int) (entries []Message, belowHorizon bool) {
+	if after < l.base {
+		return nil, true
+	}
+	i, _ := slices.BinarySearchFunc(l.entries, after, func(m Message, seq uint64) int {
+		switch {
+		case m.Seq <= seq:
+			return -1
+		default:
+			return 1
+		}
+	})
+	end := min(len(l.entries), i+max)
+	return l.entries[i:end:end], false
+}
+
+// --- Session serving ------------------------------------------------------
+
+// Serving page and pacing bounds (mirroring the catch-up transfer's).
+const (
+	srvSubMaxEntries = 256
+	srvSubMaxBytes   = 1 << 20
+	srvKeepalive     = time.Second
+	// maxParkedClientPubs bounds client publishes parked while the member
+	// cannot broadcast (joining, view change, catch-up, own-queue full).
+	// Beyond it publishes are dropped; the client's ack-timeout retry is
+	// the backpressure.
+	maxParkedClientPubs = 8192
+)
+
+// sessSrv is one member's session-serving state. The index and counters
+// are written by the delivery pump (apply time) and read by the event loop
+// (publish dedup); subscriptions are served by per-subscription
+// goroutines paging the durable log. Lock ordering: sessSrv.mu may be
+// held while taking Node.outMu (via Node.Applied), never the reverse.
+type sessSrv struct {
+	n *Node
+
+	mu       sync.Mutex
+	index    pubIndex
+	inflight map[pubKey]struct{} // broadcast issued, not yet applied
+	parked   []parkedPub
+	clients  map[ProcID]struct{} // clients to notify on view changes
+	subs     map[subKey]*srvSub
+	memlog   *memLog       // non-durable members only
+	signal   chan struct{} // closed and replaced at every applied batch
+	ackq     chan pubAck   // PUBACK transmission queue (see ackLoop)
+
+	pubsAccepted uint64 // client publishes committed through this member
+	dupsFiltered uint64 // duplicate publishes filtered at apply time
+}
+
+type pubKey struct {
+	cid ProcID
+	pub uint64
+}
+
+type subKey struct {
+	cid ProcID
+	sub uint64
+}
+
+type parkedPub struct {
+	cid     ProcID
+	pub     uint64
+	payload []byte
+}
+
+// pubAck is one acknowledgment owed after the current batch is durable.
+type pubAck struct {
+	cid ProcID
+	pub uint64
+	seq uint64
+}
+
+func newSessSrv(n *Node) *sessSrv {
+	return &sessSrv{
+		n:        n,
+		inflight: make(map[pubKey]struct{}),
+		clients:  make(map[ProcID]struct{}),
+		subs:     make(map[subKey]*srvSub),
+		signal:   make(chan struct{}),
+		ackq:     make(chan pubAck, 1024),
+	}
+}
+
+// ackLoop transmits PUBACKs off the delivery pump and the event loop: a
+// transport write to a client that has stopped reading can block
+// indefinitely, and neither the member's apply pipeline nor its protocol
+// loop may hang on a client (clients are outside the ring's trust
+// boundary). Runs for the node's lifetime.
+func (s *sessSrv) ackLoop() {
+	defer s.n.wg.Done()
+	for {
+		select {
+		case a := <-s.ackq:
+			payload := wire.EncodeClientPubAck(&wire.ClientPubAck{PubID: a.pub, Seq: a.seq})
+			if err := s.n.tr.Send(a.cid, payload); err != nil {
+				s.forget(a.cid)
+			}
+		case <-s.n.stop:
+			return
+		}
+	}
+}
+
+// sendAck queues one PUBACK for transmission, dropping it when the queue
+// is full — the client's ack-timeout retry is the backpressure.
+func (s *sessSrv) sendAck(a pubAck) {
+	select {
+	case s.ackq <- a:
+	default:
+	}
+}
+
+// watch returns a channel closed at the next applied batch.
+func (s *sessSrv) watch() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.signal
+}
+
+// restoreIndex replaces the publish index from snapshot bytes (state
+// transfer / startup).
+func (s *sessSrv) restoreIndex(data []byte) {
+	idx, ok := decodePubIndex(data)
+	if !ok {
+		return // pre-index snapshot: start empty
+	}
+	s.mu.Lock()
+	s.index = idx
+	s.mu.Unlock()
+}
+
+// classify resolves one message about to be applied: the envelope is
+// opened, client publishes are checked against (and folded into) the
+// index, and the caller learns whether the message is a duplicate to be
+// filtered from the order. Pump goroutine (or NewNode, before sharing).
+func (s *sessSrv) classify(m Message, enveloped bool) (final Message, dup bool, ack *pubAck) {
+	if !enveloped {
+		// Recovered history (catch-up) is already in final form and comes
+		// from a peer's filtered log; fold client identities into the
+		// index, and ack only a client actually waiting on this member
+		// (anyone else re-requests and gets the immediate index ack).
+		if m.Origin >= ClientIDBase {
+			s.mu.Lock()
+			s.index.add(m.Origin, m.LogicalID, m.Seq)
+			key := pubKey{cid: m.Origin, pub: m.LogicalID}
+			if _, ok := s.inflight[key]; ok {
+				delete(s.inflight, key)
+				ack = &pubAck{cid: m.Origin, pub: m.LogicalID, seq: m.Seq}
+			}
+			s.mu.Unlock()
+		}
+		return m, false, ack
+	}
+	inner, cid, pubID, isClient := openEnvelope(m.Payload)
+	if !isClient {
+		m.Payload = inner
+		return m, false, nil
+	}
+	key := pubKey{cid: cid, pub: pubID}
+	s.mu.Lock()
+	if seq, committed := s.index.committed(cid, pubID); committed {
+		delete(s.inflight, key)
+		s.dupsFiltered++
+		s.mu.Unlock()
+		return Message{Seq: m.Seq}, true, &pubAck{cid: cid, pub: pubID, seq: seq}
+	}
+	s.index.add(cid, pubID, m.Seq)
+	delete(s.inflight, key)
+	s.pubsAccepted++
+	s.mu.Unlock()
+	final = Message{Seq: m.Seq, Origin: cid, LogicalID: pubID, Payload: inner}
+	return final, false, &pubAck{cid: cid, pub: pubID, seq: m.Seq}
+}
+
+// retainBatch keeps a pump batch in the ephemeral order tail (no-op on
+// durable members, whose WAL is the retention). It runs before the applied
+// frontier advances over the batch, so a subscription pager can never
+// observe the new frontier without the entries behind it.
+func (s *sessSrv) retainBatch(finals []Message) {
+	s.mu.Lock()
+	if s.memlog != nil {
+		for _, m := range finals {
+			s.memlog.append(m)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// commitBatch runs after a pump batch is durable and covered by the
+// applied frontier: wake subscription pagers and queue the batch's
+// PUBACKs (transmitted by ackLoop, never blocking the pump).
+func (s *sessSrv) commitBatch(acks []pubAck) {
+	s.mu.Lock()
+	close(s.signal)
+	s.signal = make(chan struct{})
+	s.mu.Unlock()
+	for _, a := range acks {
+		s.sendAck(a)
+	}
+}
+
+// forget drops a client whose link is gone (it will re-HELLO on redial).
+func (s *sessSrv) forget(cid ProcID) {
+	s.mu.Lock()
+	delete(s.clients, cid)
+	s.mu.Unlock()
+}
+
+// snapshotIndex serializes the index for inclusion in a durable snapshot.
+func (s *sessSrv) snapshotIndex() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.index.encode()
+}
+
+// raiseHorizon marks everything at or below seq as unservable by this
+// member (an ephemeral joiner's missed prefix, or a hole the assembler
+// had to drop): subscribers wanting older offsets are redirected to a
+// member that retains them.
+func (s *sessSrv) raiseHorizon(seq uint64) {
+	s.mu.Lock()
+	if l := s.memlog; l != nil && seq > l.base {
+		l.base = seq
+		i := 0
+		for i < len(l.entries) && l.entries[i].Seq <= seq {
+			i++
+		}
+		l.entries = append(l.entries[:0], l.entries[i:]...)
+	}
+	s.mu.Unlock()
+}
+
+// notifyClients sends a redirect to every known client (view change on the
+// event loop, goodbye at shutdown).
+func (s *sessSrv) notifyClients(reason byte) {
+	s.mu.Lock()
+	clients := make([]ProcID, 0, len(s.clients))
+	for cid := range s.clients {
+		clients = append(clients, cid)
+	}
+	s.mu.Unlock()
+	for _, cid := range clients {
+		s.n.sendRedirect(cid, reason, 0)
+	}
+}
+
+// --- Node: serving client frames (event loop) -----------------------------
+
+// handleClientPayload dispatches one KindClient payload. Clients are
+// outside the trust boundary of the ring: malformed input is dropped, never
+// fatal.
+func (n *Node) handleClientPayload(from ProcID, payload []byte) {
+	msg, err := wire.DecodeClient(payload)
+	if err != nil {
+		return
+	}
+	switch v := msg.(type) {
+	case *wire.ClientHello:
+		n.sess.mu.Lock()
+		n.sess.clients[from] = struct{}{}
+		n.sess.mu.Unlock()
+		n.sendRedirect(from, wire.RedirectWelcome, 0)
+	case *wire.ClientPublish:
+		n.handleClientPublish(from, v)
+	case *wire.ClientSubscribe:
+		n.handleClientSubscribe(from, v)
+	}
+}
+
+// clientPubBlocked reports whether the member can broadcast on behalf of a
+// client right now — mirroring Broadcast's backpressure gate. Event loop.
+func (n *Node) clientPubBlocked() bool {
+	n.mu.Lock()
+	joined, evicted := n.joined, n.evicted
+	n.mu.Unlock()
+	return evicted || !joined || n.mgr.Changing() || n.catch != nil ||
+		n.engine.PendingOwn() >= n.cfg.MaxPendingOwn
+}
+
+// handleClientPublish dedups one publish against the committed order and
+// the in-flight table, then broadcasts it (or parks it under backpressure).
+func (n *Node) handleClientPublish(from ProcID, p *wire.ClientPublish) {
+	s := n.sess
+	blocked := n.clientPubBlocked()
+	s.mu.Lock()
+	s.clients[from] = struct{}{}
+	if seq, ok := s.index.committed(from, p.PubID); ok {
+		s.mu.Unlock()
+		// Already committed (a retry after a lost ack): re-ack, off the
+		// event loop.
+		s.sendAck(pubAck{cid: from, pub: p.PubID, seq: seq})
+		return
+	}
+	key := pubKey{cid: from, pub: p.PubID}
+	if _, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		return // retry of an in-flight publish: the apply-time ack covers it
+	}
+	s.inflight[key] = struct{}{}
+	if blocked {
+		if len(s.parked) < maxParkedClientPubs {
+			s.parked = append(s.parked, parkedPub{cid: from, pub: p.PubID, payload: p.Payload})
+		} else {
+			delete(s.inflight, key) // dropped: the client's retry is the backpressure
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	n.broadcastClientPub(from, p.PubID, p.Payload)
+}
+
+// broadcastClientPub submits one deduplicated client publish to the
+// engine. Event loop only.
+func (n *Node) broadcastClientPub(cid ProcID, pubID uint64, payload []byte) {
+	if _, err := n.engine.Broadcast(wrapClient(cid, pubID, payload)); err != nil {
+		s := n.sess
+		s.mu.Lock()
+		delete(s.inflight, pubKey{cid: cid, pub: pubID})
+		s.mu.Unlock()
+	}
+}
+
+// drainClientPubs broadcasts publishes parked during backpressure. Called
+// from the event loop whenever broadcasting is unblocked.
+func (n *Node) drainClientPubs() {
+	s := n.sess
+	for {
+		if n.clientPubBlocked() {
+			return
+		}
+		s.mu.Lock()
+		if len(s.parked) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		p := s.parked[0]
+		s.parked = s.parked[1:]
+		s.mu.Unlock()
+		n.broadcastClientPub(p.cid, p.pub, p.payload)
+	}
+}
+
+// handleClientSubscribe starts, re-homes or cancels one subscription.
+func (n *Node) handleClientSubscribe(from ProcID, v *wire.ClientSubscribe) {
+	s := n.sess
+	key := subKey{cid: from, sub: v.SubID}
+	s.mu.Lock()
+	s.clients[from] = struct{}{}
+	if old := s.subs[key]; old != nil {
+		close(old.cancel)
+		delete(s.subs, key)
+	}
+	if v.Cancel {
+		s.mu.Unlock()
+		return
+	}
+	sub := &srvSub{n: n, key: key, cancel: make(chan struct{})}
+	if v.From == 0 {
+		sub.cursor = n.Applied()
+	} else {
+		sub.cursor = v.From - 1
+	}
+	s.subs[key] = sub
+	s.mu.Unlock()
+	n.wg.Add(1)
+	go sub.run()
+}
+
+// sendRedirect tells a client about the group (welcome, view change,
+// goodbye, cannot-serve).
+func (n *Node) sendRedirect(to ProcID, reason byte, sub uint64) {
+	v := n.CurrentView()
+	payload := wire.EncodeClientRedirect(&wire.ClientRedirect{
+		Reason:  reason,
+		Applied: n.Applied(),
+		Members: v.Members,
+		Sub:     sub,
+	})
+	if err := n.tr.Send(to, payload); err != nil {
+		n.sess.forget(to)
+	}
+}
+
+// srvSub serves one remote subscription: a goroutine paging the committed
+// order (durable log, or the in-memory tail) from the subscription's
+// cursor, parking on the apply signal when caught up and keepaliving idle
+// streams so the client can tell a quiet order from a dead member.
+type srvSub struct {
+	n      *Node
+	key    subKey
+	cursor uint64
+	cancel chan struct{}
+}
+
+func (u *srvSub) run() {
+	defer u.n.wg.Done()
+	defer u.unregister()
+	for {
+		select {
+		case <-u.cancel:
+			return
+		case <-u.n.stop:
+			return
+		default:
+		}
+		applied := u.n.Applied()
+		if u.cursor >= applied {
+			watch := u.n.sess.watch()
+			select {
+			case <-watch:
+			case <-time.After(srvKeepalive):
+				if !u.send(&wire.ClientEvent{Sub: u.key.sub}) {
+					return
+				}
+			case <-u.cancel:
+				return
+			case <-u.n.stop:
+				return
+			}
+			continue
+		}
+		page, err := u.n.readCommitted(u.cursor, applied, srvSubMaxEntries, srvSubMaxBytes)
+		if err != nil {
+			return // the node is failing (disk); the client fails over
+		}
+		if page.belowHorizon {
+			u.n.sendRedirect(u.key.cid, wire.RedirectCannotServe, u.key.sub)
+			return
+		}
+		ev := &wire.ClientEvent{Sub: u.key.sub}
+		if page.snap != nil {
+			ev.HasSnapshot = true
+			ev.SnapSeq = page.snapSeq
+			ev.Snapshot = page.snap
+		}
+		for i := range page.entries {
+			m := &page.entries[i]
+			ev.Entries = append(ev.Entries, wire.ClientEventEntry{
+				Seq:     m.Seq,
+				Origin:  m.Origin,
+				Logical: m.LogicalID,
+				Payload: m.Payload,
+			})
+		}
+		if !u.send(ev) {
+			return
+		}
+		u.cursor = page.cursor
+	}
+}
+
+// send encodes and transmits one EVENT page; false means the link is gone.
+func (u *srvSub) send(ev *wire.ClientEvent) bool {
+	if err := u.n.tr.Send(u.key.cid, wire.EncodeClientEvent(ev)); err != nil {
+		u.n.sess.forget(u.key.cid)
+		return false
+	}
+	return true
+}
+
+// unregister removes the subscription if this goroutine still owns it.
+func (u *srvSub) unregister() {
+	s := u.n.sess
+	s.mu.Lock()
+	if s.subs[u.key] == u {
+		delete(s.subs, u.key)
+	}
+	s.mu.Unlock()
+}
+
+// --- Reading the committed order (shared by remote and local sessions) ----
+
+// subPage is one page of a subscription stream.
+type subPage struct {
+	snap         []byte // application snapshot (state transfer), nil if none
+	snapSeq      uint64
+	entries      []Message
+	cursor       uint64 // cursor after consuming the page
+	belowHorizon bool   // this member cannot serve offsets this old
+}
+
+// readCommitted pages the committed order in (cursor, applied]. On a
+// durable member it reads the WAL, falling back to the latest snapshot
+// when the cursor lies below the retained entries (the WAL was truncated
+// behind a snapshot); on an ephemeral member it reads the bounded
+// in-memory tail. Safe from any goroutine.
+func (n *Node) readCommitted(cursor, applied uint64, maxEntries, maxBytes int) (subPage, error) {
+	if n.wlog == nil {
+		s := n.sess
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.memlog == nil {
+			return subPage{belowHorizon: true}, nil
+		}
+		entries, below := s.memlog.read(cursor, maxEntries)
+		if below {
+			return subPage{belowHorizon: true}, nil
+		}
+		page := subPage{entries: slices.Clone(entries), cursor: applied}
+		if len(entries) > 0 {
+			if last := entries[len(entries)-1].Seq; len(entries) == maxEntries {
+				page.cursor = last
+			} else if last > page.cursor {
+				// The tail ran past the sampled applied frontier; never let
+				// the cursor fall behind what was served.
+				page.cursor = last
+			}
+		}
+		return page, nil
+	}
+	if snap, ok := n.wlog.LatestSnapshot(); ok && snap.Seq > cursor {
+		if first, _ := n.wlog.Bounds(); first == 0 || first > cursor+1 {
+			// The entries the subscriber needs are truncated behind the
+			// snapshot: hand over the application state instead.
+			_, app := openSnapshot(snap.Data)
+			return subPage{snap: app, snapSeq: snap.Seq, cursor: snap.Seq}, nil
+		}
+	}
+	entries, more, err := n.wlog.ReadFrom(cursor, applied, maxEntries, maxBytes)
+	if err != nil {
+		return subPage{}, err
+	}
+	page := subPage{cursor: applied}
+	for i := range entries {
+		e := &entries[i]
+		page.entries = append(page.entries, Message{
+			Seq:       e.Seq,
+			Origin:    ProcID(e.Origin),
+			LogicalID: e.LogicalID,
+			Payload:   e.Payload,
+		})
+	}
+	if more {
+		page.cursor = entries[len(entries)-1].Seq
+	}
+	return page, nil
+}
+
+// --- In-process sessions --------------------------------------------------
+
+// Session returns this member's in-process Session: the same interface a
+// remote client gets from client.Dial or Cluster.Dial, served without the
+// wire. Publish is Broadcast (member identity, member backpressure);
+// Subscribe streams the committed order from any offset through the same
+// durable-log paging as remote subscriptions. Sessions share the node —
+// closing one is a no-op; stopping the node ends them all.
+func (n *Node) Session() Session { return nodeSession{n: n} }
+
+type nodeSession struct{ n *Node }
+
+func (s nodeSession) Publish(ctx context.Context, payload []byte) (*Receipt, error) {
+	return s.n.Broadcast(ctx, payload)
+}
+
+func (s nodeSession) Subscribe(ctx context.Context, from Offset) iter.Seq2[Offset, Message] {
+	return s.n.subscribeLocal(ctx, from)
+}
+
+func (s nodeSession) Err() error { return s.n.Err() }
+
+func (s nodeSession) Close() error { return nil }
+
+// subscribeLocal is the in-process subscription stream: identical paging
+// and snapshot-fallback semantics to remote serving, yielding directly.
+func (n *Node) subscribeLocal(ctx context.Context, from Offset) iter.Seq2[Offset, Message] {
+	return func(yield func(Offset, Message) bool) {
+		var cursor uint64
+		if from == 0 {
+			cursor = n.Applied()
+		} else {
+			cursor = from - 1
+		}
+		for {
+			if ctx.Err() != nil || n.stopping() {
+				return
+			}
+			applied := n.Applied()
+			if cursor >= applied {
+				watch := n.sess.watch()
+				select {
+				case <-watch:
+				case <-ctx.Done():
+					return
+				case <-n.stop:
+					return
+				}
+				continue
+			}
+			page, err := n.readCommitted(cursor, applied, srvSubMaxEntries, srvSubMaxBytes)
+			if err != nil || page.belowHorizon {
+				return // node failing, or the offset predates this member's horizon
+			}
+			if page.snap != nil {
+				if !yield(page.snapSeq, Message{Seq: page.snapSeq, Snapshot: true, Payload: page.snap}) {
+					return
+				}
+			}
+			for _, m := range page.entries {
+				if !yield(m.Seq, m) {
+					return
+				}
+			}
+			cursor = page.cursor
+		}
+	}
+}

@@ -28,9 +28,8 @@ type StateMachine interface {
 	// Config.SnapshotEvery applied messages and hands the bytes to the
 	// durable log (truncating the WAL behind it) and to catching-up peers.
 	// The returned slice is owned by the node. A snapshot travels to a
-	// catching-up peer in one transport frame, so over transport/tcp it
-	// must stay under tcp.MaxFrameSize (16 MiB); larger states need an
-	// out-of-band transfer today.
+	// catching-up peer as one transport payload (transport/tcp chunks
+	// large payloads transparently, bounded by tcp.MaxAssembledSize).
 	Snapshot() ([]byte, error)
 	// Restore replaces the state with a previously serialized Snapshot.
 	Restore([]byte) error

@@ -366,12 +366,16 @@ func newLink(t *Transport, from, to transport.ProcID, send func([]byte) error) *
 }
 
 func (l *link) enqueue(payload []byte) error {
-	d := l.t.delayFor(l.from, l.to, l.n)
 	l.mu.Lock()
 	if l.stopped {
 		l.mu.Unlock()
 		return transport.ErrClosed
 	}
+	// The delay draw indexes the schedule by the frame counter, so it must
+	// happen under the lock: session clients send on one link from several
+	// goroutines (a member's event loop is single-threaded, a client is
+	// not).
+	d := l.t.delayFor(l.from, l.to, l.n)
 	l.n++
 	due := time.Now().Add(d)
 	if due.Before(l.horizon) {

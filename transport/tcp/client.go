@@ -1,0 +1,134 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fsr/transport"
+)
+
+// ClientConn is the client side of one connection to a group member: a
+// session client has no listener and no peer map — it dials a member,
+// handshakes with its client ID, and then exchanges length-prefixed
+// payloads both ways on the one connection (the member replies on it; see
+// Transport.readLoop's reply path).
+//
+// ClientConn carries opaque payloads only; the session layer above
+// (fsr.DialSession via package client) owns retries and failover.
+type ClientConn struct {
+	conn net.Conn
+
+	wmu  sync.Mutex
+	hdrs []byte
+	vecs net.Buffers
+
+	mu      sync.Mutex
+	handler func(payload []byte)
+	started bool
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// DialConn connects to a member's listen address, identifying as client
+// id (which must be unique across live clients and disjoint from member
+// IDs — see fsr.ClientIDBase). timeout bounds the connection attempt
+// (0 = 3s).
+func DialConn(addr string, id transport.ProcID, timeout time.Duration) (*ClientConn, error) {
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(id))
+	if _, err := conn.Write(hello[:]); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("tcp: handshake with %s: %w", addr, err)
+	}
+	return &ClientConn{conn: conn}, nil
+}
+
+// SetHandler installs the inbound payload handler and starts the read
+// loop. Must be called exactly once, before any reply is expected.
+func (c *ClientConn) SetHandler(h func(payload []byte)) {
+	c.mu.Lock()
+	c.handler = h
+	start := !c.started && !c.closed
+	c.started = true
+	c.mu.Unlock()
+	if start {
+		c.wg.Add(1)
+		go c.readLoop()
+	}
+}
+
+func (c *ClientConn) readLoop() {
+	defer c.wg.Done()
+	_ = readFrames(c.conn, func(payload []byte) {
+		c.mu.Lock()
+		h := c.handler
+		c.mu.Unlock()
+		if h != nil {
+			h(payload)
+		}
+	})
+	_ = c.conn.Close() // stream over: make writes fail fast too
+}
+
+// Send writes one payload, chunked like the member side when it exceeds
+// the per-frame bound (an oversized single frame would be rejected as
+// corruption by the receiving member, killing every connection the
+// session retries on). An error means the connection is unusable (the
+// caller fails over; there is no redial here).
+func (c *ClientConn) Send(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	for len(payload) > maxChunkSize {
+		c.appendChunk(payload[:maxChunkSize], true)
+		payload = payload[maxChunkSize:]
+	}
+	c.appendChunk(payload, false)
+	v := c.vecs
+	_, err := v.WriteTo(c.conn)
+	clear(c.vecs)
+	c.vecs = c.vecs[:0]
+	c.hdrs = c.hdrs[:0]
+	if err != nil {
+		return fmt.Errorf("tcp: client write: %w", err)
+	}
+	return nil
+}
+
+// appendChunk queues one length-prefixed chunk. Callers hold c.wmu.
+func (c *ClientConn) appendChunk(chunk []byte, more bool) {
+	length := uint32(len(chunk))
+	if more {
+		length |= chunkMore
+	}
+	off := len(c.hdrs)
+	c.hdrs = binary.LittleEndian.AppendUint32(c.hdrs, length)
+	c.vecs = append(c.vecs, c.hdrs[off:off+4], chunk)
+}
+
+// Close tears the connection down (idempotent).
+func (c *ClientConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

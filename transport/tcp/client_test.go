@@ -1,0 +1,237 @@
+package tcp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"fsr/transport"
+)
+
+// countingReader counts Read calls — a stand-in for syscalls on a socket.
+type countingReader struct {
+	r     *bytes.Reader
+	reads int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	c.reads++
+	return c.r.Read(p)
+}
+
+// TestReadFramesBatchesReads: the receive path must drain every complete
+// frame per underlying read instead of issuing two reads (header, payload)
+// per frame — the regression guard for receive-side batching.
+func TestReadFramesBatchesReads(t *testing.T) {
+	const frames = 1000
+	var stream []byte
+	for i := range frames {
+		payload := fmt.Appendf(nil, "frame-%d-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx", i)
+		stream = binary.LittleEndian.AppendUint32(stream, uint32(len(payload)))
+		stream = append(stream, payload...)
+	}
+	cr := &countingReader{r: bytes.NewReader(stream)}
+	got := 0
+	if err := readFrames(cr, func(payload []byte) { got++ }); err == nil {
+		t.Fatal("expected EOF error at stream end")
+	}
+	if got != frames {
+		t.Fatalf("delivered %d frames, want %d", got, frames)
+	}
+	// Pre-batching this was 2 reads per frame (2000). With a buffered
+	// reader the whole burst should cost a handful of reads.
+	if cr.reads > frames/10 {
+		t.Fatalf("receive path issued %d reads for %d frames; batching regressed", cr.reads, frames)
+	}
+}
+
+// TestReadFramesAllocsPerFrame: the receive path allocates the payload
+// buffer (owned by the handler) and nothing else per frame.
+func TestReadFramesAllocsPerFrame(t *testing.T) {
+	const frames = 1000
+	var stream []byte
+	for range frames {
+		payload := make([]byte, 64)
+		stream = binary.LittleEndian.AppendUint32(stream, uint32(len(payload)))
+		stream = append(stream, payload...)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		_ = readFrames(bytes.NewReader(stream), func([]byte) {})
+	})
+	// One payload alloc per frame plus the shared bufio buffer and
+	// bytes.Reader; anything near two per frame means a per-frame buffer
+	// crept back in.
+	if perFrame := allocs / frames; perFrame > 1.5 {
+		t.Fatalf("%.2f allocs per received frame, want ~1 (payload only)", perFrame)
+	}
+}
+
+// TestClientConnReplyPath: a non-peer client dials a member with DialConn;
+// the member replies over the same inbound connection via plain Send to
+// the client's handshake ID.
+func TestClientConnReplyPath(t *testing.T) {
+	member, err := New(Config{Self: 1, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer member.Close()
+
+	const clientID = transport.ProcID(1<<31 + 7)
+	echoed := make(chan []byte, 16)
+	member.SetHandler(func(from transport.ProcID, payload []byte) {
+		if from != clientID {
+			t.Errorf("member saw sender %d, want %d", from, clientID)
+			return
+		}
+		// Reply path: the client is not in Peers, so this must ride the
+		// inbound connection.
+		if err := member.Send(from, append([]byte("re:"), payload...)); err != nil {
+			t.Errorf("reply to client: %v", err)
+		}
+	})
+
+	cc, err := DialConn(member.Addr(), clientID, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	cc.SetHandler(func(payload []byte) {
+		echoed <- append([]byte(nil), payload...)
+	})
+	for i := range 5 {
+		if err := cc.Send(fmt.Appendf(nil, "ping-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range 5 {
+		select {
+		case got := <-echoed:
+			if want := fmt.Sprintf("re:ping-%d", i); string(got) != want {
+				t.Fatalf("reply %d: got %q want %q", i, got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("reply %d never arrived", i)
+		}
+	}
+
+	// After the client hangs up, the reply path must be gone.
+	_ = cc.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := member.Send(clientID, []byte("late")); err != nil {
+			break // reply path dropped
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("member still has a reply path to a disconnected client")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestLargePayloadChunking: payloads above the per-frame chunk bound must
+// travel intact — chunked transparently on send, reassembled on receive.
+// (A view-change sync message under a saturated 100 KiB workload
+// legitimately reaches tens of MBs; before chunking it was dropped as
+// corruption and the view change wedged forever.)
+func TestLargePayloadChunking(t *testing.T) {
+	a, err := New(Config{Self: 1, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Config{Self: 2, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.SetPeers(map[transport.ProcID]string{2: b.Addr()})
+
+	type rx struct {
+		from    transport.ProcID
+		payload []byte
+	}
+	got := make(chan rx, 8)
+	b.SetHandler(func(from transport.ProcID, payload []byte) {
+		got <- rx{from: from, payload: payload}
+	})
+
+	big := make([]byte, 20<<20) // 20 MiB: three chunks
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	small := []byte("after the giant")
+	if err := a.Send(2, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, small); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range [][]byte{big, small} {
+		select {
+		case r := <-got:
+			if r.from != 1 {
+				t.Fatalf("payload %d from %d, want 1", i, r.from)
+			}
+			if !bytes.Equal(r.payload, want) {
+				t.Fatalf("payload %d corrupted: %d bytes, want %d", i, len(r.payload), len(want))
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("payload %d never arrived", i)
+		}
+	}
+}
+
+// TestReadFramesRejectsOversizedChunk: a forged chunk length must kill the
+// stream without a giant allocation.
+func TestReadFramesRejectsOversizedChunk(t *testing.T) {
+	var stream []byte
+	stream = binary.LittleEndian.AppendUint32(stream, maxChunkSize+1)
+	if err := readFrames(bytes.NewReader(stream), func([]byte) {
+		t.Fatal("frame delivered from corrupt stream")
+	}); err == nil {
+		t.Fatal("oversized chunk accepted")
+	}
+}
+
+// TestClientConnChunksLargeSend: the client side must chunk oversized
+// payloads exactly like the member side, or the receiving member would
+// kill every connection the session retries the payload on.
+func TestClientConnChunksLargeSend(t *testing.T) {
+	member, err := New(Config{Self: 1, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer member.Close()
+	got := make(chan int, 4)
+	member.SetHandler(func(from transport.ProcID, payload []byte) {
+		for _, b := range payload {
+			if b != 0x5a {
+				t.Errorf("corrupted byte %x", b)
+				break
+			}
+		}
+		got <- len(payload)
+	})
+	cc, err := DialConn(member.Addr(), 1<<31+1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	big := make([]byte, maxChunkSize+maxChunkSize/2) // 1.5 chunks
+	for i := range big {
+		big[i] = 0x5a
+	}
+	if err := cc.Send(big); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-got:
+		if n != len(big) {
+			t.Fatalf("member received %d bytes, want %d", n, len(big))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("oversized client payload never arrived (connection killed?)")
+	}
+}

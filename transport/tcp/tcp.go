@@ -1,16 +1,21 @@
 // Package tcp implements the transport interface over real TCP sockets
 // (stdlib net only): length-prefixed frames on one dialed connection per
 // destination, which preserves per-destination FIFO exactly like the
-// paper's point-to-point channels.
+// paper's point-to-point channels. Oversized payloads are chunked
+// transparently (see chunkMore); receive paths drain every complete frame
+// per syscall through one buffered reader.
 //
 // Topology is static: every endpoint knows the listen address of every
 // peer. Outbound connections are dialed lazily on first Send and re-dialed
 // after failures; inbound connections are identified by a 4-byte ProcID
-// handshake. A write failure surfaces as an error from Send — the failure
-// detector above decides what it means.
+// handshake — an ID outside the peer map marks a session client, whose
+// inbound connection doubles as the reply path. A write failure surfaces
+// as an error from Send — the failure detector above decides what it
+// means.
 package tcp
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -22,9 +27,29 @@ import (
 	"fsr/transport"
 )
 
-// MaxFrameSize bounds a single frame on the wire; larger announcements are
-// treated as protocol corruption and drop the connection.
-const MaxFrameSize = 16 << 20
+// Chunked framing: each wire frame is [u32 length][bytes], and a length
+// with chunkMore set announces that the payload continues in the next
+// frame. Payloads larger than maxChunkSize are split transparently on
+// send and reassembled on receive — a protocol payload has no size limit
+// (a view-change sync message carrying in-flight 100 KiB message bodies
+// legitimately reaches tens of MBs under saturation; a fixed cap treated
+// as corruption wedges the view change forever), while a single forged
+// length can still only make the receiver allocate maxChunkSize at a time
+// up to MaxAssembledSize total.
+const (
+	chunkMore = 1 << 31
+	// maxChunkSize bounds one wire frame's payload bytes; larger chunk
+	// announcements are treated as protocol corruption and drop the
+	// connection.
+	maxChunkSize = 8 << 20
+	// MaxAssembledSize bounds one reassembled payload (sanity bound
+	// against a malicious unending chunk stream).
+	MaxAssembledSize = 1 << 30
+)
+
+// MaxFrameSize is the largest single (unchunked) frame on the wire; kept
+// as the historical name for the per-frame bound.
+const MaxFrameSize = maxChunkSize
 
 // Config describes one TCP endpoint.
 type Config struct {
@@ -59,6 +84,7 @@ type Transport struct {
 	mu      sync.Mutex
 	handler transport.Handler
 	conns   map[transport.ProcID]*peerConn    // outbound, dialed
+	replies map[transport.ProcID]*peerConn    // inbound from non-peers (session clients)
 	redial  map[transport.ProcID]*redialState // per-peer dial pacing
 	inbound map[net.Conn]struct{}             // accepted, closed with the endpoint
 	pending []pendingPayload                  // buffered inbound before SetHandler finishes replaying
@@ -82,42 +108,72 @@ type peerConn struct {
 	conn net.Conn
 	// Write scratch, reused under mu: length prefixes and the vectored
 	// write list. One batch of k payloads becomes 2k buffers (header,
-	// payload, header, payload, ...) flushed by a single net.Buffers
-	// write — one writev syscall for any batch that fits the iovec limit,
-	// and no per-send header allocation.
+	// payload, header, payload, ...) — more for payloads large enough to
+	// chunk — flushed by a single net.Buffers write: one writev syscall
+	// for any batch that fits the iovec limit, and no per-send header
+	// allocation. iovs records how many write buffers each queued payload
+	// occupies, for the partial-failure accounting in flush.
 	hdrs []byte
 	vecs net.Buffers
+	iovs []int
 }
 
-// appendFrame queues one length-prefixed payload on the scratch write list.
-// Callers hold pc.mu.
+// appendFrame queues one payload on the scratch write list, split into
+// chunkMore-linked chunks when it exceeds maxChunkSize. Callers hold
+// pc.mu.
 func (pc *peerConn) appendFrame(payload []byte) {
-	off := len(pc.hdrs)
-	pc.hdrs = binary.LittleEndian.AppendUint32(pc.hdrs, uint32(len(payload)))
-	pc.vecs = append(pc.vecs, pc.hdrs[off:off+4], payload)
+	n := 0
+	for len(payload) > maxChunkSize {
+		pc.appendChunk(payload[:maxChunkSize], true)
+		payload = payload[maxChunkSize:]
+		n += 2
+	}
+	pc.appendChunk(payload, false)
+	pc.iovs = append(pc.iovs, n+2)
 }
 
-// flush writes the queued (header, payload) list as one vectored write and
-// resets the scratch. On error it also reports how many frames were fully
-// consumed by the kernel before the failure, so a retry can skip them: a
-// fully-consumed frame may already have reached the receiver, and
-// re-sending it on a fresh connection would double-deliver (a duplicated
-// ack for an already-pruned segment is a protocol error that halts the
-// receiving node). A partially-consumed frame is safe to resend whole —
-// the receiver discards the truncated tail of the dead connection's
-// stream. Callers hold pc.mu.
+func (pc *peerConn) appendChunk(chunk []byte, more bool) {
+	length := uint32(len(chunk))
+	if more {
+		length |= chunkMore
+	}
+	off := len(pc.hdrs)
+	pc.hdrs = binary.LittleEndian.AppendUint32(pc.hdrs, length)
+	pc.vecs = append(pc.vecs, pc.hdrs[off:off+4], chunk)
+}
+
+// flush writes the queued (header, chunk) list as one vectored write and
+// resets the scratch. On error it also reports how many payloads were
+// fully consumed by the kernel before the failure, so a retry can skip
+// them: a fully-consumed payload may already have reached the receiver,
+// and re-sending it on a fresh connection would double-deliver (a
+// duplicated ack for an already-pruned segment is a protocol error that
+// halts the receiving node). A partially-consumed payload is safe to
+// resend whole — the receiver discards the truncated tail of the dead
+// connection's stream (a chunk sequence cut short never completes, so a
+// partially-shipped chunked payload is never delivered). Callers hold
+// pc.mu.
 func (pc *peerConn) flush() (completedFrames int, err error) {
 	v := pc.vecs // WriteTo consumes its receiver; keep pc.vecs for reuse
 	_, err = v.WriteTo(pc.conn)
 	if err != nil {
 		// v retains the unwritten suffix (a partially-written buffer stays,
-		// resliced); fully consumed buffers = total - remaining, and a frame
-		// is complete only when both its header and payload buffers are.
-		completedFrames = (len(pc.vecs) - len(v)) / 2
+		// resliced); fully consumed buffers = total - remaining, and a
+		// payload is complete only when every one of its header and chunk
+		// buffers is.
+		consumed := len(pc.vecs) - len(v)
+		for _, n := range pc.iovs {
+			if consumed < n {
+				break
+			}
+			consumed -= n
+			completedFrames++
+		}
 	}
 	clear(pc.vecs) // drop payload references so pooled buffers are not pinned
 	pc.vecs = pc.vecs[:0]
 	pc.hdrs = pc.hdrs[:0]
+	pc.iovs = pc.iovs[:0]
 	return completedFrames, err
 }
 
@@ -140,6 +196,7 @@ func New(cfg Config) (*Transport, error) {
 		cfg:     cfg,
 		ln:      ln,
 		conns:   make(map[transport.ProcID]*peerConn),
+		replies: make(map[transport.ProcID]*peerConn),
 		redial:  make(map[transport.ProcID]*redialState),
 		inbound: make(map[net.Conn]struct{}),
 	}
@@ -276,15 +333,23 @@ func (t *Transport) connTo(to transport.ProcID) (*peerConn, error) {
 		return c, nil
 	}
 	addr, ok := t.cfg.Peers[to]
-	if rs := t.redial[to]; ok && rs != nil && time.Now().Before(rs.until) {
+	if !ok {
+		// Not a configured peer: a session client is reachable only over
+		// the inbound connection it dialed us on (clients have no
+		// listener).
+		pc, replyOK := t.replies[to]
+		t.mu.Unlock()
+		if replyOK {
+			return pc, nil
+		}
+		return nil, fmt.Errorf("tcp: peer %d: %w", to, transport.ErrUnknownPeer)
+	}
+	if rs := t.redial[to]; rs != nil && time.Now().Before(rs.until) {
 		err := rs.lastErr
 		t.mu.Unlock()
 		return nil, fmt.Errorf("tcp: peer %d in dial backoff: %w", to, err)
 	}
 	t.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("tcp: peer %d: %w", to, transport.ErrUnknownPeer)
-	}
 	c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
 	if err != nil {
 		err = fmt.Errorf("tcp: dial %d@%s: %w", to, addr, err)
@@ -334,6 +399,12 @@ func (t *Transport) dropConn(to transport.ProcID) {
 		_ = pc.conn.Close()
 		delete(t.conns, to)
 	}
+	if pc, ok := t.replies[to]; ok {
+		// A client's broken reply path is not redialable from here; the
+		// client reconnects and re-registers.
+		_ = pc.conn.Close()
+		delete(t.replies, to)
+	}
 }
 
 // acceptLoop accepts inbound peer connections until Close.
@@ -357,7 +428,11 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
-// readLoop consumes frames from one inbound connection.
+// readLoop consumes frames from one inbound connection. A sender outside
+// the peer map — a session client, identified by its handshake ID — gets
+// the connection registered as its reply path, so the member can push
+// acks, events and redirects back without dialing (clients have no
+// listener).
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -371,20 +446,74 @@ func (t *Transport) readLoop(conn net.Conn) {
 		return
 	}
 	from := transport.ProcID(binary.LittleEndian.Uint32(idBuf[:]))
-	var hdr [4]byte
-	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			return
-		}
-		size := binary.LittleEndian.Uint32(hdr[:])
-		if size > MaxFrameSize {
-			return // corrupted stream
-		}
-		payload := make([]byte, size)
-		if _, err := io.ReadFull(conn, payload); err != nil {
-			return
-		}
+	t.mu.Lock()
+	if _, isPeer := t.cfg.Peers[from]; !isPeer && !t.closed {
+		t.replies[from] = &peerConn{conn: conn}
+		defer t.dropReply(from, conn)
+	}
+	t.mu.Unlock()
+	// Connection over (EOF, reset, or corrupt framing): drop it.
+	_ = readFrames(conn, func(payload []byte) {
 		t.dispatch(from, payload)
+	})
+}
+
+// dropReply removes a client's reply path if conn still owns it.
+func (t *Transport) dropReply(id transport.ProcID, conn net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pc, ok := t.replies[id]; ok && pc.conn == conn {
+		delete(t.replies, id)
+	}
+}
+
+// readBufferSize is the per-connection receive buffer: large enough to
+// drain a saturated sender's burst of 8 KiB-segment frames in one
+// syscall.
+const readBufferSize = 256 << 10
+
+// readFrames drains length-prefixed frames from r, invoking fn with each
+// reassembled payload (owned by fn). One buffered reader serves the whole
+// stream, so a burst of frames arriving together costs one read syscall,
+// not two per frame — the receive-side half of the transport's batching.
+// Chunked payloads (chunkMore-linked frames) are reassembled here. It
+// returns when the stream ends or a frame violates the chunk bounds.
+func readFrames(r io.Reader, fn func(payload []byte)) error {
+	br := bufio.NewReaderSize(r, readBufferSize)
+	var hdr [4]byte
+	var assembling []byte // nil unless mid-way through a chunked payload
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return err
+		}
+		length := binary.LittleEndian.Uint32(hdr[:])
+		more := length&chunkMore != 0
+		size := length &^ uint32(chunkMore)
+		if size > maxChunkSize {
+			return fmt.Errorf("tcp: chunk of %d bytes exceeds limit", size)
+		}
+		if len(assembling)+int(size) > MaxAssembledSize {
+			return fmt.Errorf("tcp: chunked payload exceeds %d bytes", MaxAssembledSize)
+		}
+		if assembling == nil && !more {
+			// Fast path: the single-frame payload every protocol message
+			// but a giant view-change sync takes.
+			payload := make([]byte, size)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				return err
+			}
+			fn(payload)
+			continue
+		}
+		off := len(assembling)
+		assembling = append(assembling, make([]byte, size)...)
+		if _, err := io.ReadFull(br, assembling[off:]); err != nil {
+			return err
+		}
+		if !more {
+			fn(assembling)
+			assembling = nil
+		}
 	}
 }
 
@@ -410,6 +539,7 @@ func (t *Transport) Close() error {
 	t.closed = true
 	conns := t.conns
 	t.conns = map[transport.ProcID]*peerConn{}
+	t.replies = map[transport.ProcID]*peerConn{} // closed via the inbound set
 	inbound := make([]net.Conn, 0, len(t.inbound))
 	for c := range t.inbound {
 		inbound = append(inbound, c)
