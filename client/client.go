@@ -54,6 +54,11 @@ type Config struct {
 	DialTimeout  time.Duration
 	AckTimeout   time.Duration
 	ProbeTimeout time.Duration
+
+	// Edge announces this client as an edge replica (see package edge): the
+	// serving member feeds it the committed tail for re-serving rather than
+	// treating it as an ordinary subscriber.
+	Edge bool
 }
 
 // Dial connects to the group and returns its session. It fails fast when
@@ -77,6 +82,7 @@ func Dial(cfg Config) (fsr.Session, error) {
 		Window:       cfg.Window,
 		AckTimeout:   cfg.AckTimeout,
 		ProbeTimeout: cfg.ProbeTimeout,
+		Edge:         cfg.Edge,
 	})
 }
 
@@ -84,14 +90,20 @@ func Dial(cfg Config) (fsr.Session, error) {
 type dialer struct {
 	cfg Config
 
-	mu   sync.Mutex
-	next int
+	mu       sync.Mutex
+	next     int
+	writable []string // addresses advertised as writable, once known
 }
 
-// Dial implements fsr.LinkDialer.
+// Dial implements fsr.LinkDialer. Once a writable set has been advertised
+// (a read-only edge bounced a publish), the rotation prefers it.
 func (d *dialer) Dial(h func(payload []byte)) (fsr.SessionLink, error) {
 	d.mu.Lock()
-	addr := d.cfg.Addrs[d.next%len(d.cfg.Addrs)]
+	addrs := d.cfg.Addrs
+	if len(d.writable) > 0 {
+		addrs = d.writable
+	}
+	addr := addrs[d.next%len(addrs)]
 	d.next++
 	d.mu.Unlock()
 	cc, err := tcp.DialConn(addr, d.cfg.ID, d.cfg.DialTimeout)
@@ -100,4 +112,17 @@ func (d *dialer) Dial(h func(payload []byte)) (fsr.SessionLink, error) {
 	}
 	cc.SetHandler(h)
 	return cc, nil
+}
+
+// NeedWritable implements fsr.WritableAdvertiser: latch the advertised
+// writable addresses so the next Dial lands on a member that accepts
+// publishes.
+func (d *dialer) NeedWritable(members []fsr.ProcID, addrs []string) {
+	if len(addrs) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.writable = append([]string(nil), addrs...)
+	d.next = 0
+	d.mu.Unlock()
 }

@@ -352,6 +352,24 @@ func (c *Cluster) Dial(opts SessionOptions) (Session, error) {
 	return s, nil
 }
 
+// DialVia opens a session over an existing transport endpoint, rotating
+// across the given target process IDs. It is the building block under
+// Cluster.Dial, exported for topologies the Cluster doesn't know about:
+// edge replicas dialing their upstream members, or clients pinned to a set
+// of edge nodes on a shared hub. The endpoint stays owned by the caller
+// unless opts.OnClose closes it.
+//
+// The dialer implements WritableAdvertiser: when a read-only target
+// redirects a publish with the writable member set, the rotation switches
+// to those members.
+func DialVia(tr transport.Transport, targets []ProcID, opts SessionOptions) (Session, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("fsr: dial via empty target set")
+	}
+	d := &clusterLinkDialer{tr: tr, members: append([]ProcID(nil), targets...)}
+	return DialSession(d, opts)
+}
+
 // clusterLinkDialer rotates a session client across the cluster members,
 // all reached through the client's one transport endpoint.
 type clusterLinkDialer struct {
@@ -372,6 +390,20 @@ func (d *clusterLinkDialer) Dial(h func(payload []byte)) (SessionLink, error) {
 	d.next++
 	d.mu.Unlock()
 	return clusterLink{tr: d.tr, to: member}, nil
+}
+
+// NeedWritable implements WritableAdvertiser: a read-only target bounced a
+// publish and named the writable members, so the rotation moves to them.
+// Addresses are for socket-level dialers; on a shared transport the IDs
+// are directly reachable.
+func (d *clusterLinkDialer) NeedWritable(members []ProcID, addrs []string) {
+	if len(members) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.members = append([]ProcID(nil), members...)
+	d.next = 0
+	d.mu.Unlock()
 }
 
 // clusterLink is one client-to-member binding on the shared endpoint.

@@ -1,0 +1,83 @@
+// Command fsr-edge runs one read-only edge replica over real TCP: it
+// tails the committed order from the group members and re-serves it to
+// local subscribers, scaling fan-out without growing the ordering ring.
+// Publishes arriving here are redirected to the members.
+//
+// Example, against a running three-member group:
+//
+//	fsr-edge -listen 127.0.0.1:7200 \
+//	         -members 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102
+//
+// Clients then subscribe through the edge with the ordinary client
+// package, listing the edge's address (alone or mixed with members).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"fsr"
+	"fsr/edge"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7200", "address to serve subscribers on")
+	members := flag.String("members", "", "comma-separated member addresses (required)")
+	id := flag.Uint64("id", 0, "edge identity in the client ID space (0 = random)")
+	durable := flag.String("durable", "", "directory for the durable tail store (empty = in-memory)")
+	tailcap := flag.Int("tailcap", 0, "in-memory tail bound in entries (0 = default)")
+	stats := flag.Duration("stats", 0, "print serving stats this often (0 = silent)")
+	flag.Parse()
+	if err := run(*listen, *members, fsr.ProcID(*id), *durable, *tailcap, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "fsr-edge: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, members string, id fsr.ProcID, durable string, tailcap int, stats time.Duration) error {
+	if members == "" {
+		return fmt.Errorf("-members is required")
+	}
+	var addrs []string
+	for _, a := range strings.Split(members, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	e, err := edge.New(edge.Config{
+		Listen:     listen,
+		Members:    addrs,
+		ID:         id,
+		DurableDir: durable,
+		TailCap:    tailcap,
+	})
+	if err != nil {
+		return err
+	}
+	defer e.Stop()
+	fmt.Printf("fsr-edge up: listen=%s members=%v durable=%q\n", e.Addr(), addrs, durable)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	var tick <-chan time.Time
+	if stats > 0 {
+		ticker := time.NewTicker(stats)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-sig:
+			fmt.Println("shutting down")
+			return nil
+		case <-tick:
+			s := e.Stats()
+			fmt.Printf("applied=%d clients=%d subs=%d attached=%d tail_frames=%d detaches=%d not_writable=%d\n",
+				s.Applied, s.Clients, s.Subs, s.TailAttached, s.TailFrames, s.TailDetaches, s.NotWritable)
+		}
+	}
+}

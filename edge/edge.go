@@ -1,0 +1,281 @@
+// Package edge runs read-only edge replicas of an FSR group: non-member
+// processes that replicate the committed total order through one client
+// session and re-serve it to any number of local subscribers over the
+// same wire protocol the members speak.
+//
+// The fixed-sequencer ring gets its throughput from staying tiny — every
+// member is on the critical ordering path — so subscriber capacity must
+// scale somewhere else. An edge replica is that somewhere: it tails the
+// order from a member exactly like a catching-up subscriber (snapshot
+// hand-over included), stores the tail in memory or a local WAL, and
+// serves SUBSCRIBE from that replica with the identical encode-once
+// fan-out members use (internal/serve). Each member thus carries one
+// subscription per edge instead of one per end subscriber; edges are
+// horizontally scalable and disposable, because every byte they hold is
+// refetchable from the ring.
+//
+// Edges never take writes. A PUBLISH arriving at an edge answers a
+// NOT-WRITABLE redirect naming the real members, and the fsr client
+// session reconnects there transparently — so one address list mixing
+// members and edges still gives publishers exactly-once semantics, while
+// subscriber-only clients can stay pinned to edges.
+//
+//	e, err := edge.New(edge.Config{Listen: ":7200", Members: memberAddrs})
+//	...
+//	s, _ := client.Dial(client.Config{Addrs: []string{e.Addr()}})
+//	for off, m := range s.Subscribe(ctx, 1) { ... }
+package edge
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"fsr"
+	"fsr/client"
+	"fsr/internal/serve"
+	"fsr/internal/wire"
+	"fsr/transport"
+	"fsr/transport/tcp"
+)
+
+// syncEvery is how often the durable store flushes appended entries. An
+// edge may lose this window on a crash; it refetches from upstream.
+const syncEvery = 200 * time.Millisecond
+
+// CoreConfig parameterizes NewCore, the transport-agnostic edge.
+type CoreConfig struct {
+	// Transport is the serving endpoint subscribers connect to. The core
+	// owns it from here and closes it on Stop. Required.
+	Transport transport.Transport
+	// Upstream is the session the edge tails the order through — dial it
+	// with the edge role (client.Config.Edge / SessionOptions.Edge) so
+	// the serving member feeds it the shared tail. The core owns it from
+	// here and closes it on Stop. Required.
+	Upstream fsr.Session
+	// Members and MemberAddrs are the group coordinates handed to
+	// publishers in NOT-WRITABLE redirects: IDs for shared-transport
+	// clients (Cluster.Dial, DialVia), addresses for socket clients
+	// (client.Dial). Either may be empty if no such client publishes.
+	Members     []fsr.ProcID
+	MemberAddrs []string
+	// DurableDir, when set, persists the replicated tail in a WAL so a
+	// restarted edge serves history without refetching it. Otherwise the
+	// tail lives in memory, bounded by TailCap.
+	DurableDir string
+	// TailCap bounds the in-memory tail, in entries (default 65536).
+	// Subscribers below the horizon are redirected to the members.
+	TailCap int
+	// QueueCap overrides the per-subscriber transmit queue bound.
+	QueueCap int
+}
+
+// Stats is a point-in-time census of one edge replica.
+type Stats struct {
+	// Applied is the highest offset replicated from upstream.
+	Applied uint64
+	// Clients, Subs and TailAttached mirror the serving layer: live
+	// links, live subscriptions, and subscriptions on the shared tail.
+	Clients, Subs, TailAttached int
+	// TailFrames counts encode-once fan-out frames; TailDetaches slow
+	// subscribers demoted to catch-up paging; NotWritable publishes
+	// bounced to the members.
+	TailFrames, TailDetaches, NotWritable uint64
+}
+
+// Edge is one running edge replica.
+type Edge struct {
+	cfg    CoreConfig
+	store  *store
+	srv    *serve.Server
+	addr   string // serving address, when TCP-backed
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	scratch [1]wire.ClientEventEntry // tail loop's reusable fan-out batch
+}
+
+// NewCore starts an edge replica on caller-provided plumbing. Use New for
+// the common TCP deployment.
+func NewCore(cfg CoreConfig) (*Edge, error) {
+	if cfg.Transport == nil || cfg.Upstream == nil {
+		return nil, fmt.Errorf("edge: Transport and Upstream are required")
+	}
+	if cfg.TailCap <= 0 {
+		cfg.TailCap = 65536
+	}
+	st, err := newStore(cfg.DurableDir, cfg.TailCap)
+	if err != nil {
+		return nil, err
+	}
+	e := &Edge{cfg: cfg, store: st}
+	e.srv = serve.New(serve.Config{
+		Transport: cfg.Transport,
+		Source:    st,
+		Publish:   nil, // read-only: publishes answer NOT-WRITABLE
+		Redirect: func() ([]fsr.ProcID, []string, uint64) {
+			return cfg.Members, cfg.MemberAddrs, st.Applied()
+		},
+		QueueCap: cfg.QueueCap,
+	})
+	cfg.Transport.SetHandler(func(from transport.ProcID, payload []byte) {
+		e.srv.Handle(from, payload)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	e.cancel = cancel
+	e.wg.Add(1)
+	go e.tailLoop(ctx)
+	if st.log != nil {
+		e.wg.Add(1)
+		go e.syncLoop(ctx)
+	}
+	return e, nil
+}
+
+// Config parameterizes New, the TCP edge replica.
+type Config struct {
+	// Listen is the address subscribers connect to. Required.
+	Listen string
+	// Members are the group members' listen addresses — the upstream the
+	// edge replicates from and the redirect target for publishers.
+	// Required.
+	Members []string
+	// ID is the edge's identity in the client ID space (its upstream
+	// publishes dedup under it — edges never publish, but the ID also
+	// names the edge on member metrics). Zero picks a random ID.
+	ID fsr.ProcID
+	// DurableDir, TailCap and QueueCap are as in CoreConfig.
+	DurableDir string
+	TailCap    int
+	QueueCap   int
+	// DialTimeout bounds one upstream connection attempt (default 3s).
+	DialTimeout time.Duration
+}
+
+// New starts a TCP edge replica: a listener for subscribers plus one
+// upstream client session to the members.
+func New(cfg Config) (*Edge, error) {
+	if cfg.Listen == "" {
+		return nil, fmt.Errorf("edge: Listen is required")
+	}
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("edge: no member addresses")
+	}
+	if cfg.ID == 0 {
+		cfg.ID = fsr.ClientIDBase + fsr.ProcID(rand.Uint32N(1<<31))
+	}
+	tr, err := tcp.New(tcp.Config{Self: cfg.ID, ListenAddr: cfg.Listen})
+	if err != nil {
+		return nil, err
+	}
+	up, err := client.Dial(client.Config{
+		Addrs:       cfg.Members,
+		ID:          cfg.ID,
+		Edge:        true,
+		DialTimeout: cfg.DialTimeout,
+	})
+	if err != nil {
+		_ = tr.Close()
+		return nil, err
+	}
+	e, err := NewCore(CoreConfig{
+		Transport:   tr,
+		Upstream:    up,
+		MemberAddrs: cfg.Members,
+		DurableDir:  cfg.DurableDir,
+		TailCap:     cfg.TailCap,
+		QueueCap:    cfg.QueueCap,
+	})
+	if err != nil {
+		_ = up.Close()
+		_ = tr.Close()
+		return nil, err
+	}
+	e.addr = tr.Addr()
+	return e, nil
+}
+
+// Addr returns the serving listen address (resolving an ephemeral port)
+// for a TCP edge, "" for a NewCore edge.
+func (e *Edge) Addr() string { return e.addr }
+
+// Applied returns the highest offset replicated from upstream.
+func (e *Edge) Applied() uint64 { return e.store.Applied() }
+
+// Stats snapshots the edge's serving activity.
+func (e *Edge) Stats() Stats {
+	s := e.srv.Stats()
+	return Stats{
+		Applied:      e.store.Applied(),
+		Clients:      s.Clients,
+		Subs:         s.Subs,
+		TailAttached: s.TailAttached,
+		TailFrames:   s.TailFrames,
+		TailDetaches: s.TailDetaches,
+		NotWritable:  s.NotWritable,
+	}
+}
+
+// tailLoop replicates the committed order from upstream, forever: each
+// session Subscribe streams gap-free from the store frontier; when one
+// ends (upstream failover churn, member loss), the next resumes where the
+// store stopped. Every appended offset is published to the local shared
+// tail — the same encode-once fan-out path a member runs.
+func (e *Edge) tailLoop(ctx context.Context) {
+	defer e.wg.Done()
+	for ctx.Err() == nil {
+		from := e.store.Applied() + 1
+		for _, m := range e.cfg.Upstream.Subscribe(ctx, from) {
+			if m.Snapshot {
+				// State transfer: the prefix has no entry stream, so
+				// locally attached subscribers must page across the jump.
+				e.store.setSnapshot(m.Seq, m.Payload)
+				e.srv.DetachAll()
+				continue
+			}
+			if e.store.append(m) {
+				e.scratch[0] = wire.ClientEventEntry{
+					Seq:     m.Seq,
+					Origin:  m.Origin,
+					Logical: m.LogicalID,
+					Payload: m.Payload,
+				}
+				e.srv.PublishTail(e.scratch[:])
+			}
+		}
+		if ctx.Err() == nil {
+			time.Sleep(50 * time.Millisecond) // upstream hiccup; re-subscribe
+		}
+	}
+}
+
+// syncLoop periodically flushes the durable store.
+func (e *Edge) syncLoop(ctx context.Context) {
+	defer e.wg.Done()
+	ticker := time.NewTicker(syncEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			e.store.sync()
+		}
+	}
+}
+
+// Stop shuts the edge down: subscribers get a BYE redirect (they fail
+// over to members or surviving edges), the upstream session closes, and
+// the durable store is flushed.
+func (e *Edge) Stop() {
+	e.srv.NotifyAll(wire.RedirectBye)
+	e.cancel()
+	_ = e.cfg.Upstream.Close()
+	e.wg.Wait()
+	e.srv.Shutdown()
+	_ = e.cfg.Transport.Close()
+	e.srv.Wait()
+	e.store.close()
+}

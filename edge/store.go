@@ -1,0 +1,206 @@
+package edge
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fsr"
+	"fsr/internal/serve"
+	"fsr/internal/wal"
+	"fsr/internal/wire"
+)
+
+// store is the edge replica's copy of the committed order: a tail of
+// entries above a horizon, optionally preceded by an application snapshot
+// covering everything at or below it. It implements serve.Source, so the
+// serving layer pages subscribers out of it exactly as a member pages its
+// WAL.
+//
+// The order's sequence numbers may skip values — members filter duplicate
+// client publishes out of the order while still consuming their slot — so
+// entries are ascending in Seq but not dense, and paging searches by Seq
+// rather than indexing. The upstream session stream is gap-free in ORDER
+// (never in numbering): every message it yields extends the replica.
+//
+// Entries are append-only and payloads are never mutated after append, so
+// ReadCommitted can hand out references; the serving layer encodes pages
+// synchronously before returning to the pager loop.
+type store struct {
+	log     *wal.Log // nil for a memory-only tail
+	tailCap int      // retained entries when memory-only
+
+	mu      sync.Mutex
+	base    uint64 // horizon: every entry's Seq is > base
+	entries []wire.ClientEventEntry
+	snap    []byte // application snapshot at snapSeq, nil if none
+	snapSeq uint64
+	signal  chan struct{} // closed and replaced when the frontier advances
+}
+
+// newStore builds the tail store, replaying a durable log when dir is
+// non-empty. tailCap bounds the memory-only tail (entries beyond it fall
+// below the horizon); a durable store retains everything the WAL does.
+func newStore(dir string, tailCap int) (*store, error) {
+	st := &store{tailCap: tailCap, signal: make(chan struct{})}
+	if dir == "" {
+		return st, nil
+	}
+	log, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("edge: open store: %w", err)
+	}
+	st.log = log
+	if snap, ok := log.LatestSnapshot(); ok {
+		st.snap = snap.Data
+		st.snapSeq = snap.Seq
+		st.base = snap.Seq
+	}
+	err = log.Replay(st.base, func(e wal.Entry) error {
+		if n := len(st.entries); n > 0 && e.Seq <= st.entries[n-1].Seq {
+			return nil // torn rewrite overlap; keep the first copy
+		}
+		st.entries = append(st.entries, wire.ClientEventEntry{
+			Seq:     e.Seq,
+			Origin:  fsr.ProcID(e.Origin),
+			Logical: e.LogicalID,
+			Payload: e.Payload,
+		})
+		return nil
+	})
+	if err != nil {
+		_ = log.Close()
+		return nil, fmt.Errorf("edge: replay store: %w", err)
+	}
+	return st, nil
+}
+
+// appliedLocked is the highest replicated offset. Callers hold st.mu.
+func (st *store) appliedLocked() uint64 {
+	if n := len(st.entries); n > 0 {
+		return st.entries[n-1].Seq
+	}
+	return st.base
+}
+
+// Applied implements serve.Source.
+func (st *store) Applied() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.appliedLocked()
+}
+
+// Watch implements serve.Source.
+func (st *store) Watch() <-chan struct{} {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.signal
+}
+
+// ReadCommitted implements serve.Source.
+func (st *store) ReadCommitted(cursor, applied uint64, maxEntries, maxBytes int) (serve.Page, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cursor < st.base {
+		if st.snap != nil && st.snapSeq > cursor {
+			// The needed prefix is gone; hand over the application state.
+			return serve.Page{Snap: st.snap, SnapSeq: st.snapSeq, Cursor: st.snapSeq}, nil
+		}
+		return serve.Page{BelowHorizon: true}, nil
+	}
+	page := serve.Page{Cursor: applied}
+	bytes := 0
+	start := sort.Search(len(st.entries), func(i int) bool {
+		return st.entries[i].Seq > cursor
+	})
+	for i := start; i < len(st.entries); i++ {
+		e := &st.entries[i]
+		if len(page.Entries) >= maxEntries || bytes+len(e.Payload) > maxBytes {
+			page.Cursor = page.Entries[len(page.Entries)-1].Seq
+			return page, nil
+		}
+		page.Entries = append(page.Entries, *e)
+		bytes += len(e.Payload)
+	}
+	if n := len(page.Entries); n > 0 && page.Entries[n-1].Seq > page.Cursor {
+		// The tail ran past the sampled frontier; never let the cursor
+		// fall behind what was served.
+		page.Cursor = page.Entries[n-1].Seq
+	}
+	return page, nil
+}
+
+// append folds one upstream message into the tail; stale duplicates (from
+// an upstream re-subscribe) are skipped. It reports whether the frontier
+// advanced.
+func (st *store) append(m fsr.Message) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if m.Seq <= st.appliedLocked() {
+		return false // duplicate from a restarted upstream stream
+	}
+	st.entries = append(st.entries, wire.ClientEventEntry{
+		Seq:     m.Seq,
+		Origin:  m.Origin,
+		Logical: m.LogicalID,
+		Payload: m.Payload,
+	})
+	if st.log != nil {
+		// Loss here is acceptable — the edge refetches from upstream on
+		// restart — so append errors only forfeit durability.
+		_ = st.log.Append(wal.Entry{
+			Seq:       m.Seq,
+			Origin:    uint32(m.Origin),
+			LogicalID: m.LogicalID,
+			Payload:   m.Payload,
+		})
+	} else if st.tailCap > 0 && len(st.entries) > st.tailCap {
+		// Advance the horizon; subscribers below it are redirected to
+		// members (or served the snapshot, if one covers them).
+		drop := len(st.entries) - st.tailCap
+		st.base = st.entries[drop-1].Seq
+		st.entries = append(st.entries[:0], st.entries[drop:]...)
+	}
+	st.advanceLocked()
+	return true
+}
+
+// setSnapshot installs an upstream state transfer at seq: the order's
+// prefix up to seq is now represented by the application snapshot, and the
+// entry tail restarts above it.
+func (st *store) setSnapshot(seq uint64, data []byte) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if seq <= st.appliedLocked() {
+		return // stale: the tail already covers this prefix
+	}
+	st.snap = data
+	st.snapSeq = seq
+	st.base = seq
+	st.entries = st.entries[:0]
+	if st.log != nil {
+		_ = st.log.WriteSnapshot(seq, data)
+	}
+	st.advanceLocked()
+}
+
+// advanceLocked wakes watchers after the frontier moved.
+func (st *store) advanceLocked() {
+	close(st.signal)
+	st.signal = make(chan struct{})
+}
+
+// sync flushes the durable log, if any.
+func (st *store) sync() {
+	if st.log != nil {
+		_ = st.log.Sync()
+	}
+}
+
+// close releases the durable log, if any.
+func (st *store) close() {
+	if st.log != nil {
+		_ = st.log.Sync()
+		_ = st.log.Close()
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsr"
+	"fsr/client"
+	"fsr/edge"
+	"fsr/internal/metrics"
+)
+
+const (
+	fanBenchN       = 3
+	fanBenchHorizon = 2 * time.Second
+	// fanBenchPayload is a typical feed-style message: small enough that
+	// fan-out cost is dominated by per-message serving work (encode,
+	// queueing, wakeups), not raw bandwidth.
+	fanBenchPayload = 1 << 10
+	fanBenchWindow  = 256
+)
+
+// Figure7Fan measures subscriber fan-out: one pipelined publisher floods a
+// 3-member loopback TCP cluster while S independent client sessions stream
+// the live tail, and the series reports the aggregate payload rate
+// delivered across all subscribers. Each count is measured twice — the
+// subscribers dialing a ring member directly, then dialing a read-only
+// edge replica that itself holds ONE upstream subscription — so the two
+// curves show what the edge tier buys: the member's serving cost stays
+// that of a single subscriber no matter how wide the edge fans out, and
+// the encode-once tail keeps aggregate delivery scaling with S on both.
+func Figure7Fan(subCounts []int) (*metrics.Series, error) {
+	s := &metrics.Series{
+		Name: fmt.Sprintf("Figure 7fan: subscriber fan-out over loopback TCP (n=%d, %d B payloads)",
+			fanBenchN, fanBenchPayload),
+		XLabel: "subscribers",
+		YLabel: "aggregate delivered (Mb/s)",
+	}
+	for _, viaEdge := range []bool{false, true} {
+		mode := "member-direct"
+		if viaEdge {
+			mode = "via-edge"
+		}
+		for _, n := range subCounts {
+			mbps, err := fanThroughput(n, viaEdge, fanBenchHorizon)
+			if err != nil {
+				return nil, fmt.Errorf("%s S=%d: %w", mode, n, err)
+			}
+			s.Add(float64(n), mbps, fmt.Sprintf("%s S=%d", mode, n))
+		}
+	}
+	return s, nil
+}
+
+// fanThroughput runs one fan-out point: a publisher saturating the ring
+// with fanBenchWindow in-flight publishes, nSubs live-tail subscribers
+// dialing either member 0 or an edge replica replicating from the ring.
+func fanThroughput(nSubs int, viaEdge bool, horizon time.Duration) (float64, error) {
+	cluster, ct, err := tcpBenchCluster(fanBenchN)
+	if err != nil {
+		return 0, err
+	}
+	defer cluster.Stop()
+
+	subAddr := ct.Addrs()[0]
+	if viaEdge {
+		e, err := edge.New(edge.Config{Listen: "127.0.0.1:0", Members: ct.Addrs()})
+		if err != nil {
+			return 0, err
+		}
+		defer e.Stop()
+		subAddr = e.Addr()
+	}
+
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	var bytes atomic.Int64
+	var counting atomic.Bool
+	var subs sync.WaitGroup
+	sessions := make([]fsr.Session, 0, nSubs)
+	defer func() {
+		for _, s := range sessions {
+			_ = s.Close()
+		}
+	}()
+	for range nSubs {
+		sess, err := client.Dial(client.Config{Addrs: []string{subAddr}})
+		if err != nil {
+			return 0, err
+		}
+		sessions = append(sessions, sess)
+		subs.Add(1)
+		go func(sess fsr.Session) {
+			defer subs.Done()
+			// From 0: the live tail from the serving process's frontier —
+			// steady-state fan-out, no history replay.
+			for _, m := range sess.Subscribe(ctx, 0) {
+				if counting.Load() {
+					bytes.Add(int64(len(m.Payload)))
+				}
+			}
+		}(sess)
+	}
+
+	pub, err := client.Dial(client.Config{Addrs: ct.Addrs(), Window: fanBenchWindow})
+	if err != nil {
+		return 0, err
+	}
+	defer pub.Close()
+	payload := make([]byte, fanBenchPayload)
+	var pubWg sync.WaitGroup
+	pubWg.Add(1)
+	go func() {
+		defer pubWg.Done()
+		inflight := make(chan *fsr.Receipt, fanBenchWindow)
+		var drain sync.WaitGroup
+		drain.Add(1)
+		go func() {
+			defer drain.Done()
+			for r := range inflight {
+				<-r.Delivered()
+			}
+		}()
+		for ctx.Err() == nil {
+			r, err := pub.Publish(ctx, payload)
+			if err != nil {
+				break
+			}
+			inflight <- r
+		}
+		close(inflight)
+		drain.Wait()
+	}()
+
+	warmup := horizon / 4
+	time.Sleep(warmup)
+	counting.Store(true)
+	start := time.Now()
+	time.Sleep(horizon - warmup)
+	counting.Store(false)
+	elapsed := time.Since(start)
+	stop()
+	pubWg.Wait()
+	subs.Wait()
+	return float64(bytes.Load()) * 8 / elapsed.Seconds() / 1e6, nil
+}

@@ -58,10 +58,10 @@ const (
 // default: a fully saturated event loop delays heartbeats by tens of
 // milliseconds, and this experiment measures steady-state throughput, not
 // recovery churn (the chaos harness owns that).
-func tcpBenchCluster() (*fsr.Cluster, *fsr.TCPClusterTransport, error) {
+func tcpBenchCluster(n int) (*fsr.Cluster, *fsr.TCPClusterTransport, error) {
 	ct := fsr.TCPTransport(nil)
 	cluster, err := fsr.NewCluster(fsr.ClusterConfig{
-		N: tcpBenchN, T: 1,
+		N: n, T: 1,
 		NodeConfig: fsr.Config{
 			HeartbeatInterval: 50 * time.Millisecond,
 			FailureTimeout:    3 * time.Second,
@@ -78,7 +78,7 @@ func tcpBenchCluster() (*fsr.Cluster, *fsr.TCPClusterTransport, error) {
 // payload bytes delivered at the last member. Warmup is a quarter of the
 // horizon.
 func tcpSaturatedThroughput(k int, horizon time.Duration) (float64, error) {
-	cluster, _, err := tcpBenchCluster()
+	cluster, _, err := tcpBenchCluster(tcpBenchN)
 	if err != nil {
 		return 0, err
 	}
@@ -139,7 +139,7 @@ func tcpSaturatedThroughput(k int, horizon time.Duration) (float64, error) {
 // tcpClientThroughput floods from one remote client session (client.Dial
 // over loopback TCP) and counts committed (acked) payload bytes.
 func tcpClientThroughput(horizon time.Duration) (float64, error) {
-	cluster, ct, err := tcpBenchCluster()
+	cluster, ct, err := tcpBenchCluster(tcpBenchN)
 	if err != nil {
 		return 0, err
 	}

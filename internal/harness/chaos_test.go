@@ -51,7 +51,7 @@ func TestScenarioCoverage(t *testing.T) {
 	for i := int64(0); i < profiles; i++ {
 		classes[profileName(Generate(base+i, false))] = true
 	}
-	for _, want := range []string{"timing-only", "leader-crash+restart", "follower-crash+restart", "membership-churn", "client-sessions"} {
+	for _, want := range []string{"timing-only", "leader-crash+restart", "follower-crash+restart", "membership-churn", "client-sessions", "edge-replicas"} {
 		if !classes[want] {
 			t.Fatalf("class %q missing from %d consecutive seeds (base %d)", want, profiles, base)
 		}

@@ -149,6 +149,8 @@ func profileName(sc Scenario) string {
 		return "membership-churn"
 	case 4:
 		return "client-sessions"
+	case 5:
+		return "edge-replicas"
 	default:
 		return "timing-only"
 	}

@@ -32,8 +32,17 @@ import (
 	"time"
 
 	"fsr"
+	"fsr/edge"
 	"fsr/transport/chaos"
 	"fsr/transport/mem"
+)
+
+// Transport IDs for harness-attached processes, spread through the client
+// ID space so Cluster.Dial's sequential IDs (ClientIDBase+0, +1, ...)
+// never collide with them.
+const (
+	edgeIDBase   = fsr.ClientIDBase + 0x100000 // 2 per edge: serving, upstream
+	clientIDBase = fsr.ClientIDBase + 0x200000 // 2 per client: publisher, subscriber
 )
 
 // multiSegFrames accumulates, across every scenario this process ran, how
@@ -78,13 +87,17 @@ const (
 	EvHealNode
 	// EvStallLink holds one directed link (frames queue, none drop).
 	EvStallLink
+	// EvCrashEdge fail-stops one edge replica (Node selects which);
+	// EvRestartEdge brings it back on its durable store.
+	EvCrashEdge
+	EvRestartEdge
 )
 
 var kindNames = map[EventKind]string{
 	EvCrashLeader: "crash-leader", EvCrashFollower: "crash-follower",
 	EvRestart: "restart", EvRotate: "rotate", EvJoin: "join",
 	EvLeave: "leave", EvSlowNode: "slow-node", EvHealNode: "heal-node",
-	EvStallLink: "stall-link",
+	EvStallLink: "stall-link", EvCrashEdge: "crash-edge", EvRestartEdge: "restart-edge",
 }
 
 // Event is one scheduled fault: Kind fires At after the workload starts.
@@ -118,21 +131,29 @@ type Scenario struct {
 	// history).
 	Clients    int
 	ClientMsgs int // per client
-	Net        chaos.Options
-	Events     []Event
+	// Edges runs read-only edge replicas tailing the order from the ring.
+	// With edges present the clients route through the edge tier instead
+	// of the members: subscribers stay pinned to the edges (surviving
+	// edge crashes via failover between them), publishers start on an
+	// edge and migrate to a writable member through the NOT-WRITABLE
+	// redirect.
+	Edges  int
+	Net    chaos.Options
+	Events []Event
 }
 
 // String renders the plan — two runs of one seed must render identically
 // (asserted by TestScenarioDeterminism).
 func (s Scenario) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "seed=%d n=%d t=%d senders=%d msgs=%d maxpay=%d gap=%v clients=%dx%d net{delay=[%v,%v] stallEvery=%d maxStall=%v}",
+	fmt.Fprintf(&b, "seed=%d n=%d t=%d senders=%d msgs=%d maxpay=%d gap=%v clients=%dx%d edges=%d net{delay=[%v,%v] stallEvery=%d maxStall=%v}",
 		s.Seed, s.N, s.T, s.Senders, s.Messages, s.MaxPay, s.Gap,
-		s.Clients, s.ClientMsgs,
+		s.Clients, s.ClientMsgs, s.Edges,
 		s.Net.MinDelay, s.Net.MaxDelay, s.Net.StallEvery, s.Net.MaxStall)
 	for _, e := range s.Events {
 		fmt.Fprintf(&b, " @%v:%s", e.At.Round(time.Millisecond), kindNames[e.Kind])
-		if e.Kind == EvSlowNode || e.Kind == EvHealNode || e.Kind == EvStallLink {
+		switch e.Kind {
+		case EvSlowNode, EvHealNode, EvStallLink, EvCrashEdge, EvRestartEdge:
 			fmt.Fprintf(&b, "(%d)", e.Node)
 		}
 		if e.Dur > 0 {
@@ -142,12 +163,14 @@ func (s Scenario) String() string {
 	return b.String()
 }
 
-// Profile classes guarantee coverage across a seed range: every fifth
-// seed crashes the leader, every fifth crash-restarts a follower, every
-// fifth churns membership, every fifth drives non-member client sessions
-// through a serving-member crash; the rest stress timing only. Extra
-// faults (rotations, slow nodes, stalls) sprinkle into all classes.
-const profiles = 5
+// Profile classes guarantee coverage across a seed range: every sixth
+// seed crashes the leader, every sixth crash-restarts a follower, every
+// sixth churns membership, every sixth drives non-member client sessions
+// through a serving-member crash, every sixth crash-restarts an edge
+// replica under client traffic routed through the edge tier; the rest
+// stress timing only. Extra faults (rotations, slow nodes, stalls)
+// sprinkle into all classes.
+const profiles = 6
 
 // Generate derives the scenario for a seed. Soak scales the workload up.
 func Generate(seed int64, soak bool) Scenario {
@@ -208,6 +231,21 @@ func Generate(seed int64, soak bool) Scenario {
 		s.Events = append(s.Events,
 			Event{At: base, Kind: EvCrashLeader},
 			Event{At: base + 500*time.Millisecond + time.Duration(rng.Intn(300))*time.Millisecond, Kind: EvRestart},
+		)
+	case 5: // edge-replica crash/restart with clients on the edge tier
+		s.Edges = 2
+		s.Clients = 1 + rng.Intn(2)
+		s.ClientMsgs = 10 + rng.Intn(15)
+		if soak {
+			s.ClientMsgs *= 3
+		}
+		// Crash one of the two edges mid-stream: its subscribers resume
+		// through the surviving edge, and the crashed one later returns
+		// from its durable store and re-tails the order.
+		idx := rng.Intn(2)
+		s.Events = append(s.Events,
+			Event{At: base, Kind: EvCrashEdge, Node: idx},
+			Event{At: base + 500*time.Millisecond + time.Duration(rng.Intn(300))*time.Millisecond, Kind: EvRestartEdge, Node: idx},
 		)
 	}
 	// Timing faults for everyone; rotation for half.
@@ -378,6 +416,11 @@ func RunScenario(t TB, sc Scenario) {
 	for i, id := range cluster.IDs() {
 		run.alive[id] = cluster.Node(i)
 	}
+	run.startEdges()
+	defer run.stopEdges()
+	if t.Failed() {
+		return
+	}
 	defer func() {
 		// Members admitted mid-run are not owned by the Cluster.
 		run.mu.Lock()
@@ -401,6 +444,9 @@ func RunScenario(t TB, sc Scenario) {
 	defer func() {
 		for _, c := range collectors {
 			c.sess.Close()
+			if c.subSess != c.sess {
+				c.subSess.Close()
+			}
 		}
 	}()
 
@@ -432,12 +478,15 @@ func RunScenario(t TB, sc Scenario) {
 	check(t, sc, logs, live, run.sentCopy())
 }
 
-// clientRun is one session client: its session, identity, and the
-// subscriber's collected stream.
+// clientRun is one session client: its publishing session, identity, and
+// the subscriber's collected stream. With edges in the scenario the
+// subscriber runs on its own session pinned to the edge tier (subSess);
+// otherwise subSess is sess.
 type clientRun struct {
-	idx  int
-	id   fsr.ProcID
-	sess fsr.Session
+	idx     int
+	id      fsr.ProcID
+	sess    fsr.Session
+	subSess fsr.Session
 
 	mu   sync.Mutex
 	recs []Rec
@@ -445,33 +494,73 @@ type clientRun struct {
 }
 
 // startClients dials the scenario's session clients and starts their
-// offset-1 subscribers.
+// offset-1 subscribers. With edges present, both the publisher and the
+// subscriber sessions target the edge tier only: the publisher's first
+// publish is bounced by NOT-WRITABLE and migrates to a member, the
+// subscriber stays on the edges for its whole life, failing over between
+// them as they crash and return.
 func (r *runner) startClients(subCtx context.Context) []*clientRun {
 	collectors := make([]*clientRun, 0, r.sc.Clients)
+	opts := fsr.SessionOptions{
+		Window:       32,
+		AckTimeout:   time.Second,
+		ProbeTimeout: 1500 * time.Millisecond,
+	}
 	for i := range r.sc.Clients {
-		sess, err := r.cluster.Dial(fsr.SessionOptions{
-			Window:       32,
-			AckTimeout:   time.Second,
-			ProbeTimeout: 1500 * time.Millisecond,
-		})
-		if err != nil {
-			failf(r.t, r.sc.Seed, "client %d: dial session: %v", i, err)
-			r.t.FailNow()
+		var c *clientRun
+		if r.sc.Edges > 0 {
+			pubID := clientIDBase + fsr.ProcID(2*i)
+			pub, err := r.dialVia(pubID, r.edgeServeIDs(), opts)
+			if err == nil {
+				var sub fsr.Session
+				sub, err = r.dialVia(pubID+1, r.edgeServeIDs(), opts)
+				if err != nil {
+					pub.Close()
+				} else {
+					c = &clientRun{idx: i, id: pubID, sess: pub, subSess: sub}
+				}
+			}
+			if err != nil {
+				failf(r.t, r.sc.Seed, "client %d: dial via edges: %v", i, err)
+				r.t.FailNow()
+			}
+		} else {
+			sess, err := r.cluster.Dial(opts)
+			if err != nil {
+				failf(r.t, r.sc.Seed, "client %d: dial session: %v", i, err)
+				r.t.FailNow()
+			}
+			// Cluster.Dial hands out client IDs in call order from
+			// ClientIDBase; these are the first (and only) dials on this
+			// cluster.
+			c = &clientRun{idx: i, id: fsr.ClientIDBase + fsr.ProcID(i), sess: sess, subSess: sess}
 		}
-		// Cluster.Dial hands out client IDs in call order from ClientIDBase;
-		// these are the first (and only) dials on this cluster.
-		c := &clientRun{idx: i, id: fsr.ClientIDBase + fsr.ProcID(i), sess: sess}
 		collectors = append(collectors, c)
 		go c.subscribe(subCtx)
 	}
 	return collectors
 }
 
+// dialVia opens one session on a fresh chaos-wrapped endpoint, pinned to
+// the given serving processes.
+func (r *runner) dialVia(id fsr.ProcID, targets []fsr.ProcID, opts fsr.SessionOptions) (fsr.Session, error) {
+	tr, err := r.ct.Join(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.ct.Open(); err != nil {
+		_ = tr.Close()
+		return nil, err
+	}
+	opts.OnClose = func() { _ = tr.Close() }
+	return fsr.DialVia(tr, targets, opts)
+}
+
 // subscribe streams the whole order from offset 1 into the collector. A
 // state snapshot (the stream resumed below a member's truncation point)
 // replaces the collected prefix — the Recorder's snapshot IS its history.
 func (c *clientRun) subscribe(ctx context.Context) {
-	for _, m := range c.sess.Subscribe(ctx, 1) {
+	for _, m := range c.subSess.Subscribe(ctx, 1) {
 		if m.Snapshot {
 			var log []Rec
 			if err := json.Unmarshal(m.Payload, &log); err != nil {
@@ -563,7 +652,7 @@ func (r *runner) checkSubscribers(logs map[fsr.ProcID][]Rec, collectors []*clien
 			}
 			if time.Now().After(deadline) {
 				failf(r.t, r.sc.Seed, "client %d subscriber stuck at %d/%d messages; session err=%v; group: %s",
-					c.idx, len(recs), len(ref), c.sess.Err(), r.groupState())
+					c.idx, len(recs), len(ref), c.subSess.Err(), r.groupState())
 				return
 			}
 			time.Sleep(10 * time.Millisecond)
@@ -600,6 +689,139 @@ type runner struct {
 	crashed []int                    // cluster indexes crashed and not yet restarted
 	nextID  fsr.ProcID
 	sent    []sent
+	edges   []*edgeRun
+}
+
+// edgeRun is one edge replica's slot: its fixed transport identities, its
+// durable store directory, and the running instance (nil while crashed).
+type edgeRun struct {
+	serveID fsr.ProcID // the ID subscribers dial
+	upID    fsr.ProcID // the ID of its upstream client session
+	dir     string
+	e       *edge.Edge // guarded by runner.mu
+}
+
+// startEdges launches the scenario's edge replicas (before any client
+// dials them).
+func (r *runner) startEdges() {
+	for j := range r.sc.Edges {
+		er := &edgeRun{
+			serveID: edgeIDBase + fsr.ProcID(2*j),
+			upID:    edgeIDBase + fsr.ProcID(2*j+1),
+			dir:     fmt.Sprintf("%s/edge-%d", r.base, j),
+		}
+		if err := r.launchEdge(er); err != nil {
+			failf(r.t, r.sc.Seed, "edge %d: %v", j, err)
+			return
+		}
+		r.edges = append(r.edges, er)
+	}
+}
+
+// launchEdge (re)starts one edge replica on its slot: fresh chaos-wrapped
+// endpoints under the slot's fixed IDs, the durable store replayed from
+// its directory.
+func (r *runner) launchEdge(er *edgeRun) error {
+	serveTr, err := r.ct.Join(er.serveID)
+	if err != nil {
+		return err
+	}
+	upTr, err := r.ct.Join(er.upID)
+	if err != nil {
+		_ = serveTr.Close()
+		return err
+	}
+	if err := r.ct.Open(); err != nil {
+		_ = serveTr.Close()
+		_ = upTr.Close()
+		return err
+	}
+	up, err := fsr.DialVia(upTr, r.cluster.IDs(), fsr.SessionOptions{
+		Edge:         true,
+		AckTimeout:   time.Second,
+		ProbeTimeout: 1500 * time.Millisecond,
+		OnClose:      func() { _ = upTr.Close() },
+	})
+	if err != nil {
+		_ = serveTr.Close()
+		_ = upTr.Close()
+		return err
+	}
+	e, err := edge.NewCore(edge.CoreConfig{
+		Transport:  serveTr,
+		Upstream:   up,
+		Members:    r.cluster.IDs(),
+		DurableDir: er.dir,
+	})
+	if err != nil {
+		_ = up.Close()
+		_ = serveTr.Close()
+		return err
+	}
+	r.mu.Lock()
+	er.e = e
+	r.mu.Unlock()
+	return nil
+}
+
+// crashEdge fail-stops one edge replica: both its endpoints drop off the
+// transport (clients and the upstream member observe silence), then the
+// instance is reaped.
+func (r *runner) crashEdge(idx int) {
+	r.mu.Lock()
+	if idx >= len(r.edges) {
+		r.mu.Unlock()
+		return
+	}
+	er := r.edges[idx]
+	e := er.e
+	er.e = nil
+	r.mu.Unlock()
+	if e == nil {
+		return
+	}
+	r.ct.Crash(er.serveID)
+	r.ct.Crash(er.upID)
+	e.Stop()
+}
+
+// restartEdge brings a crashed edge back on its durable store.
+func (r *runner) restartEdge(idx int) {
+	r.mu.Lock()
+	if idx >= len(r.edges) || r.edges[idx].e != nil {
+		r.mu.Unlock()
+		return
+	}
+	er := r.edges[idx]
+	r.mu.Unlock()
+	if err := r.launchEdge(er); err != nil {
+		failf(r.t, r.sc.Seed, "edge %d restart: %v", idx, err)
+	}
+}
+
+// stopEdges reaps every edge still running at scenario end.
+func (r *runner) stopEdges() {
+	r.mu.Lock()
+	edges := append([]*edgeRun(nil), r.edges...)
+	r.mu.Unlock()
+	for _, er := range edges {
+		r.mu.Lock()
+		e := er.e
+		er.e = nil
+		r.mu.Unlock()
+		if e != nil {
+			e.Stop()
+		}
+	}
+}
+
+// edgeServeIDs returns the serving IDs clients rotate across.
+func (r *runner) edgeServeIDs() []fsr.ProcID {
+	ids := make([]fsr.ProcID, 0, len(r.edges))
+	for _, er := range r.edges {
+		ids = append(ids, er.serveID)
+	}
+	return ids
 }
 
 // sender issues this sender's share of the workload against a home node,
@@ -713,6 +935,10 @@ func (r *runner) fire(ev Event) {
 		from := ids[ev.Node]
 		to := ids[(ev.Node+1)%len(ids)]
 		r.ct.StallLink(from, to, ev.Dur)
+	case EvCrashEdge:
+		r.crashEdge(ev.Node)
+	case EvRestartEdge:
+		r.restartEdge(ev.Node)
 	}
 }
 

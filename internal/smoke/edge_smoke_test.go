@@ -1,0 +1,148 @@
+// Package smoke holds end-to-end process-level smoke tests: real binaries,
+// real sockets, gated behind environment flags so the ordinary test pass
+// stays hermetic.
+package smoke
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fsr"
+	"fsr/client"
+)
+
+// TestEdgeTopologySmoke builds fsr-node and fsr-edge and runs the full
+// deployment shape: a three-member ring, one edge replica tailing it, and
+// a real TCP client that publishes THROUGH the edge (bounced to a writable
+// member by the NOT-WRITABLE redirect) and then streams the committed
+// order back from the edge. Gated on FSR_EDGE_SMOKE=1.
+func TestEdgeTopologySmoke(t *testing.T) {
+	if os.Getenv("FSR_EDGE_SMOKE") != "1" {
+		t.Skip("set FSR_EDGE_SMOKE=1 to run the process-level smoke test")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"fsr-node", "fsr-edge"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd)
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	memberAddrs := []string{freeAddr(t), freeAddr(t), freeAddr(t)}
+	edgeAddr := freeAddr(t)
+	var peers []string
+	for id, addr := range memberAddrs {
+		peers = append(peers, fmt.Sprintf("%d=%s", id, addr))
+	}
+	peerSpec := strings.Join(peers, ",")
+
+	procs := make([]*exec.Cmd, 0, 4)
+	stop := func() {
+		for _, p := range procs {
+			_ = p.Process.Signal(os.Interrupt)
+		}
+		for _, p := range procs {
+			done := make(chan struct{})
+			go func(p *exec.Cmd) { _ = p.Wait(); close(done) }(p)
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				_ = p.Process.Kill()
+				<-done
+			}
+		}
+	}
+	defer stop()
+	start := func(name string, args ...string) {
+		t.Helper()
+		p := exec.Command(filepath.Join(bin, name), args...)
+		log, err := os.Create(filepath.Join(bin, fmt.Sprintf("%s-%d.log", name, len(procs))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Stdout, p.Stderr = log, log
+		if err := p.Start(); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		procs = append(procs, p)
+	}
+	for id := range memberAddrs {
+		start("fsr-node", "-id", fmt.Sprint(id), "-peers", peerSpec)
+	}
+	start("fsr-edge", "-listen", edgeAddr, "-members", strings.Join(memberAddrs, ","))
+
+	// The client session is pinned to the edge alone: its publishes must
+	// commit via the NOT-WRITABLE redirect to the members, and its
+	// subscription is served from the edge's replica of the order.
+	sess := dialRetry(t, edgeAddr)
+	defer sess.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const total = 25
+	for i := 0; i < total; i++ {
+		r, err := sess.Publish(ctx, fmt.Appendf(nil, "smoke-%d", i))
+		if err != nil {
+			t.Fatalf("publish %d through edge: %v", i, err)
+		}
+		if err := r.Wait(ctx); err != nil {
+			t.Fatalf("publish %d never committed: %v", i, err)
+		}
+	}
+	var got int
+	for _, m := range sess.Subscribe(ctx, 1) {
+		if m.Snapshot {
+			continue
+		}
+		if want := fmt.Sprintf("smoke-%d", got); string(m.Payload) != want {
+			t.Fatalf("message %d through edge: got %q want %q", got, m.Payload, want)
+		}
+		if got++; got == total {
+			break
+		}
+	}
+	if got != total {
+		t.Fatalf("streamed %d of %d messages back through the edge (session err: %v)", got, total, sess.Err())
+	}
+	t.Logf("ring+edge smoke: %d messages published and streamed through %s", total, edgeAddr)
+}
+
+// freeAddr reserves one loopback TCP address.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close()
+	return addr
+}
+
+// dialRetry dials the edge until its listener (and the ring behind it) is
+// up.
+func dialRetry(t *testing.T, addr string) fsr.Session {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		sess, err := client.Dial(client.Config{Addrs: []string{addr}, DialTimeout: time.Second})
+		if err == nil {
+			return sess
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("edge at %s never came up: %v", addr, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

@@ -44,6 +44,14 @@ const (
 // ErrBadClient reports an undecodable client-channel payload.
 var ErrBadClient = errors.New("wire: bad client payload")
 
+// Session roles announced in HELLO. An edge replica is a read-only
+// fan-out node tailing the log through an ordinary session; members use
+// the role for metrics/diagnostics only — the protocol is identical.
+const (
+	RoleClient byte = 0
+	RoleEdge   byte = 1
+)
+
 // ClientHello opens or refreshes a session with the serving member. The
 // member answers with a ClientRedirect carrying the current view and its
 // applied frontier (RedirectWelcome).
@@ -51,6 +59,8 @@ type ClientHello struct {
 	// MaxEventBytes caps one EVENT frame's payload bytes (0 = server
 	// default); lets constrained clients bound their buffers.
 	MaxEventBytes uint32
+	// Role distinguishes ordinary clients from edge replicas (RoleEdge).
+	Role byte
 }
 
 // ClientPublish submits one payload for total order broadcast on the
@@ -96,10 +106,26 @@ type ClientEventEntry struct {
 // resumed below the member's WAL truncation point) a state snapshot at
 // SnapSeq, or nothing at all — an idle keepalive proving the subscription
 // is still being served.
+//
+// Three flag bits extend the per-subscription stream with the shared
+// encode-once tail (see internal/serve):
+//
+//   - Attach (Sub = subscription): from here on, this subscription is fed
+//     by the link's shared tail frames instead of private pages.
+//   - Tail (Sub = 0): one batch of the shared tail, folded into EVERY
+//     attached subscription of the link (offset dedup per subscription).
+//     With no entries it doubles as the attached-mode keepalive.
+//   - Detach (Sub = 0): every attached subscription of the link reverts
+//     to private paging (the server fell behind for this link and will
+//     re-page it up to date before re-attaching).
 type ClientEvent struct {
-	// Sub names the subscription this page belongs to.
+	// Sub names the subscription this page belongs to (0 for Tail/Detach
+	// frames, which are link-wide).
 	Sub         uint64
 	HasSnapshot bool
+	Tail        bool
+	Attach      bool
+	Detach      bool
 	SnapSeq     uint64
 	Snapshot    []byte
 	Entries     []ClientEventEntry
@@ -118,6 +144,10 @@ const (
 	// RedirectCannotServe answers a SUBSCRIBE the member cannot satisfy
 	// (offset below its horizon and no snapshot); try another member.
 	RedirectCannotServe
+	// RedirectNotWritable answers a PUBLISH sent to a read-only edge
+	// replica: the session must move publishes to a real ring member
+	// (Members/Addrs say which).
+	RedirectNotWritable
 )
 
 // ClientRedirect points the client at the group: the current view members
@@ -126,6 +156,11 @@ type ClientRedirect struct {
 	Reason  byte
 	Applied uint64
 	Members []ring.ProcID
+	// Addrs optionally carries dialable addresses for Members (same order)
+	// for deployments where transport IDs alone are not dialable (TCP
+	// clients behind an edge learn the ring members' listen addresses from
+	// a RedirectNotWritable).
+	Addrs []string
 	// Sub names the subscription a RedirectCannotServe answers; 0 for
 	// session-wide redirects.
 	Sub uint64
@@ -133,9 +168,10 @@ type ClientRedirect struct {
 
 // EncodeClientHello serializes h, prefixed with KindClient.
 func EncodeClientHello(h *ClientHello) []byte {
-	buf := make([]byte, 0, 2+4)
+	buf := make([]byte, 0, 2+4+1)
 	buf = append(buf, KindClient, clientHello)
 	buf = binary.LittleEndian.AppendUint32(buf, h.MaxEventBytes)
+	buf = append(buf, h.Role)
 	return buf
 }
 
@@ -184,12 +220,27 @@ func EncodeClientEvent(e *ClientEvent) []byte {
 	for i := range e.Entries {
 		n += clientEventEntryFixed + len(e.Entries[i].Payload)
 	}
-	buf := make([]byte, 0, n)
+	return AppendClientEvent(make([]byte, 0, n), e)
+}
+
+// AppendClientEvent appends e's encoding to buf and returns the extended
+// slice. The fan-out hot path encodes into pooled buffers with it; the
+// encoding is identical to EncodeClientEvent.
+func AppendClientEvent(buf []byte, e *ClientEvent) []byte {
 	buf = append(buf, KindClient, clientEvent)
 	buf = binary.LittleEndian.AppendUint64(buf, e.Sub)
 	var flags byte
 	if e.HasSnapshot {
 		flags |= 1
+	}
+	if e.Tail {
+		flags |= 2
+	}
+	if e.Attach {
+		flags |= 4
+	}
+	if e.Detach {
+		flags |= 8
 	}
 	buf = append(buf, flags)
 	if e.HasSnapshot {
@@ -211,7 +262,11 @@ func EncodeClientEvent(e *ClientEvent) []byte {
 
 // EncodeClientRedirect serializes r, prefixed with KindClient.
 func EncodeClientRedirect(r *ClientRedirect) []byte {
-	buf := make([]byte, 0, 2+1+8+8+2+4*len(r.Members))
+	n := 2 + 1 + 8 + 8 + 2 + 4*len(r.Members) + 2
+	for _, a := range r.Addrs {
+		n += 2 + len(a)
+	}
+	buf := make([]byte, 0, n)
 	buf = append(buf, KindClient, clientRedirect)
 	buf = append(buf, r.Reason)
 	buf = binary.LittleEndian.AppendUint64(buf, r.Applied)
@@ -219,6 +274,11 @@ func EncodeClientRedirect(r *ClientRedirect) []byte {
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Members)))
 	for _, m := range r.Members {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(m))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Addrs)))
+	for _, a := range r.Addrs {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(a)))
+		buf = append(buf, a...)
 	}
 	return buf
 }
@@ -243,6 +303,9 @@ func DecodeClient(buf []byte) (any, error) {
 	case clientHello:
 		var h ClientHello
 		if h.MaxEventBytes, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if h.Role, err = r.u8(); err != nil {
 			return nil, err
 		}
 		return &h, trailing(&r)
@@ -292,6 +355,9 @@ func DecodeClient(buf []byte) (any, error) {
 			return nil, err
 		}
 		e.HasSnapshot = flags&1 != 0
+		e.Tail = flags&2 != 0
+		e.Attach = flags&4 != 0
+		e.Detach = flags&8 != 0
 		if e.HasSnapshot {
 			if e.SnapSeq, err = r.u64(); err != nil {
 				return nil, err
@@ -360,6 +426,24 @@ func DecodeClient(buf []byte) (any, error) {
 				return nil, err
 			}
 			rd.Members = append(rd.Members, ring.ProcID(m))
+		}
+		acount, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if int(acount)*2 > r.rem() {
+			return nil, ErrTruncated
+		}
+		for i := 0; i < int(acount); i++ {
+			n, err := r.u16()
+			if err != nil {
+				return nil, err
+			}
+			b, err := r.bytes(int(n))
+			if err != nil {
+				return nil, err
+			}
+			rd.Addrs = append(rd.Addrs, string(b))
 		}
 		return &rd, trailing(&r)
 	default:

@@ -71,6 +71,19 @@ type Metrics struct {
 	SessionDuplicates  uint64
 	SessionSubscribers int
 
+	// Encode-once fan-out (see internal/serve): TailAttached counts
+	// subscriptions currently fed by the shared tail, TailFrames the
+	// encode-once frames published, TailDetaches the slow clients demoted
+	// back to catch-up paging by a full transmit queue. EdgeClients counts
+	// connected links that announced themselves as edge replicas.
+	// SessionBounded counts publishes dropped by the per-client in-flight
+	// bound.
+	TailAttached   int
+	TailFrames     uint64
+	TailDetaches   uint64
+	EdgeClients    int
+	SessionBounded uint64
+
 	// BroadcastLatency summarizes the last broadcasts' acceptance-to-
 	// uniform-delivery latency on this node.
 	BroadcastLatency LatencySummary

@@ -11,6 +11,7 @@ import (
 	"fsr/internal/core"
 	"fsr/internal/fd"
 	"fsr/internal/ring"
+	"fsr/internal/serve"
 	"fsr/internal/vsc"
 	"fsr/internal/wal"
 	"fsr/internal/wire"
@@ -87,9 +88,14 @@ type Node struct {
 	sinceSnap int         // messages applied since the last snapshot (pump-owned)
 	catch     *catchState // in-flight catch-up transfer (event-loop-owned)
 
-	// Session serving: the publish dedup index, parked client publishes
-	// and remote subscription pagers (see nodesession.go).
+	// Session serving: the publish dedup index and parked client publishes
+	// (see nodesession.go) plus the shared serving engine — clients,
+	// subscription pagers, per-client writers and the encode-once fan-out.
 	sess *sessSrv
+	srv  *serve.Server
+	// fanScratch is the pump's reusable batch conversion buffer for the
+	// encode-once tail (pump goroutine only).
+	fanScratch []wire.ClientEventEntry
 
 	outMu    sync.Mutex
 	outCond  *sync.Cond
@@ -359,6 +365,8 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		n.fdet.SetPeers(cfg.Members, time.Now())
 	}
 
+	n.srv = n.newServe()
+
 	tr.SetHandler(func(from transport.ProcID, payload []byte) {
 		select {
 		case n.inbox <- inboundPayload{from: from, payload: payload}:
@@ -366,10 +374,9 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		}
 	})
 
-	n.wg.Add(3)
+	n.wg.Add(2)
 	go n.loop()
 	go n.deliveryPump()
-	go n.sess.ackLoop()
 	return n, nil
 }
 
@@ -556,7 +563,12 @@ func (n *Node) RotateLeader() bool {
 func (n *Node) Stop() {
 	n.halt()
 	n.wg.Wait()
+	// Serving teardown order matters: mark the serving engine dead first,
+	// then close the transport (which unblocks any client writer stuck in
+	// a socket write to a stalled subscriber), then join its goroutines.
+	n.srv.Shutdown()
 	_ = n.tr.Close()
+	n.srv.Wait()
 	if n.wlog != nil {
 		_ = n.wlog.Close()
 	}
@@ -639,7 +651,7 @@ func (n *Node) install(v core.View, sync *core.Sync, rebroadcast []core.PendingM
 	}
 	// Connected session clients learn the new view (best-effort): a client
 	// bound to a departed member fails over sooner than its timeouts.
-	n.sess.notifyClients(wire.RedirectView)
+	n.srv.NotifyAll(wire.RedirectView)
 	n.refreshCatchup(v, sync, prevNext)
 }
 
@@ -691,7 +703,7 @@ func (n *Node) stopping() bool {
 // clients get a best-effort goodbye so they fail over immediately instead
 // of waiting out their timeouts.
 func (n *Node) shutdown() {
-	n.sess.notifyClients(wire.RedirectBye)
+	n.srv.NotifyAll(wire.RedirectBye)
 	n.engine.Stop()
 	err := n.Err()
 	if err == nil {
@@ -850,8 +862,14 @@ func (n *Node) snapshotMetrics() Metrics {
 	n.sess.mu.Lock()
 	m.SessionPublishes = n.sess.pubsAccepted
 	m.SessionDuplicates = n.sess.dupsFiltered
-	m.SessionSubscribers = len(n.sess.subs)
+	m.SessionBounded = n.sess.pubsBounded
 	n.sess.mu.Unlock()
+	st2 := n.srv.Stats()
+	m.SessionSubscribers = st2.Subs
+	m.TailAttached = st2.TailAttached
+	m.TailFrames = st2.TailFrames
+	m.TailDetaches = st2.TailDetaches
+	m.EdgeClients = st2.EdgeClients
 	return m
 }
 
@@ -1000,7 +1018,7 @@ func (n *Node) handlePayload(in inboundPayload) {
 			n.handleCatchupResp(in.from, v)
 		}
 	case wire.KindClient:
-		n.handleClientPayload(in.from, in.payload)
+		n.srv.Handle(in.from, in.payload)
 	}
 }
 
@@ -1449,6 +1467,7 @@ func (n *Node) applyBatch(recovered []catchItem, live []Message) error {
 	var finals []Message // applied messages in final form, for the memlog
 	var acks []pubAck
 	appended := false
+	snapJump := false // a snapshot transfer advanced the cursor past entries
 	apply := func(m Message, isLive bool) error {
 		if m.Seq <= cursor {
 			return nil // already recovered (replay / catch-up overlap)
@@ -1508,6 +1527,7 @@ func (n *Node) applyBatch(recovered []catchItem, live []Message) error {
 			}
 		}
 		cursor = it.snap.Seq
+		snapJump = true
 		n.sinceSnap = 0
 		return nil
 	}
@@ -1546,9 +1566,11 @@ func (n *Node) applyBatch(recovered []catchItem, live []Message) error {
 	n.applied = cursor
 	n.pumpBusy = false // batch durable: applied now covers it
 	n.outMu.Unlock()
-	// Batch durable and visible: wake subscription pagers and acknowledge
-	// the client publishes it committed.
+	// Batch durable and visible: wake subscription pagers, acknowledge the
+	// client publishes it committed, and fan the batch out to attached
+	// subscribers (one encode for all of them).
 	n.sess.commitBatch(acks)
+	n.publishTail(finals, snapJump)
 	for _, m := range dispatch {
 		n.dispatch(m)
 	}

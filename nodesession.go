@@ -6,15 +6,17 @@ import (
 	"iter"
 	"slices"
 	"sync"
-	"time"
 
+	"fsr/internal/serve"
 	"fsr/internal/wire"
 )
 
 // This file is the member half of the Session API: the broadcast-payload
 // envelope that carries client identity through the ring, the deterministic
-// publish-dedup index that makes client retries idempotent, and the serving
-// of remote client sessions (publishes, offset subscriptions, redirects).
+// publish-dedup index that makes client retries idempotent, and the glue
+// binding the node to the shared serving engine (internal/serve), which
+// owns subscriptions, per-client transmit queues and the encode-once
+// fan-out for both ring members and edge replicas.
 
 // --- Broadcast payload envelope ------------------------------------------
 //
@@ -264,48 +266,50 @@ func (l *memLog) read(after uint64, max int) (entries []Message, belowHorizon bo
 
 // --- Session serving ------------------------------------------------------
 
-// Serving page and pacing bounds (mirroring the catch-up transfer's).
+// Local paging bounds (in-process subscriptions; remote serving pages
+// with internal/serve's own, identical bounds).
 const (
 	srvSubMaxEntries = 256
 	srvSubMaxBytes   = 1 << 20
-	srvKeepalive     = time.Second
 	// maxParkedClientPubs bounds client publishes parked while the member
 	// cannot broadcast (joining, view change, catch-up, own-queue full).
 	// Beyond it publishes are dropped; the client's ack-timeout retry is
 	// the backpressure.
 	maxParkedClientPubs = 8192
+	// maxInflightClientPubs bounds what ONE client may have in flight
+	// (broadcast or parked, not yet applied) — a publisher that never
+	// waits for acks cannot monopolize the parked queue or the ring's
+	// bandwidth. Past the bound its publishes are dropped; the ack-timeout
+	// retry is, again, the backpressure.
+	maxInflightClientPubs = 1024
 )
 
-// sessSrv is one member's session-serving state. The index and counters
-// are written by the delivery pump (apply time) and read by the event loop
-// (publish dedup); subscriptions are served by per-subscription
-// goroutines paging the durable log. Lock ordering: sessSrv.mu may be
-// held while taking Node.outMu (via Node.Applied), never the reverse.
+// sessSrv is the member-specific half of session serving: the publish
+// dedup index, in-flight and parked publish tracking, and the ephemeral
+// order tail. The protocol-facing half (clients, subscriptions, transmit
+// queues, fan-out) lives in Node.srv, the shared serving engine. The
+// index and counters are written by the delivery pump (apply time) and
+// read by the event loop (publish dedup). Lock ordering: sessSrv.mu may
+// be held while taking Node.outMu (via Node.Applied), never the reverse.
 type sessSrv struct {
 	n *Node
 
-	mu       sync.Mutex
-	index    pubIndex
-	inflight map[pubKey]struct{} // broadcast issued, not yet applied
-	parked   []parkedPub
-	clients  map[ProcID]struct{} // clients to notify on view changes
-	subs     map[subKey]*srvSub
-	memlog   *memLog       // non-durable members only
-	signal   chan struct{} // closed and replaced at every applied batch
-	ackq     chan pubAck   // PUBACK transmission queue (see ackLoop)
+	mu        sync.Mutex
+	index     pubIndex
+	inflight  map[pubKey]struct{} // broadcast issued, not yet applied
+	perClient map[ProcID]int      // in-flight publish count per client
+	parked    []parkedPub
+	memlog    *memLog       // non-durable members only
+	signal    chan struct{} // closed and replaced at every applied batch
 
 	pubsAccepted uint64 // client publishes committed through this member
 	dupsFiltered uint64 // duplicate publishes filtered at apply time
+	pubsBounded  uint64 // publishes dropped by the per-client bound
 }
 
 type pubKey struct {
 	cid ProcID
 	pub uint64
-}
-
-type subKey struct {
-	cid ProcID
-	sub uint64
 }
 
 type parkedPub struct {
@@ -323,41 +327,29 @@ type pubAck struct {
 
 func newSessSrv(n *Node) *sessSrv {
 	return &sessSrv{
-		n:        n,
-		inflight: make(map[pubKey]struct{}),
-		clients:  make(map[ProcID]struct{}),
-		subs:     make(map[subKey]*srvSub),
-		signal:   make(chan struct{}),
-		ackq:     make(chan pubAck, 1024),
+		n:         n,
+		inflight:  make(map[pubKey]struct{}),
+		perClient: make(map[ProcID]int),
+		signal:    make(chan struct{}),
 	}
 }
 
-// ackLoop transmits PUBACKs off the delivery pump and the event loop: a
-// transport write to a client that has stopped reading can block
-// indefinitely, and neither the member's apply pipeline nor its protocol
-// loop may hang on a client (clients are outside the ring's trust
-// boundary). Runs for the node's lifetime.
-func (s *sessSrv) ackLoop() {
-	defer s.n.wg.Done()
-	for {
-		select {
-		case a := <-s.ackq:
-			payload := wire.EncodeClientPubAck(&wire.ClientPubAck{PubID: a.pub, Seq: a.seq})
-			if err := s.n.tr.Send(a.cid, payload); err != nil {
-				s.forget(a.cid)
-			}
-		case <-s.n.stop:
-			return
-		}
-	}
+// addInflight records a publish as in flight. Callers hold s.mu.
+func (s *sessSrv) addInflight(key pubKey) {
+	s.inflight[key] = struct{}{}
+	s.perClient[key.cid]++
 }
 
-// sendAck queues one PUBACK for transmission, dropping it when the queue
-// is full — the client's ack-timeout retry is the backpressure.
-func (s *sessSrv) sendAck(a pubAck) {
-	select {
-	case s.ackq <- a:
-	default:
+// removeInflight clears an in-flight record, if present. Callers hold s.mu.
+func (s *sessSrv) removeInflight(key pubKey) {
+	if _, ok := s.inflight[key]; !ok {
+		return
+	}
+	delete(s.inflight, key)
+	if n := s.perClient[key.cid] - 1; n > 0 {
+		s.perClient[key.cid] = n
+	} else {
+		delete(s.perClient, key.cid)
 	}
 }
 
@@ -395,7 +387,7 @@ func (s *sessSrv) classify(m Message, enveloped bool) (final Message, dup bool, 
 			s.index.add(m.Origin, m.LogicalID, m.Seq)
 			key := pubKey{cid: m.Origin, pub: m.LogicalID}
 			if _, ok := s.inflight[key]; ok {
-				delete(s.inflight, key)
+				s.removeInflight(key)
 				ack = &pubAck{cid: m.Origin, pub: m.LogicalID, seq: m.Seq}
 			}
 			s.mu.Unlock()
@@ -410,13 +402,13 @@ func (s *sessSrv) classify(m Message, enveloped bool) (final Message, dup bool, 
 	key := pubKey{cid: cid, pub: pubID}
 	s.mu.Lock()
 	if seq, committed := s.index.committed(cid, pubID); committed {
-		delete(s.inflight, key)
+		s.removeInflight(key)
 		s.dupsFiltered++
 		s.mu.Unlock()
 		return Message{Seq: m.Seq}, true, &pubAck{cid: cid, pub: pubID, seq: seq}
 	}
 	s.index.add(cid, pubID, m.Seq)
-	delete(s.inflight, key)
+	s.removeInflight(key)
 	s.pubsAccepted++
 	s.mu.Unlock()
 	final = Message{Seq: m.Seq, Origin: cid, LogicalID: pubID, Payload: inner}
@@ -439,22 +431,16 @@ func (s *sessSrv) retainBatch(finals []Message) {
 
 // commitBatch runs after a pump batch is durable and covered by the
 // applied frontier: wake subscription pagers and queue the batch's
-// PUBACKs (transmitted by ackLoop, never blocking the pump).
+// PUBACKs (transmitted by the per-client writers, never blocking the
+// pump).
 func (s *sessSrv) commitBatch(acks []pubAck) {
 	s.mu.Lock()
 	close(s.signal)
 	s.signal = make(chan struct{})
 	s.mu.Unlock()
 	for _, a := range acks {
-		s.sendAck(a)
+		s.n.srv.Ack(a.cid, a.pub, a.seq)
 	}
-}
-
-// forget drops a client whose link is gone (it will re-HELLO on redial).
-func (s *sessSrv) forget(cid ProcID) {
-	s.mu.Lock()
-	delete(s.clients, cid)
-	s.mu.Unlock()
 }
 
 // snapshotIndex serializes the index for inclusion in a durable snapshot.
@@ -481,41 +467,54 @@ func (s *sessSrv) raiseHorizon(seq uint64) {
 	s.mu.Unlock()
 }
 
-// notifyClients sends a redirect to every known client (view change on the
-// event loop, goodbye at shutdown).
-func (s *sessSrv) notifyClients(reason byte) {
-	s.mu.Lock()
-	clients := make([]ProcID, 0, len(s.clients))
-	for cid := range s.clients {
-		clients = append(clients, cid)
-	}
-	s.mu.Unlock()
-	for _, cid := range clients {
-		s.n.sendRedirect(cid, reason, 0)
-	}
-}
-
 // --- Node: serving client frames (event loop) -----------------------------
 
-// handleClientPayload dispatches one KindClient payload. Clients are
-// outside the trust boundary of the ring: malformed input is dropped, never
-// fatal.
-func (n *Node) handleClientPayload(from ProcID, payload []byte) {
-	msg, err := wire.DecodeClient(payload)
-	if err != nil {
+// nodeSource adapts the member's committed order to the serving engine.
+type nodeSource struct{ n *Node }
+
+func (s nodeSource) Applied() uint64        { return s.n.Applied() }
+func (s nodeSource) Watch() <-chan struct{} { return s.n.sess.watch() }
+func (s nodeSource) ReadCommitted(cursor, applied uint64, maxEntries, maxBytes int) (serve.Page, error) {
+	return s.n.readCommitted(cursor, applied, maxEntries, maxBytes)
+}
+
+// newServe builds the member's serving engine: publishes run through the
+// dedup/broadcast path on the event loop (Handle is only called there),
+// redirects carry the current view.
+func (n *Node) newServe() *serve.Server {
+	return serve.New(serve.Config{
+		Transport: n.tr,
+		Source:    nodeSource{n: n},
+		Publish:   n.handleClientPublish,
+		Redirect: func() (members []ProcID, addrs []string, applied uint64) {
+			return n.CurrentView().Members, nil, n.Applied()
+		},
+	})
+}
+
+// publishTail fans one applied batch out to the attached subscribers:
+// one encode-once EVENT frame for every attached client. A snapshot
+// transfer has no entry stream for the range it covers, so it demotes
+// every attached subscription to pager catch-up (which serves the
+// snapshot) before the tail resumes. Pump goroutine only.
+func (n *Node) publishTail(finals []Message, snapJump bool) {
+	if snapJump {
+		n.srv.DetachAll()
+	}
+	if len(finals) == 0 {
 		return
 	}
-	switch v := msg.(type) {
-	case *wire.ClientHello:
-		n.sess.mu.Lock()
-		n.sess.clients[from] = struct{}{}
-		n.sess.mu.Unlock()
-		n.sendRedirect(from, wire.RedirectWelcome, 0)
-	case *wire.ClientPublish:
-		n.handleClientPublish(from, v)
-	case *wire.ClientSubscribe:
-		n.handleClientSubscribe(from, v)
+	n.fanScratch = n.fanScratch[:0]
+	for i := range finals {
+		m := &finals[i]
+		n.fanScratch = append(n.fanScratch, wire.ClientEventEntry{
+			Seq:     m.Seq,
+			Origin:  m.Origin,
+			Logical: m.LogicalID,
+			Payload: m.Payload,
+		})
 	}
+	n.srv.PublishTail(n.fanScratch)
 }
 
 // clientPubBlocked reports whether the member can broadcast on behalf of a
@@ -529,17 +528,18 @@ func (n *Node) clientPubBlocked() bool {
 }
 
 // handleClientPublish dedups one publish against the committed order and
-// the in-flight table, then broadcasts it (or parks it under backpressure).
+// the in-flight table, then broadcasts it (or parks it under
+// backpressure). Runs on the event loop, via the serving engine's Publish
+// hook.
 func (n *Node) handleClientPublish(from ProcID, p *wire.ClientPublish) {
 	s := n.sess
 	blocked := n.clientPubBlocked()
 	s.mu.Lock()
-	s.clients[from] = struct{}{}
 	if seq, ok := s.index.committed(from, p.PubID); ok {
 		s.mu.Unlock()
 		// Already committed (a retry after a lost ack): re-ack, off the
 		// event loop.
-		s.sendAck(pubAck{cid: from, pub: p.PubID, seq: seq})
+		n.srv.Ack(from, p.PubID, seq)
 		return
 	}
 	key := pubKey{cid: from, pub: p.PubID}
@@ -547,12 +547,19 @@ func (n *Node) handleClientPublish(from ProcID, p *wire.ClientPublish) {
 		s.mu.Unlock()
 		return // retry of an in-flight publish: the apply-time ack covers it
 	}
-	s.inflight[key] = struct{}{}
+	if s.perClient[from] >= maxInflightClientPubs {
+		// One client may not monopolize the ring: drop, the client's
+		// ack-timeout retry (paced by its window) is the backpressure.
+		s.pubsBounded++
+		s.mu.Unlock()
+		return
+	}
+	s.addInflight(key)
 	if blocked {
 		if len(s.parked) < maxParkedClientPubs {
 			s.parked = append(s.parked, parkedPub{cid: from, pub: p.PubID, payload: p.Payload})
 		} else {
-			delete(s.inflight, key) // dropped: the client's retry is the backpressure
+			s.removeInflight(key) // dropped: the client's retry is the backpressure
 		}
 		s.mu.Unlock()
 		return
@@ -567,7 +574,7 @@ func (n *Node) broadcastClientPub(cid ProcID, pubID uint64, payload []byte) {
 	if _, err := n.engine.Broadcast(wrapClient(cid, pubID, payload)); err != nil {
 		s := n.sess
 		s.mu.Lock()
-		delete(s.inflight, pubKey{cid: cid, pub: pubID})
+		s.removeInflight(pubKey{cid: cid, pub: pubID})
 		s.mu.Unlock()
 	}
 }
@@ -592,170 +599,42 @@ func (n *Node) drainClientPubs() {
 	}
 }
 
-// handleClientSubscribe starts, re-homes or cancels one subscription.
-func (n *Node) handleClientSubscribe(from ProcID, v *wire.ClientSubscribe) {
-	s := n.sess
-	key := subKey{cid: from, sub: v.SubID}
-	s.mu.Lock()
-	s.clients[from] = struct{}{}
-	if old := s.subs[key]; old != nil {
-		close(old.cancel)
-		delete(s.subs, key)
-	}
-	if v.Cancel {
-		s.mu.Unlock()
-		return
-	}
-	sub := &srvSub{n: n, key: key, cancel: make(chan struct{})}
-	if v.From == 0 {
-		sub.cursor = n.Applied()
-	} else {
-		sub.cursor = v.From - 1
-	}
-	s.subs[key] = sub
-	s.mu.Unlock()
-	n.wg.Add(1)
-	go sub.run()
-}
-
-// sendRedirect tells a client about the group (welcome, view change,
-// goodbye, cannot-serve).
-func (n *Node) sendRedirect(to ProcID, reason byte, sub uint64) {
-	v := n.CurrentView()
-	payload := wire.EncodeClientRedirect(&wire.ClientRedirect{
-		Reason:  reason,
-		Applied: n.Applied(),
-		Members: v.Members,
-		Sub:     sub,
-	})
-	if err := n.tr.Send(to, payload); err != nil {
-		n.sess.forget(to)
-	}
-}
-
-// srvSub serves one remote subscription: a goroutine paging the committed
-// order (durable log, or the in-memory tail) from the subscription's
-// cursor, parking on the apply signal when caught up and keepaliving idle
-// streams so the client can tell a quiet order from a dead member.
-type srvSub struct {
-	n      *Node
-	key    subKey
-	cursor uint64
-	cancel chan struct{}
-}
-
-func (u *srvSub) run() {
-	defer u.n.wg.Done()
-	defer u.unregister()
-	for {
-		select {
-		case <-u.cancel:
-			return
-		case <-u.n.stop:
-			return
-		default:
-		}
-		applied := u.n.Applied()
-		if u.cursor >= applied {
-			watch := u.n.sess.watch()
-			select {
-			case <-watch:
-			case <-time.After(srvKeepalive):
-				if !u.send(&wire.ClientEvent{Sub: u.key.sub}) {
-					return
-				}
-			case <-u.cancel:
-				return
-			case <-u.n.stop:
-				return
-			}
-			continue
-		}
-		page, err := u.n.readCommitted(u.cursor, applied, srvSubMaxEntries, srvSubMaxBytes)
-		if err != nil {
-			return // the node is failing (disk); the client fails over
-		}
-		if page.belowHorizon {
-			u.n.sendRedirect(u.key.cid, wire.RedirectCannotServe, u.key.sub)
-			return
-		}
-		ev := &wire.ClientEvent{Sub: u.key.sub}
-		if page.snap != nil {
-			ev.HasSnapshot = true
-			ev.SnapSeq = page.snapSeq
-			ev.Snapshot = page.snap
-		}
-		for i := range page.entries {
-			m := &page.entries[i]
-			ev.Entries = append(ev.Entries, wire.ClientEventEntry{
-				Seq:     m.Seq,
-				Origin:  m.Origin,
-				Logical: m.LogicalID,
-				Payload: m.Payload,
-			})
-		}
-		if !u.send(ev) {
-			return
-		}
-		u.cursor = page.cursor
-	}
-}
-
-// send encodes and transmits one EVENT page; false means the link is gone.
-func (u *srvSub) send(ev *wire.ClientEvent) bool {
-	if err := u.n.tr.Send(u.key.cid, wire.EncodeClientEvent(ev)); err != nil {
-		u.n.sess.forget(u.key.cid)
-		return false
-	}
-	return true
-}
-
-// unregister removes the subscription if this goroutine still owns it.
-func (u *srvSub) unregister() {
-	s := u.n.sess
-	s.mu.Lock()
-	if s.subs[u.key] == u {
-		delete(s.subs, u.key)
-	}
-	s.mu.Unlock()
-}
-
 // --- Reading the committed order (shared by remote and local sessions) ----
-
-// subPage is one page of a subscription stream.
-type subPage struct {
-	snap         []byte // application snapshot (state transfer), nil if none
-	snapSeq      uint64
-	entries      []Message
-	cursor       uint64 // cursor after consuming the page
-	belowHorizon bool   // this member cannot serve offsets this old
-}
 
 // readCommitted pages the committed order in (cursor, applied]. On a
 // durable member it reads the WAL, falling back to the latest snapshot
 // when the cursor lies below the retained entries (the WAL was truncated
 // behind a snapshot); on an ephemeral member it reads the bounded
 // in-memory tail. Safe from any goroutine.
-func (n *Node) readCommitted(cursor, applied uint64, maxEntries, maxBytes int) (subPage, error) {
+func (n *Node) readCommitted(cursor, applied uint64, maxEntries, maxBytes int) (serve.Page, error) {
 	if n.wlog == nil {
 		s := n.sess
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if s.memlog == nil {
-			return subPage{belowHorizon: true}, nil
+			return serve.Page{BelowHorizon: true}, nil
 		}
 		entries, below := s.memlog.read(cursor, maxEntries)
 		if below {
-			return subPage{belowHorizon: true}, nil
+			return serve.Page{BelowHorizon: true}, nil
 		}
-		page := subPage{entries: slices.Clone(entries), cursor: applied}
+		page := serve.Page{Cursor: applied}
+		for i := range entries {
+			m := &entries[i]
+			page.Entries = append(page.Entries, wire.ClientEventEntry{
+				Seq:     m.Seq,
+				Origin:  m.Origin,
+				Logical: m.LogicalID,
+				Payload: m.Payload,
+			})
+		}
 		if len(entries) > 0 {
 			if last := entries[len(entries)-1].Seq; len(entries) == maxEntries {
-				page.cursor = last
-			} else if last > page.cursor {
+				page.Cursor = last
+			} else if last > page.Cursor {
 				// The tail ran past the sampled applied frontier; never let
 				// the cursor fall behind what was served.
-				page.cursor = last
+				page.Cursor = last
 			}
 		}
 		return page, nil
@@ -765,25 +644,25 @@ func (n *Node) readCommitted(cursor, applied uint64, maxEntries, maxBytes int) (
 			// The entries the subscriber needs are truncated behind the
 			// snapshot: hand over the application state instead.
 			_, app := openSnapshot(snap.Data)
-			return subPage{snap: app, snapSeq: snap.Seq, cursor: snap.Seq}, nil
+			return serve.Page{Snap: app, SnapSeq: snap.Seq, Cursor: snap.Seq}, nil
 		}
 	}
 	entries, more, err := n.wlog.ReadFrom(cursor, applied, maxEntries, maxBytes)
 	if err != nil {
-		return subPage{}, err
+		return serve.Page{}, err
 	}
-	page := subPage{cursor: applied}
+	page := serve.Page{Cursor: applied}
 	for i := range entries {
 		e := &entries[i]
-		page.entries = append(page.entries, Message{
-			Seq:       e.Seq,
-			Origin:    ProcID(e.Origin),
-			LogicalID: e.LogicalID,
-			Payload:   e.Payload,
+		page.Entries = append(page.Entries, wire.ClientEventEntry{
+			Seq:     e.Seq,
+			Origin:  ProcID(e.Origin),
+			Logical: e.LogicalID,
+			Payload: e.Payload,
 		})
 	}
 	if more {
-		page.cursor = entries[len(entries)-1].Seq
+		page.Cursor = entries[len(entries)-1].Seq
 	}
 	return page, nil
 }
@@ -839,20 +718,22 @@ func (n *Node) subscribeLocal(ctx context.Context, from Offset) iter.Seq2[Offset
 				continue
 			}
 			page, err := n.readCommitted(cursor, applied, srvSubMaxEntries, srvSubMaxBytes)
-			if err != nil || page.belowHorizon {
+			if err != nil || page.BelowHorizon {
 				return // node failing, or the offset predates this member's horizon
 			}
-			if page.snap != nil {
-				if !yield(page.snapSeq, Message{Seq: page.snapSeq, Snapshot: true, Payload: page.snap}) {
+			if page.Snap != nil {
+				if !yield(page.SnapSeq, Message{Seq: page.SnapSeq, Snapshot: true, Payload: page.Snap}) {
 					return
 				}
 			}
-			for _, m := range page.entries {
+			for i := range page.Entries {
+				e := &page.Entries[i]
+				m := Message{Seq: e.Seq, Origin: e.Origin, LogicalID: e.Logical, Payload: e.Payload}
 				if !yield(m.Seq, m) {
 					return
 				}
 			}
-			cursor = page.cursor
+			cursor = page.Cursor
 		}
 	}
 }

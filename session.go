@@ -111,6 +111,20 @@ type SessionOptions struct {
 	// OnClose, when set, runs after the session shuts down — the hook for
 	// releasing a transport endpoint owned by the dialer.
 	OnClose func()
+	// Edge announces the session as an edge replica in its HELLO
+	// (wire.RoleEdge). Serving members expose the count in Metrics; the
+	// protocol is otherwise identical.
+	Edge bool
+}
+
+// WritableAdvertiser is an optional LinkDialer capability: a dialer that
+// implements it is told which processes accept publishes when the session
+// is redirected off a read-only edge replica (RedirectNotWritable), so
+// its rotation can prefer writable members on the reconnect that follows.
+// Members is the redirecting node's member list (transport IDs); Addrs,
+// when present, carries their dialable addresses in the same order.
+type WritableAdvertiser interface {
+	NeedWritable(members []ProcID, addrs []string)
 }
 
 func (o SessionOptions) withDefaults() SessionOptions {
@@ -216,6 +230,10 @@ type remoteSub struct {
 	deadc   chan struct{} // closed when permanently unserviceable
 	dead    bool          // deadc closed (guarded by the session mu)
 	strikes int           // consecutive cannot-serve rounds
+	// attached marks the subscription as fed by the link's shared tail
+	// frames (between an ATTACH marker and a DETACH or reconnect);
+	// guarded by the session mu and meaningful for the current link only.
+	attached bool
 	// evMu serializes EVENT processing for this subscription: during a
 	// failover the superseded member's stream can race the new one (each
 	// connection delivers from its own goroutine), and the duplicate
@@ -448,7 +466,11 @@ func (s *remoteSession) connect(gen uint64, maxAttempts int) bool {
 			s.noteErr(err)
 			continue
 		}
-		if err := link.Send(wire.EncodeClientHello(&wire.ClientHello{})); err != nil {
+		hello := &wire.ClientHello{}
+		if s.opts.Edge {
+			hello.Role = wire.RoleEdge
+		}
+		if err := link.Send(wire.EncodeClientHello(hello)); err != nil {
 			_ = link.Close()
 			s.noteErr(err)
 			continue
@@ -471,6 +493,9 @@ func (s *remoteSession) connect(gen uint64, maxAttempts int) bool {
 		}
 		subs := make([]*wire.ClientSubscribe, 0, len(s.subs))
 		for _, sub := range s.subs {
+			// Tail attachment is per-link state: the new member re-attaches
+			// after its own pager catches this subscription up.
+			sub.attached = false
 			if sub.dead {
 				continue
 			}
@@ -554,13 +579,22 @@ func (s *remoteSession) handleFrame(gen uint64, payload []byte) {
 			<-s.window // release the in-flight slot
 		}
 	case *wire.ClientEvent:
-		s.handleEvent(v)
+		s.handleEvent(gen, v)
 	case *wire.ClientRedirect:
 		switch v.Reason {
 		case wire.RedirectBye:
 			s.failover(gen, fmt.Errorf("fsr: serving member said goodbye"))
 		case wire.RedirectCannotServe:
 			s.cannotServe(gen, v.Sub)
+		case wire.RedirectNotWritable:
+			// A read-only edge replica refused a publish: tell the dialer
+			// who is writable and reconnect there (pending publishes are
+			// replayed on the new link). Subscriber-only sessions never
+			// publish, so they stay pinned to the edge tier.
+			if wa, ok := s.dialer.(WritableAdvertiser); ok {
+				wa.NeedWritable(v.Members, v.Addrs)
+			}
+			s.failover(gen, fmt.Errorf("fsr: serving node is read-only; moving to a writable member"))
 		default:
 			// Welcome / view change: informational. The dialer's rotation
 			// is the discovery mechanism; nothing to update here.
@@ -568,8 +602,13 @@ func (s *remoteSession) handleFrame(gen uint64, payload []byte) {
 	}
 }
 
-// handleEvent folds one EVENT page into its subscription.
-func (s *remoteSession) handleEvent(e *wire.ClientEvent) {
+// handleEvent folds one EVENT page into its subscription — or, for
+// tail/marker frames, into the link's attached-subscription state.
+func (s *remoteSession) handleEvent(gen uint64, e *wire.ClientEvent) {
+	if e.Tail || e.Attach || e.Detach {
+		s.handleTailFrame(gen, e)
+		return
+	}
 	s.mu.Lock()
 	sub := s.subs[e.Sub]
 	if sub != nil {
@@ -583,6 +622,62 @@ func (s *remoteSession) handleEvent(e *wire.ClientEvent) {
 	if sub == nil {
 		return // cancelled (or a stale stream after re-subscribe elsewhere)
 	}
+	s.foldPage(sub, e)
+}
+
+// handleTailFrame processes the shared-tail side of the protocol. Unlike
+// per-subscription pages — which are safe to fold from a superseded link
+// (each stream is individually gap-free and the cursor dedups) — tail
+// frames and attach/detach markers are meaningful only on the link that
+// sent them: an old link's ATTACH must not make this session fold the NEW
+// link's tail into a subscription its pager is still catching up.
+func (s *remoteSession) handleTailFrame(gen uint64, e *wire.ClientEvent) {
+	s.mu.Lock()
+	if gen != s.linkGen {
+		s.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	if e.Attach {
+		if sub := s.subs[e.Sub]; sub != nil && !sub.dead {
+			sub.attached = true
+			sub.last = now
+			sub.strikes = 0
+		}
+		s.mu.Unlock()
+		return
+	}
+	if e.Detach {
+		// The server demoted this whole link to catch-up paging.
+		for _, sub := range s.subs {
+			sub.attached = false
+		}
+		s.mu.Unlock()
+		return
+	}
+	// A tail batch (or, with no entries, the attached-mode keepalive):
+	// every attached subscription receives the same page, deduped by its
+	// own cursor.
+	targets := make([]*remoteSub, 0, len(s.subs))
+	for _, sub := range s.subs {
+		if sub.attached && !sub.dead {
+			sub.last = now
+			sub.strikes = 0
+			targets = append(targets, sub)
+		}
+	}
+	s.mu.Unlock()
+	if len(e.Entries) == 0 {
+		return
+	}
+	for _, sub := range targets {
+		s.foldPage(sub, e)
+	}
+}
+
+// foldPage delivers one EVENT page to one subscription, deduping against
+// its cursor.
+func (s *remoteSession) foldPage(sub *remoteSub, e *wire.ClientEvent) {
 	sub.evMu.Lock()
 	defer sub.evMu.Unlock()
 	s.mu.Lock()
