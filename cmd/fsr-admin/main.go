@@ -1,0 +1,212 @@
+// Command fsr-admin queries running FSR members and edges for operator
+// state over the ordinary client transport (no HTTP endpoint required) and
+// renders it across the whole cluster.
+//
+//	fsr-admin -addrs 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 status
+//	fsr-admin -addrs ... members     # installed view membership
+//	fsr-admin -addrs ... wal         # durable-log counters
+//	fsr-admin -addrs ... sessions    # publish traffic + subscriber census
+//	fsr-admin -addrs ... snapshot    # trigger a state-machine snapshot
+//
+// status sweeps every address and reports each process's role, view,
+// applied offset and lag behind the most-advanced process; the other ops
+// sweep too, one row per answering process. -json emits the raw documents.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"fsr/admin"
+)
+
+func main() {
+	addrsFlag := flag.String("addrs", "", "comma-separated member/edge addresses to query (required)")
+	timeout := flag.Duration("timeout", 3*time.Second, "per-request timeout")
+	asJSON := flag.Bool("json", false, "emit raw JSON documents instead of a table")
+	flag.Parse()
+	op := flag.Arg(0)
+	if *addrsFlag == "" || op == "" {
+		fmt.Fprintln(os.Stderr, "usage: fsr-admin -addrs host:port[,host:port...] {status|members|wal|sessions|snapshot}")
+		os.Exit(2)
+	}
+	var addrs []string
+	for _, a := range strings.Split(*addrsFlag, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if err := run(addrs, op, *timeout, *asJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "fsr-admin: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// result pairs one address with what it answered (or the failure).
+type result struct {
+	addr string
+	doc  any
+	err  error
+}
+
+// sweep asks every address concurrently and returns the answers in input
+// order.
+func sweep(addrs []string, timeout time.Duration, ask func(*admin.Client) (any, error)) []result {
+	results := make([]result, len(addrs))
+	done := make(chan int)
+	for i, a := range addrs {
+		go func() {
+			defer func() { done <- i }()
+			results[i].addr = a
+			c, err := admin.Dial(a, timeout)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer c.Close()
+			results[i].doc, results[i].err = ask(c)
+		}()
+	}
+	for range addrs {
+		<-done
+	}
+	return results
+}
+
+func run(addrs []string, op string, timeout time.Duration, asJSON bool) error {
+	var ask func(*admin.Client) (any, error)
+	switch op {
+	case "status":
+		ask = func(c *admin.Client) (any, error) { return c.Status() }
+	case "members":
+		ask = func(c *admin.Client) (any, error) { return c.Members() }
+	case "wal":
+		ask = func(c *admin.Client) (any, error) { return c.WAL() }
+	case "sessions":
+		ask = func(c *admin.Client) (any, error) { return c.Sessions() }
+	case "snapshot":
+		ask = func(c *admin.Client) (any, error) { return c.Snapshot() }
+	default:
+		return fmt.Errorf("unknown op %q (want status, members, wal, sessions or snapshot)", op)
+	}
+	results := sweep(addrs, timeout, ask)
+	if asJSON {
+		out := make(map[string]any, len(results))
+		for _, r := range results {
+			if r.err != nil {
+				out[r.addr] = map[string]string{"error": r.err.Error()}
+			} else {
+				out[r.addr] = r.doc
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	render(results, op)
+	for _, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("%d of %d processes did not answer", countErrs(results), len(results))
+		}
+	}
+	return nil
+}
+
+func countErrs(results []result) int {
+	n := 0
+	for _, r := range results {
+		if r.err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func render(results []result, op string) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	switch op {
+	case "status":
+		// Lag is measured against the most-advanced answering process.
+		var max uint64
+		for _, r := range results {
+			if s, ok := r.doc.(*admin.Status); ok && s.Applied > max {
+				max = s.Applied
+			}
+		}
+		fmt.Fprintln(w, "ADDR\tROLE\tID\tEPOCH\tLEADER\tAPPLIED\tLAG\tREADY")
+		for _, r := range results {
+			if r.err != nil {
+				fmt.Fprintf(w, "%s\t-\t-\t-\t-\t-\t-\terror: %v\n", r.addr, r.err)
+				continue
+			}
+			s := r.doc.(*admin.Status)
+			role := s.Role
+			if s.IsLeader {
+				role += "*"
+			}
+			if s.CatchingUp {
+				role += " (catching up)"
+			}
+			ready := "yes"
+			if !s.Ready {
+				ready = "no: " + s.ReadyErr
+			}
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
+				r.addr, role, s.ID, s.Epoch, s.Leader, s.Applied, max-s.Applied, ready)
+		}
+	case "members":
+		fmt.Fprintln(w, "ADDR\tEPOCH\tLEADER\tT\tMEMBERS")
+		for _, r := range results {
+			if r.err != nil {
+				fmt.Fprintf(w, "%s\terror: %v\n", r.addr, r.err)
+				continue
+			}
+			m := r.doc.(*admin.Members)
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%v\n", r.addr, m.Epoch, m.Leader, m.T, m.IDs)
+		}
+	case "wal":
+		fmt.Fprintln(w, "ADDR\tDURABLE\tSEGS\tBYTES\tAPPENDS\tFSYNCS\tROTATIONS\tSNAPSHOTS\tSNAP_SEQ\tSNAP_AGE\tREPAIRS")
+		for _, r := range results {
+			if r.err != nil {
+				fmt.Fprintf(w, "%s\terror: %v\n", r.addr, r.err)
+				continue
+			}
+			i := r.doc.(*admin.WALInfo)
+			age := "-"
+			if i.SnapshotAgeMillis > 0 {
+				age = (time.Duration(i.SnapshotAgeMillis) * time.Millisecond).String()
+			}
+			fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%d\n",
+				r.addr, i.Durable, i.Segments, i.Bytes, i.Appends, i.Fsyncs,
+				i.Rotations, i.Snapshots, i.SnapshotSeq, age, i.Repairs)
+		}
+	case "sessions":
+		fmt.Fprintln(w, "ADDR\tPUBLISHES\tDUPS\tBOUNDED\tSUBS\tTAIL_ATTACHED\tEDGES\tTAIL_FRAMES\tDETACHES")
+		for _, r := range results {
+			if r.err != nil {
+				fmt.Fprintf(w, "%s\terror: %v\n", r.addr, r.err)
+				continue
+			}
+			s := r.doc.(*admin.Sessions)
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				r.addr, s.Publishes, s.Duplicates, s.Bounded, s.Subscribers,
+				s.TailAttached, s.EdgeClients, s.TailFrames, s.TailDetaches)
+		}
+	case "snapshot":
+		fmt.Fprintln(w, "ADDR\tTRIGGERED\tREASON")
+		for _, r := range results {
+			if r.err != nil {
+				fmt.Fprintf(w, "%s\terror: %v\n", r.addr, r.err)
+				continue
+			}
+			s := r.doc.(*admin.SnapshotResult)
+			fmt.Fprintf(w, "%s\t%v\t%s\n", r.addr, s.Triggered, s.Reason)
+		}
+	}
+}

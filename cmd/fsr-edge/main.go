@@ -15,6 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -22,6 +24,7 @@ import (
 
 	"fsr"
 	"fsr/edge"
+	"fsr/internal/obs"
 )
 
 func main() {
@@ -31,14 +34,34 @@ func main() {
 	durable := flag.String("durable", "", "directory for the durable tail store (empty = in-memory)")
 	tailcap := flag.Int("tailcap", 0, "in-memory tail bound in entries (0 = default)")
 	stats := flag.Duration("stats", 0, "print serving stats this often (0 = silent)")
+	obsAddr := flag.String("obs", "", "HTTP address for /metrics, /healthz, /readyz (empty = off)")
+	maxlag := flag.Duration("maxlag", 0, "upstream lag bound for /readyz (0 = 5s default)")
+	logFmt := flag.String("log", "text", "structured log format to stderr: text, json or off")
 	flag.Parse()
-	if err := run(*listen, *members, fsr.ProcID(*id), *durable, *tailcap, *stats); err != nil {
+	logger, err := buildLogger(*logFmt)
+	if err == nil {
+		err = run(*listen, *members, fsr.ProcID(*id), *durable, *tailcap, *stats, *obsAddr, *maxlag, logger)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fsr-edge: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, members string, id fsr.ProcID, durable string, tailcap int, stats time.Duration) error {
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "off":
+		return slog.New(slog.DiscardHandler), nil
+	default:
+		return nil, fmt.Errorf("unknown -log format %q (want text, json or off)", format)
+	}
+}
+
+func run(listen, members string, id fsr.ProcID, durable string, tailcap int, stats time.Duration, obsAddr string, maxlag time.Duration, logger *slog.Logger) error {
 	if members == "" {
 		return fmt.Errorf("-members is required")
 	}
@@ -54,11 +77,26 @@ func run(listen, members string, id fsr.ProcID, durable string, tailcap int, sta
 		ID:         id,
 		DurableDir: durable,
 		TailCap:    tailcap,
+		Logger:     logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer e.Stop()
+	if obsAddr != "" {
+		srv, err := obs.Serve(obs.Config{
+			Addr: obsAddr,
+			Metrics: func(w io.Writer) error {
+				return obs.WriteEdgeMetrics(w, uint32(e.ID()), e.Metrics())
+			},
+			Ready: func() error { return e.Ready(maxlag) },
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("fsr-edge obs: http://%s/metrics\n", srv.Addr())
+	}
 	fmt.Printf("fsr-edge up: listen=%s members=%v durable=%q\n", e.Addr(), addrs, durable)
 
 	sig := make(chan os.Signal, 1)

@@ -16,6 +16,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"slices"
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"fsr"
+	"fsr/internal/obs"
 	"fsr/transport/tcp"
 )
 
@@ -32,10 +35,31 @@ func main() {
 	peersFlag := flag.String("peers", "", "comma-separated id=host:port map for every member")
 	tol := flag.Int("t", 1, "number of tolerated failures")
 	send := flag.Duration("send", 0, "emit a demo broadcast this often (0 = silent)")
+	durable := flag.String("durable", "", "directory for the durable log (empty = in-memory)")
+	obsAddr := flag.String("obs", "", "HTTP address for /metrics, /healthz, /readyz (empty = off)")
+	join := flag.Bool("join", false, "start outside the group and join through the peers (use when restarting a member the group may have evicted)")
+	logFmt := flag.String("log", "text", "structured log format to stderr: text, json or off")
 	flag.Parse()
-	if err := run(fsr.ProcID(*id), *peersFlag, *tol, *send); err != nil {
+	logger, err := buildLogger(*logFmt)
+	if err == nil {
+		err = run(fsr.ProcID(*id), *peersFlag, *tol, *send, *durable, *obsAddr, *join, logger)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fsr-node: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "off":
+		return slog.New(slog.DiscardHandler), nil
+	default:
+		return nil, fmt.Errorf("unknown -log format %q (want text, json or off)", format)
 	}
 }
 
@@ -58,7 +82,7 @@ func parsePeers(spec string) (map[fsr.ProcID]string, []fsr.ProcID, error) {
 	return addrs, members, nil
 }
 
-func run(self fsr.ProcID, peersFlag string, tol int, send time.Duration) error {
+func run(self fsr.ProcID, peersFlag string, tol int, send time.Duration, durable, obsAddr string, join bool, logger *slog.Logger) error {
 	if peersFlag == "" {
 		return fmt.Errorf("-peers is required")
 	}
@@ -75,12 +99,38 @@ func run(self fsr.ProcID, peersFlag string, tol int, send time.Duration) error {
 	if err != nil {
 		return err
 	}
-	node, err := fsr.NewNode(fsr.Config{Self: self, Members: members, T: tol}, tr)
+	node, err := fsr.NewNode(fsr.Config{
+		Self:       self,
+		Members:    members,
+		T:          tol,
+		DurableDir: durable,
+		Joiner:     join,
+		Logger:     logger,
+	}, tr)
 	if err != nil {
 		_ = tr.Close()
 		return err
 	}
 	defer node.Stop()
+	if join {
+		contacts := slices.DeleteFunc(slices.Clone(members), func(p fsr.ProcID) bool { return p == self })
+		node.Join(contacts)
+	}
+	if obsAddr != "" {
+		srv, err := obs.Serve(obs.Config{
+			Addr: obsAddr,
+			Metrics: func(w io.Writer) error {
+				return obs.WriteNodeMetrics(w, uint32(self), node.Metrics())
+			},
+			Ready:  node.Ready,
+			Health: node.Err,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("fsr-node %d obs: http://%s/metrics\n", self, srv.Addr())
+	}
 	fmt.Printf("fsr-node %d up: members=%v leader=%d listen=%s\n", self, members, members[0], listen)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -3,6 +3,7 @@ package fsr
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"fsr/internal/core"
@@ -85,6 +86,18 @@ type Config struct {
 	// WALSegmentBytes caps one write-ahead-log segment file (the unit of
 	// truncation behind a snapshot). Default 4 MiB.
 	WALSegmentBytes int
+
+	// Logger receives structured events — view installs, catch-up
+	// progress, WAL rotation and repair, slow-subscriber detaches — each
+	// tagged with the node ID. Default discards them. Logging happens off
+	// the frame hot path only.
+	Logger *slog.Logger
+}
+
+// WithLogger returns a copy of c with the structured logger set.
+func (c Config) WithLogger(l *slog.Logger) Config {
+	c.Logger = l
+	return c
 }
 
 // WithDurableDir returns a copy of c with the durable directory set —
@@ -131,6 +144,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 4096
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	if !c.Joiner && len(c.Members) == 0 {
 		return c, fmt.Errorf("fsr: empty initial membership")

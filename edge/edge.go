@@ -29,6 +29,7 @@ package edge
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand/v2"
 	"sync"
 	"time"
@@ -70,6 +71,9 @@ type CoreConfig struct {
 	TailCap int
 	// QueueCap overrides the per-subscriber transmit queue bound.
 	QueueCap int
+	// Logger receives structured edge events (tail reconnects, snapshot
+	// hand-overs, slow-subscriber detaches). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Stats is a point-in-time census of one edge replica.
@@ -88,6 +92,7 @@ type Stats struct {
 // Edge is one running edge replica.
 type Edge struct {
 	cfg    CoreConfig
+	log    *slog.Logger
 	store  *store
 	srv    *serve.Server
 	addr   string // serving address, when TCP-backed
@@ -106,11 +111,16 @@ func NewCore(cfg CoreConfig) (*Edge, error) {
 	if cfg.TailCap <= 0 {
 		cfg.TailCap = 65536
 	}
-	st, err := newStore(cfg.DurableDir, cfg.TailCap)
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	log = log.With("edge", uint32(cfg.Transport.Self()))
+	st, err := newStore(cfg.DurableDir, cfg.TailCap, log)
 	if err != nil {
 		return nil, err
 	}
-	e := &Edge{cfg: cfg, store: st}
+	e := &Edge{cfg: cfg, log: log, store: st}
 	e.srv = serve.New(serve.Config{
 		Transport: cfg.Transport,
 		Source:    st,
@@ -119,8 +129,13 @@ func NewCore(cfg CoreConfig) (*Edge, error) {
 			return cfg.Members, cfg.MemberAddrs, st.Applied()
 		},
 		QueueCap: cfg.QueueCap,
+		Logger:   log,
 	})
 	cfg.Transport.SetHandler(func(from transport.ProcID, payload []byte) {
+		if len(payload) > 0 && payload[0] == wire.KindAdmin {
+			e.handleAdmin(from, payload)
+			return
+		}
 		e.srv.Handle(from, payload)
 	})
 	ctx, cancel := context.WithCancel(context.Background())
@@ -146,10 +161,11 @@ type Config struct {
 	// publishes dedup under it — edges never publish, but the ID also
 	// names the edge on member metrics). Zero picks a random ID.
 	ID fsr.ProcID
-	// DurableDir, TailCap and QueueCap are as in CoreConfig.
+	// DurableDir, TailCap, QueueCap and Logger are as in CoreConfig.
 	DurableDir string
 	TailCap    int
 	QueueCap   int
+	Logger     *slog.Logger
 	// DialTimeout bounds one upstream connection attempt (default 3s).
 	DialTimeout time.Duration
 }
@@ -187,6 +203,7 @@ func New(cfg Config) (*Edge, error) {
 		DurableDir:  cfg.DurableDir,
 		TailCap:     cfg.TailCap,
 		QueueCap:    cfg.QueueCap,
+		Logger:      cfg.Logger,
 	})
 	if err != nil {
 		_ = up.Close()
@@ -200,6 +217,9 @@ func New(cfg Config) (*Edge, error) {
 // Addr returns the serving listen address (resolving an ephemeral port)
 // for a TCP edge, "" for a NewCore edge.
 func (e *Edge) Addr() string { return e.addr }
+
+// ID returns the edge's identity in the client ID space.
+func (e *Edge) ID() fsr.ProcID { return fsr.ProcID(e.cfg.Transport.Self()) }
 
 // Applied returns the highest offset replicated from upstream.
 func (e *Edge) Applied() uint64 { return e.store.Applied() }
@@ -216,6 +236,106 @@ func (e *Edge) Stats() Stats {
 		TailDetaches: s.TailDetaches,
 		NotWritable:  s.NotWritable,
 	}
+}
+
+// Metrics is the edge-side parity of fsr.Metrics: replication position,
+// what the store holds, upstream-tail health and the serving census.
+type Metrics struct {
+	// Applied is the highest offset replicated from upstream; StoreBase is
+	// the horizon (offsets at or below it are not held as entries);
+	// StoreEntries counts the retained entry tail; SnapshotSeq is the
+	// offset the held application snapshot covers (0 when none).
+	Applied      uint64
+	StoreBase    uint64
+	StoreEntries int
+	SnapshotSeq  uint64
+
+	// TailConnected reports that the upstream session has spoken at least
+	// once; TailLag is how long ago it last did (keepalives arrive every
+	// second on a healthy idle link, so seconds of lag mean trouble).
+	TailConnected bool
+	TailLag       time.Duration
+
+	// Serving census, mirroring the member-side fields.
+	Clients, Subs, TailAttached           int
+	TailFrames, TailDetaches, NotWritable uint64
+
+	// WAL is the durable store's counters; zero for a memory-only edge.
+	WAL fsr.WALMetrics
+}
+
+// upstreamContact reports when the upstream session last spoke, when the
+// session exposes it (every socket-backed session does).
+func (e *Edge) upstreamContact() (time.Time, bool) {
+	c, ok := e.cfg.Upstream.(interface{ LastContact() time.Time })
+	if !ok {
+		return time.Time{}, false
+	}
+	t := c.LastContact()
+	return t, !t.IsZero()
+}
+
+// Metrics snapshots the edge for export.
+func (e *Edge) Metrics() Metrics {
+	s := e.srv.Stats()
+	base, entries, snapSeq := e.store.held()
+	m := Metrics{
+		Applied:      e.store.Applied(),
+		StoreBase:    base,
+		StoreEntries: entries,
+		SnapshotSeq:  snapSeq,
+		Clients:      s.Clients,
+		Subs:         s.Subs,
+		TailAttached: s.TailAttached,
+		TailFrames:   s.TailFrames,
+		TailDetaches: s.TailDetaches,
+		NotWritable:  s.NotWritable,
+	}
+	if t, ok := e.upstreamContact(); ok {
+		m.TailConnected = true
+		m.TailLag = time.Since(t)
+	}
+	if ws, ok := e.store.walStats(); ok {
+		m.WAL = fsr.WALMetrics{
+			Segments:    ws.Segments,
+			Bytes:       ws.Bytes,
+			Appends:     ws.Appends,
+			Fsyncs:      ws.Fsyncs,
+			Rotations:   ws.Rotations,
+			Snapshots:   ws.Snapshots,
+			SnapshotSeq: ws.SnapshotSeq,
+			Repairs:     ws.Repairs,
+		}
+		if !ws.SnapshotTime.IsZero() {
+			m.WAL.SnapshotAge = time.Since(ws.SnapshotTime)
+		}
+	}
+	return m
+}
+
+// Ready reports nil when the edge can serve subscribers honestly: the
+// upstream tail has connected and spoken within maxLag (0 picks 5s —
+// five missed server keepalives), the upstream session has not died, and
+// the durable store (if any) still accepts writes. The error names the
+// first failing condition — the substance behind an edge /readyz probe.
+func (e *Edge) Ready(maxLag time.Duration) error {
+	if maxLag <= 0 {
+		maxLag = 5 * time.Second
+	}
+	if err := e.cfg.Upstream.Err(); err != nil {
+		return fmt.Errorf("edge: upstream session dead: %w", err)
+	}
+	t, ok := e.upstreamContact()
+	if !ok {
+		return fmt.Errorf("edge: upstream tail never connected")
+	}
+	if lag := time.Since(t); lag > maxLag {
+		return fmt.Errorf("edge: upstream tail lagging %v (bound %v)", lag.Round(time.Millisecond), maxLag)
+	}
+	if err := e.store.writable(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // tailLoop replicates the committed order from upstream, forever: each
@@ -246,6 +366,8 @@ func (e *Edge) tailLoop(ctx context.Context) {
 			}
 		}
 		if ctx.Err() == nil {
+			e.log.Warn("upstream tail interrupted; re-subscribing",
+				"applied", e.store.Applied(), "err", e.cfg.Upstream.Err())
 			time.Sleep(50 * time.Millisecond) // upstream hiccup; re-subscribe
 		}
 	}

@@ -1,0 +1,81 @@
+package edge_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fsr"
+	"fsr/transport/mem"
+)
+
+// TestEdgeReadyTransitions drives Edge.Ready through its states: ready
+// once the upstream tail has spoken, not ready under an impossible lag
+// bound, not ready with the durable store yanked, ready again when it
+// returns, and finally dead-upstream once the members go away.
+func TestEdgeReadyTransitions(t *testing.T) {
+	net := mem.NewNetwork(mem.Options{})
+	cluster, err := fsr.NewCluster(fsr.ClusterConfig{N: 3, T: 1}, fsr.MemTransport(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	dir := filepath.Join(t.TempDir(), "edge")
+	e := startEdge(t, net, cluster, 600, dir)
+	defer e.Stop()
+
+	// Traffic proves the tail is live; Ready follows as contact arrives.
+	if _, err := cluster.Node(0).Broadcast(context.Background(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err = e.Ready(0); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("edge never ready: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// An impossibly tight lag bound must report the edge as lagging —
+	// the same check that fires when the upstream goes quiet for real.
+	if err := e.Ready(time.Nanosecond); err == nil ||
+		!strings.Contains(err.Error(), "lagging") {
+		t.Fatalf("Ready(1ns) = %v, want lag-bound error", err)
+	}
+
+	// Yank the durable store directory; readiness must follow it down
+	// and back (rename, not chmod — permission bits are no-ops as root).
+	hidden := dir + ".gone"
+	if err := os.Rename(dir, hidden); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ready(0); err == nil || !strings.Contains(err.Error(), "not writable") {
+		t.Fatalf("Ready() with store dir gone = %v, want not-writable error", err)
+	}
+	if err := os.Rename(hidden, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ready(0); err != nil {
+		t.Fatalf("Ready() after store dir restored = %v", err)
+	}
+
+	// With every member gone the upstream session dies; an edge serving a
+	// stale tail must say so rather than claim readiness.
+	cluster.Stop()
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		if err = e.Ready(0); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("edge still ready with no upstream members")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

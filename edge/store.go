@@ -2,6 +2,7 @@ package edge
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 
@@ -41,12 +42,12 @@ type store struct {
 // newStore builds the tail store, replaying a durable log when dir is
 // non-empty. tailCap bounds the memory-only tail (entries beyond it fall
 // below the horizon); a durable store retains everything the WAL does.
-func newStore(dir string, tailCap int) (*store, error) {
+func newStore(dir string, tailCap int, logger *slog.Logger) (*store, error) {
 	st := &store{tailCap: tailCap, signal: make(chan struct{})}
 	if dir == "" {
 		return st, nil
 	}
-	log, err := wal.Open(dir, wal.Options{})
+	log, err := wal.Open(dir, wal.Options{Logger: logger})
 	if err != nil {
 		return nil, fmt.Errorf("edge: open store: %w", err)
 	}
@@ -188,6 +189,31 @@ func (st *store) setSnapshot(seq uint64, data []byte) {
 func (st *store) advanceLocked() {
 	close(st.signal)
 	st.signal = make(chan struct{})
+}
+
+// held reports what the store retains: the horizon, the entry count, and
+// the seq covered by the held snapshot (0 when none).
+func (st *store) held() (base uint64, entries int, snapSeq uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.base, len(st.entries), st.snapSeq
+}
+
+// walStats snapshots the durable log's counters; ok is false for a
+// memory-only store.
+func (st *store) walStats() (wal.Stats, bool) {
+	if st.log == nil {
+		return wal.Stats{}, false
+	}
+	return st.log.Stats(), true
+}
+
+// writable probes the durable directory; nil for a memory-only store.
+func (st *store) writable() error {
+	if st.log == nil {
+		return nil
+	}
+	return st.log.Writable()
 }
 
 // sync flushes the durable log, if any.

@@ -20,10 +20,12 @@
 package harness
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"strings"
@@ -374,6 +376,33 @@ type TB interface {
 	TempDir() string
 }
 
+// tbWriter adapts TB.Logf into an io.Writer so the scenario's structured
+// events (view installs, catch-ups, WAL repairs — everything the stack
+// emits through slog) land in the test log: a failing seed's artifact then
+// carries the machine-parsable event stream alongside the repro line.
+type tbWriter struct {
+	t TB
+}
+
+func (w tbWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+// newTBLogger builds the slog handler chaos scenarios run under. The time
+// attribute is dropped: the test log timestamps lines already, and seed
+// replays diff cleaner without wall-clock noise.
+func newTBLogger(t TB) *slog.Logger {
+	return slog.New(slog.NewTextHandler(tbWriter{t: t}, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+}
+
 // failf reports one invariant violation with the replayable repro line.
 func failf(t TB, seed int64, format string, args ...any) {
 	t.Helper()
@@ -389,7 +418,9 @@ func Run(t TB, seed int64, soak bool) {
 // RunScenario executes one explicit scenario (Run derives it from the
 // seed; tests may tweak a generated one).
 func RunScenario(t TB, sc Scenario) {
-	t.Logf("scenario: %s", sc)
+	logger := newTBLogger(t)
+	logger.Info("chaos scenario", "seed", sc.Seed, "n", sc.N, "t", sc.T,
+		"profile", ((sc.Seed%profiles)+profiles)%profiles, "plan", sc.String())
 
 	reg := &registry{sms: make(map[fsr.ProcID]*Recorder)}
 	ct := chaos.New(fsr.MemTransport(mem.NewNetwork(mem.Options{})), sc.Net)
@@ -400,6 +431,7 @@ func RunScenario(t TB, sc Scenario) {
 		HeartbeatInterval: 15 * time.Millisecond,
 		FailureTimeout:    300 * time.Millisecond,
 		ChangeTimeout:     400 * time.Millisecond,
+		Logger:            logger,
 	}
 	ccfg := fsr.ClusterConfig{N: sc.N, T: sc.T, NodeConfig: nodeCfg}.
 		WithDurableDir(t.TempDir()).WithStateMachines(reg.factory)
@@ -411,7 +443,7 @@ func RunScenario(t TB, sc Scenario) {
 	defer cluster.Stop()
 
 	run := &runner{t: t, sc: sc, reg: reg, ct: ct, cluster: cluster,
-		base: t.TempDir(), nodeCfg: nodeCfg}
+		base: t.TempDir(), nodeCfg: nodeCfg, log: logger}
 	run.alive = make(map[fsr.ProcID]*fsr.Node, sc.N)
 	for i, id := range cluster.IDs() {
 		run.alive[id] = cluster.Node(i)
@@ -682,6 +714,7 @@ type runner struct {
 	cluster *fsr.Cluster
 	base    string
 	nodeCfg fsr.Config
+	log     *slog.Logger
 
 	mu      sync.Mutex
 	alive   map[fsr.ProcID]*fsr.Node // nodes believed running (crashed/left removed)
@@ -752,6 +785,7 @@ func (r *runner) launchEdge(er *edgeRun) error {
 		Upstream:   up,
 		Members:    r.cluster.IDs(),
 		DurableDir: er.dir,
+		Logger:     r.log,
 	})
 	if err != nil {
 		_ = up.Close()

@@ -1,0 +1,124 @@
+// Package obs is the operator-facing observability surface of the FSR
+// stack: a hand-rolled Prometheus text-format exporter over the public
+// Metrics snapshots, plus a tiny HTTP endpoint serving /metrics, /healthz
+// and /readyz for members and edges alike.
+//
+// The exporter is deliberately dependency-free — the repo vendors nothing —
+// and deliberately pull-based: a scrape calls Node.Metrics()/Edge.Metrics(),
+// which snapshot coherently off the frame hot path (the node assembles its
+// snapshot on the event loop; the scrape only formats it). Nothing in this
+// package runs unless an operator asked for a listener, and nothing here
+// adds a single allocation to the frame path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ContentType is the Prometheus text exposition format version this
+// package writes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Writer emits Prometheus text-format metric families. Families must be
+// written one at a time (HELP/TYPE header, then samples); the per-metric
+// helpers below write a whole single-series family at once, which is all
+// this exporter needs.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter wraps w for metric emission.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first underlying write error.
+func (p *Writer) Err() error { return p.err }
+
+func (p *Writer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// labels formats a {k="v",...} block from alternating key/value pairs, or
+// "" when none are given.
+func labels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (p *Writer) family(typ, name, help, lbl, value string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n%s%s %s\n", name, escapeHelp(help), name, typ, name, lbl, value)
+}
+
+// Counter writes one cumulative counter family. kv are alternating label
+// key/value pairs.
+func (p *Writer) Counter(name, help string, v uint64, kv ...string) {
+	p.family("counter", name, help, labels(kv), strconv.FormatUint(v, 10))
+}
+
+// Gauge writes one gauge family.
+func (p *Writer) Gauge(name, help string, v float64, kv ...string) {
+	p.family("gauge", name, help, labels(kv), fmtFloat(v))
+}
+
+// GaugeBool writes a 0/1 gauge family.
+func (p *Writer) GaugeBool(name, help string, v bool, kv ...string) {
+	val := "0"
+	if v {
+		val = "1"
+	}
+	p.family("gauge", name, help, labels(kv), val)
+}
+
+// Histogram writes one cumulative histogram family in seconds: bounds are
+// the bucket upper bounds, counts[i] the (already cumulative) count of
+// samples <= bounds[i], and count includes the implicit +Inf bucket. kv
+// are alternating label key/value pairs shared by every series; the bucket
+// series add le to them.
+func (p *Writer) Histogram(name, help string, bounds []time.Duration, counts []uint64, sum time.Duration, count uint64, kv ...string) {
+	lbl := labels(kv)
+	p.printf("# HELP %s %s\n# TYPE %s histogram\n", name, escapeHelp(help), name)
+	for i, le := range bounds {
+		p.printf("%s_bucket%s %d\n", name, labels(append(kv, "le", fmtFloat(le.Seconds()))), counts[i])
+	}
+	p.printf("%s_bucket%s %d\n", name, labels(append(kv, "le", "+Inf")), count)
+	p.printf("%s_sum%s %s\n", name, lbl, fmtFloat(sum.Seconds()))
+	p.printf("%s_count%s %d\n", name, lbl, count)
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriterGolden pins the exact text the Writer emits for each family
+// kind — the exposition format is a wire contract with the scraper, so a
+// formatting drift is a real break, not a cosmetic one.
+func TestWriterGolden(t *testing.T) {
+	var b strings.Builder
+	p := NewWriter(&b)
+	p.Counter("x_frames_total", "Frames seen.", 42, "node", "3")
+	p.Gauge("x_depth", "Queue depth.", 7, "node", "3")
+	p.GaugeBool("x_leader", "Leader flag.", true, "node", "3")
+	p.Gauge("x_free", "No labels.", 0.5)
+	p.Counter("x_escaped_total", `Back\slash and`+"\nnewline.", 1, "lbl", `q"uo\te`+"\nline")
+	p.Histogram("x_lat_seconds", "Latency.",
+		[]time.Duration{time.Millisecond, time.Second},
+		[]uint64{2, 5}, 1500*time.Millisecond, 6, "node", "3")
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP x_frames_total Frames seen.
+# TYPE x_frames_total counter
+x_frames_total{node="3"} 42
+# HELP x_depth Queue depth.
+# TYPE x_depth gauge
+x_depth{node="3"} 7
+# HELP x_leader Leader flag.
+# TYPE x_leader gauge
+x_leader{node="3"} 1
+# HELP x_free No labels.
+# TYPE x_free gauge
+x_free 0.5
+# HELP x_escaped_total Back\\slash and\nnewline.
+# TYPE x_escaped_total counter
+x_escaped_total{lbl="q\"uo\\te\nline"} 1
+# HELP x_lat_seconds Latency.
+# TYPE x_lat_seconds histogram
+x_lat_seconds_bucket{node="3",le="0.001"} 2
+x_lat_seconds_bucket{node="3",le="1"} 5
+x_lat_seconds_bucket{node="3",le="+Inf"} 6
+x_lat_seconds_sum{node="3"} 1.5
+x_lat_seconds_count{node="3"} 6
+`
+	if got := b.String(); got != want {
+		t.Errorf("writer output drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

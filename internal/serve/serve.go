@@ -39,6 +39,7 @@
 package serve
 
 import (
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -108,6 +109,9 @@ type Config struct {
 	Redirect func() (members []ProcID, addrs []string, applied uint64)
 	// QueueCap overrides the per-client transmit queue bound (frames).
 	QueueCap int
+	// Logger receives structured serving events (slow-subscriber
+	// detaches). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Stats is a point-in-time census of the serving layer.
@@ -139,6 +143,8 @@ type Server struct {
 	tailFrames   uint64
 	tailDetaches uint64
 	notWritable  uint64
+
+	log *slog.Logger
 }
 
 type subKey struct {
@@ -156,6 +162,10 @@ func New(cfg Config) *Server {
 		clients:  make(map[ProcID]*clientOut),
 		subs:     make(map[subKey]*sub),
 		tails:    make(map[ProcID]*clientOut),
+		log:      cfg.Logger,
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
 	}
 	if s.queueCap <= 0 {
 		s.queueCap = defaultQueueCap
@@ -686,6 +696,8 @@ func (s *Server) detachLocked(o *clientOut) {
 	o.mu.Lock()
 	resume := o.tailSent
 	o.mu.Unlock()
+	s.log.Warn("slow subscriber detached",
+		"client", uint32(o.id), "resume_seq", resume, "subs", len(o.attached))
 	for _, u := range o.attached {
 		u.attached = false
 		u.cursor = max(u.cursor, resume)

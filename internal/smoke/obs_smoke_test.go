@@ -1,0 +1,291 @@
+package smoke
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fsr/admin"
+)
+
+// TestObservabilitySmoke builds the real binaries and runs the deploy/
+// topology — three durable members, one edge replica, a publisher — with
+// every process exposing /metrics, /healthz and /readyz. It then does what
+// an operator (or an orchestrator's probes) would: scrapes metrics, sweeps
+// fsr-admin status, kill -9s a member, asserts its probe endpoint dies and
+// the survivors stay ready on a new view, restarts it with -join and
+// asserts /readyz recovers with the member caught up. Gated on
+// FSR_OBS_SMOKE=1.
+func TestObservabilitySmoke(t *testing.T) {
+	if os.Getenv("FSR_OBS_SMOKE") != "1" {
+		t.Skip("set FSR_OBS_SMOKE=1 to run the process-level observability smoke test")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"fsr-node", "fsr-edge", "fsr-pub", "fsr-admin"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd)
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	memberAddrs := []string{freeAddr(t), freeAddr(t), freeAddr(t)}
+	obsAddrs := []string{freeAddr(t), freeAddr(t), freeAddr(t)}
+	edgeAddr, edgeObs := freeAddr(t), freeAddr(t)
+	data := t.TempDir()
+	var peers []string
+	for id, addr := range memberAddrs {
+		peers = append(peers, fmt.Sprintf("%d=%s", id, addr))
+	}
+	peerSpec := strings.Join(peers, ",")
+
+	procs := make(map[string]*exec.Cmd)
+	stopAll := func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				_ = p.Process.Signal(os.Interrupt)
+			}
+		}
+		for _, p := range procs {
+			waitProc(p, 5*time.Second)
+		}
+	}
+	defer stopAll()
+	start := func(key, name string, args ...string) *exec.Cmd {
+		t.Helper()
+		p := exec.Command(filepath.Join(bin, name), args...)
+		log, err := os.OpenFile(filepath.Join(bin, key+".log"),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Stdout, p.Stderr = log, log
+		if err := p.Start(); err != nil {
+			t.Fatalf("start %s: %v", key, err)
+		}
+		procs[key] = p
+		return p
+	}
+	nodeArgs := func(id int, join bool) []string {
+		args := []string{
+			"-id", fmt.Sprint(id), "-peers", peerSpec,
+			"-durable", filepath.Join(data, fmt.Sprintf("node%d", id)),
+			"-obs", obsAddrs[id], "-log", "json",
+		}
+		if join {
+			args = append(args, "-join")
+		}
+		return args
+	}
+	for id := range memberAddrs {
+		start(fmt.Sprintf("node%d", id), "fsr-node", nodeArgs(id, false)...)
+	}
+	start("edge", "fsr-edge",
+		"-listen", edgeAddr, "-members", strings.Join(memberAddrs, ","),
+		"-durable", filepath.Join(data, "edge"), "-obs", edgeObs, "-log", "json")
+
+	// Everyone answers their probes once the ring forms and the edge tails.
+	allObs := append(append([]string(nil), obsAddrs...), edgeObs)
+	for _, addr := range allObs {
+		awaitHTTP(t, addr, "/readyz", http.StatusOK, 30*time.Second)
+		awaitHTTP(t, addr, "/healthz", http.StatusOK, 5*time.Second)
+	}
+
+	// Commit real traffic, then assert the scrape reflects it.
+	pub := start("pub", "fsr-pub",
+		"-addrs", strings.Join(memberAddrs, ","), "-every", "10ms", "-count", "30", "-quiet")
+	waitProc(pub, 30*time.Second)
+	delete(procs, "pub")
+	body := scrape(t, obsAddrs[0], "/metrics")
+	for _, want := range []string{
+		"# TYPE fsr_applied_seq gauge",
+		"# TYPE fsr_session_publishes_total counter",
+		"# TYPE fsr_publish_latency_seconds histogram",
+		"# TYPE fsr_wal_fsyncs_total counter",
+		"fsr_view_epoch{",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("member /metrics missing %q; scrape:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(scrape(t, edgeObs, "/metrics"), "fsr_edge_tail_connected") {
+		t.Fatal("edge /metrics missing fsr_edge_tail_connected")
+	}
+
+	// fsr-admin sweeps the mixed member/edge list.
+	sweep := append(append([]string(nil), memberAddrs...), edgeAddr)
+	status := exec.Command(filepath.Join(bin, "fsr-admin"),
+		"-addrs", strings.Join(sweep, ","), "status")
+	out, err := status.CombinedOutput()
+	if err != nil {
+		t.Fatalf("fsr-admin status: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "member*") || !strings.Contains(string(out), "edge") {
+		t.Fatalf("fsr-admin status output incomplete:\n%s", out)
+	}
+	t.Logf("fsr-admin status:\n%s", out)
+
+	// Library-level admin query against one member, for the applied bound
+	// the recovery check below compares against.
+	ac, err := admin.Dial(memberAddrs[0], 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ac.Status()
+	ac.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied < 30 {
+		t.Fatalf("member 0 applied %d, want >= 30 after 30 publishes", st.Applied)
+	}
+
+	// Kill -9 a follower: its probe endpoint must die (the process-level
+	// readyz flip), the survivors must stay ready and install a view
+	// without it.
+	victim := 1
+	if err := procs[fmt.Sprintf("node%d", victim)].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	waitProc(procs[fmt.Sprintf("node%d", victim)], 5*time.Second)
+	awaitDown(t, obsAddrs[victim], 10*time.Second)
+	awaitMetric(t, obsAddrs[0], "fsr_view_members{", " 2", 15*time.Second)
+	for _, id := range []int{0, 2} {
+		if code, _ := probe(obsAddrs[id], "/readyz"); code != http.StatusOK {
+			t.Fatalf("survivor node%d /readyz = %d after victim kill", id, code)
+		}
+	}
+
+	// More traffic while the victim is down, so its restart has history to
+	// catch up on.
+	pub = start("pub2", "fsr-pub",
+		"-addrs", memberAddrs[0]+","+memberAddrs[2], "-every", "10ms", "-count", "20", "-quiet")
+	waitProc(pub, 30*time.Second)
+	delete(procs, "pub2")
+
+	// Restart the victim as a joiner: the evicted member re-enters through
+	// its peers, catches up, and its /readyz recovers.
+	start(fmt.Sprintf("node%d", victim), "fsr-node", nodeArgs(victim, true)...)
+	awaitHTTP(t, obsAddrs[victim], "/readyz", http.StatusOK, 30*time.Second)
+	awaitMetric(t, obsAddrs[victim], "fsr_view_members{", " 3", 15*time.Second)
+
+	// Recovery is real only if the rejoined member holds the full order.
+	ac, err = admin.Dial(memberAddrs[victim], 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st2, err := ac.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st2.Applied >= st.Applied+20 && st2.Ready {
+			t.Logf("rejoined member: epoch=%d applied=%d ready=%v", st2.Epoch, st2.Applied, st2.Ready)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rejoined member never caught up: applied=%d (want >= %d) ready=%v err=%q",
+				st2.Applied, st.Applied+20, st2.Ready, st2.ReadyErr)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// probe GETs one path and returns the status code and body.
+func probe(addr, path string) (int, string) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return 0, err.Error()
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// scrape fetches one path, failing the test on transport errors.
+func scrape(t *testing.T, addr, path string) string {
+	t.Helper()
+	code, body := probe(addr, path)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s%s = %d: %s", addr, path, code, body)
+	}
+	return body
+}
+
+// awaitHTTP polls one path until it answers with the wanted status.
+func awaitHTTP(t *testing.T, addr, path string, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		code, body := probe(addr, path)
+		if code == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GET %s%s never reached %d (last: %d %s)", addr, path, want, code, body)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// awaitDown polls until the endpoint stops answering at all.
+func awaitDown(t *testing.T, addr string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if code, _ := probe(addr, "/healthz"); code == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("endpoint %s still answering after kill", addr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// awaitMetric polls /metrics until a line with the given prefix carries the
+// wanted suffix (e.g. fsr_view_members{...} 2).
+func awaitMetric(t *testing.T, addr, prefix, suffix string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last string
+	for {
+		_, body := probe(addr, "/metrics")
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				last = line
+				if strings.HasSuffix(line, suffix) {
+					return
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metric %s* never reached %q on %s (last: %q)", prefix, suffix, addr, last)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// waitProc reaps one process, force-killing it at the timeout.
+func waitProc(p *exec.Cmd, timeout time.Duration) {
+	done := make(chan struct{})
+	go func() { _ = p.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		_ = p.Process.Kill()
+		<-done
+	}
+}

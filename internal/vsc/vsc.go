@@ -29,6 +29,7 @@ package vsc
 
 import (
 	"fmt"
+	"log/slog"
 	"slices"
 	"time"
 
@@ -81,11 +82,15 @@ type Config struct {
 	Incarnation uint64
 	// Callbacks wire the manager to the runtime. All required.
 	Callbacks Callbacks
+	// Logger receives structured membership events (change proposals,
+	// evictions). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Manager runs the view-change protocol for one process.
 type Manager struct {
 	cfg  Config
+	log  *slog.Logger
 	view core.View
 
 	alive        map[ring.ProcID]bool   // current-view members not suspected
@@ -123,11 +128,15 @@ func NewManager(cfg Config, initial core.View) (*Manager, error) {
 	}
 	m := &Manager{
 		cfg:          cfg,
+		log:          cfg.Logger,
 		view:         initial,
 		alive:        make(map[ring.ProcID]bool),
 		joiners:      make(map[ring.ProcID]bool),
 		leavers:      make(map[ring.ProcID]bool),
 		incarnations: make(map[ring.ProcID]uint64),
+	}
+	if m.log == nil {
+		m.log = slog.New(slog.DiscardHandler)
 	}
 	for _, p := range initial.Ring.Members() {
 		m.alive[p] = true
@@ -310,6 +319,9 @@ func (m *Manager) startChange(now time.Time) {
 	m.proposed = members
 	m.proposedT = min(m.cfg.T, len(members)-1)
 	m.collected = make(map[ring.ProcID]*State)
+	m.log.Info("view change start",
+		"epoch", m.myEpoch, "coordinator", uint32(m.cfg.Self),
+		"members", len(members), "t", m.proposedT)
 	prep := &Prepare{Epoch: m.myEpoch, Coord: m.cfg.Self, Members: members, T: m.proposedT}
 	payload := EncodePrepare(prep)
 	for _, p := range members {
@@ -468,6 +480,7 @@ func (m *Manager) handleNewView(nv *NewView, now time.Time) {
 		// Excluded: graceful leave honored (or false suspicion — cannot
 		// happen with P, but do not silently diverge).
 		m.changing = false
+		m.log.Warn("excluded from view", "epoch", nv.Epoch, "members", len(nv.Members))
 		if m.cfg.Callbacks.Evicted != nil {
 			m.cfg.Callbacks.Evicted()
 		}

@@ -32,12 +32,14 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"slices"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Entry is one record of the delivered total order: a reassembled
@@ -67,6 +69,23 @@ type Options struct {
 	// batch; this cap just limits the window inside huge batches.
 	// Default 256.
 	SyncEvery int
+	// Logger receives structured events for segment rotation, torn-tail
+	// repair, and snapshots. Nil discards them.
+	Logger *slog.Logger
+}
+
+// Stats is a point-in-time snapshot of the log's durability counters —
+// the storage-layer slice of the node's metrics surface.
+type Stats struct {
+	Segments     int    // on-disk segment files (including the active one)
+	Bytes        int64  // total bytes across all retained segments
+	Appends      uint64 // entries appended this incarnation
+	Fsyncs       uint64 // fsync calls on the active segment
+	Rotations    uint64 // segment rotations this incarnation
+	Snapshots    uint64 // snapshots written this incarnation
+	SnapshotSeq  uint64 // seq covered by the latest snapshot (0 if none)
+	SnapshotTime time.Time
+	Repairs      uint64 // torn tails truncated at Open
 }
 
 const (
@@ -113,6 +132,14 @@ type Log struct {
 
 	snap *Snapshot // latest snapshot, kept in memory for serving
 	hint readHint  // resume point for paged catch-up reads
+
+	log      *slog.Logger
+	appends  uint64
+	fsyncs   uint64
+	rotates  uint64
+	snaps    uint64
+	snapTime time.Time
+	repairs  uint64
 }
 
 // readHint remembers where the last ReadFrom page ended, so a paged
@@ -137,7 +164,10 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, log: opts.Logger}
+	if l.log == nil {
+		l.log = slog.New(slog.DiscardHandler)
+	}
 	if err := l.bumpGeneration(); err != nil {
 		return nil, err
 	}
@@ -247,6 +277,8 @@ func (l *Log) recoverSegment(s *segment, isLast bool) error {
 	if !isLast {
 		return fmt.Errorf("%w: torn record inside interior segment %s", ErrCorrupt, s.path)
 	}
+	l.repairs++
+	l.log.Info("wal repair", "segment", filepath.Base(s.path), "valid_bytes", valid, "last_seq", s.last)
 	return os.Truncate(s.path, valid)
 }
 
@@ -350,6 +382,7 @@ func (l *Log) Append(e Entry) error {
 	if e.Seq > l.lastSeq {
 		l.lastSeq = e.Seq
 	}
+	l.appends++
 	l.unsynced++
 	if l.unsynced >= l.opts.SyncEvery {
 		return l.syncLocked()
@@ -365,6 +398,8 @@ func (l *Log) rotate(seq uint64) error {
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	l.rotates++
+	l.log.Info("wal rotate", "first_seq", seq, "segments", len(l.segs)+1, "sealed_bytes", l.size)
 	return l.createSegment(seq)
 }
 
@@ -386,6 +421,7 @@ func (l *Log) syncLocked() error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
+	l.fsyncs++
 	l.unsynced = 0
 	return nil
 }
@@ -411,6 +447,9 @@ func (l *Log) WriteSnapshot(seq uint64, data []byte) error {
 	}
 	prev := l.snap
 	l.snap = &Snapshot{Seq: seq, Data: data}
+	l.snaps++
+	l.snapTime = time.Now()
+	l.log.Info("wal snapshot", "seq", seq, "bytes", len(data))
 	l.hint = readHint{} // segment set is about to change
 	if seq > l.lastSeq {
 		l.lastSeq = seq
@@ -452,6 +491,55 @@ func (l *Log) WriteSnapshot(seq uint64, data []byte) error {
 
 func (l *Log) snapPath(seq uint64) string {
 	return filepath.Join(l.dir, fmt.Sprintf("snap-%016x.snap", seq))
+}
+
+// Stats snapshots the durability counters. Bytes counts the active
+// segment's buffered-but-unflushed tail too, so it tracks what Append has
+// accepted rather than what has hit the disk.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Segments:     len(l.segs),
+		Appends:      l.appends,
+		Fsyncs:       l.fsyncs,
+		Rotations:    l.rotates,
+		Snapshots:    l.snaps,
+		SnapshotTime: l.snapTime,
+		Repairs:      l.repairs,
+	}
+	if l.snap != nil {
+		st.SnapshotSeq = l.snap.Seq
+	}
+	for i := range l.segs[:max(len(l.segs)-1, 0)] {
+		if fi, err := os.Stat(l.segs[i].path); err == nil {
+			st.Bytes += fi.Size()
+		}
+	}
+	if len(l.segs) > 0 {
+		st.Bytes += l.size
+	}
+	return st
+}
+
+// Writable probes whether the durable directory still accepts writes —
+// the readiness check for a disk yanked out from under a running node. It
+// creates and removes a marker file rather than testing permission bits,
+// so remounted-read-only and ENOSPC failures are caught too.
+func (l *Log) Writable() error {
+	l.mu.Lock()
+	dir := l.dir
+	l.mu.Unlock()
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("wal: not writable: %w", err)
+	}
+	name := f.Name()
+	_ = f.Close()
+	if err := os.Remove(name); err != nil {
+		return fmt.Errorf("wal: not writable: %w", err)
+	}
+	return nil
 }
 
 // Replay streams every retained entry with Seq > after, in order — the

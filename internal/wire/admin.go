@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Admin sub-protocol (KindAdmin).
+//
+// Operators query members and edges over the same transport clients use: an
+// fsr-admin process dials a node with a client-space ID, sends one AdminReq,
+// and reads one AdminResp. The envelope is the usual hand-rolled framing —
+// kind byte, message type, op — but the response body is JSON: admin traffic
+// is rare, human-initiated, and schema-evolving, so self-describing bodies
+// beat another fixed binary layout. The envelope keeps dispatch allocation-
+// free on the node side; the JSON is only ever built off the frame hot path.
+
+// Admin operations (the Op field of AdminReq/AdminResp).
+const (
+	AdminStatus   byte = iota + 1 // node/edge role, view, applied seq, readiness
+	AdminMembers                  // installed view membership
+	AdminWAL                      // durable-log stats
+	AdminSessions                 // client-session and subscriber counts
+	AdminSnapshot                 // trigger a state-machine snapshot
+)
+
+// Admin message types (second byte of a KindAdmin payload).
+const (
+	adminReq byte = iota + 1
+	adminResp
+)
+
+// ErrBadAdmin reports an undecodable admin payload.
+var ErrBadAdmin = errors.New("wire: bad admin payload")
+
+// AdminReq asks the receiving process for one piece of operator state.
+type AdminReq struct {
+	Op byte
+}
+
+// AdminResp answers one AdminReq. Body is a JSON document whose schema is
+// fixed per Op (package admin defines the Go types); Err carries a refusal
+// (unknown op, unsupported on this role) instead of a body.
+type AdminResp struct {
+	Op   byte
+	Err  string
+	Body []byte
+}
+
+// EncodeAdminReq serializes q, prefixed with KindAdmin.
+func EncodeAdminReq(q *AdminReq) []byte {
+	return []byte{KindAdmin, adminReq, q.Op}
+}
+
+// EncodeAdminResp serializes p, prefixed with KindAdmin.
+func EncodeAdminResp(p *AdminResp) []byte {
+	buf := make([]byte, 0, 3+4+len(p.Err)+4+len(p.Body))
+	buf = append(buf, KindAdmin, adminResp, p.Op)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Err)))
+	buf = append(buf, p.Err...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Body)))
+	buf = append(buf, p.Body...)
+	return buf
+}
+
+// DecodeAdmin parses a KindAdmin payload into *AdminReq or *AdminResp. Like
+// the other decoders it never panics on arbitrary bytes; the response body
+// aliases buf.
+func DecodeAdmin(buf []byte) (any, error) {
+	r := reader{buf: buf}
+	kind, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindAdmin {
+		return nil, fmt.Errorf("%w: kind %d", ErrBadAdmin, kind)
+	}
+	typ, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case adminReq:
+		var q AdminReq
+		if q.Op, err = r.u8(); err != nil {
+			return nil, err
+		}
+		if r.rem() != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadAdmin, r.rem())
+		}
+		return &q, nil
+	case adminResp:
+		var p AdminResp
+		if p.Op, err = r.u8(); err != nil {
+			return nil, err
+		}
+		n, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		es, err := r.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		p.Err = string(es)
+		if n, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if p.Body, err = r.bytes(int(n)); err != nil {
+			return nil, err
+		}
+		if r.rem() != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadAdmin, r.rem())
+		}
+		return &p, nil
+	default:
+		return nil, fmt.Errorf("%w: type %d", ErrBadAdmin, typ)
+	}
+}

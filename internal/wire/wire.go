@@ -9,6 +9,7 @@
 //	KindFD      — a failure-detector heartbeat (encoded by package fd)
 //	KindCatchup — a durable-log catch-up request/response (crash recovery)
 //	KindClient  — the client sub-protocol (non-member publish/subscribe)
+//	KindAdmin   — the operator sub-protocol (status/introspection queries)
 //
 // The codec is hand-rolled little-endian (stdlib encoding/binary): the frame
 // encoder sits on the hot path of every hop, so it avoids reflection and
@@ -30,6 +31,7 @@ const (
 	KindFD
 	KindCatchup
 	KindClient
+	KindAdmin
 )
 
 // ErrTruncated is returned when a buffer ends before a complete value.

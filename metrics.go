@@ -87,6 +87,74 @@ type Metrics struct {
 	// BroadcastLatency summarizes the last broadcasts' acceptance-to-
 	// uniform-delivery latency on this node.
 	BroadcastLatency LatencySummary
+
+	// PublishLatency is the cumulative histogram of session Publish
+	// accept→PUBACK latency on this member — the client-facing commit
+	// latency, as opposed to BroadcastLatency's member-local view.
+	PublishLatency LatencyHistogram
+
+	// WAL is the storage layer's slice of the snapshot; zero when the node
+	// runs without a durable directory.
+	WAL WALMetrics
+}
+
+// WALMetrics is the durability substrate's counter snapshot.
+type WALMetrics struct {
+	// Segments and Bytes size the retained log (including the active
+	// segment's buffered tail).
+	Segments int
+	Bytes    int64
+	// Appends and Fsyncs count entries written and fsync calls; Rotations
+	// counts segment rolls.
+	Appends, Fsyncs, Rotations uint64
+	// Snapshots counts snapshots written this incarnation, SnapshotSeq the
+	// seq the latest one covers, SnapshotAge how long ago it was taken
+	// (0 when none has been taken yet this incarnation).
+	Snapshots   uint64
+	SnapshotSeq uint64
+	SnapshotAge time.Duration
+	// Repairs counts torn tails truncated during recovery at Open.
+	Repairs uint64
+}
+
+// LatencyBuckets are the upper bounds of LatencyHistogram's cumulative
+// buckets, chosen to straddle the paper's LAN-scale commit latencies
+// (sub-millisecond) through degraded multi-second tails.
+var LatencyBuckets = []time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+	2500 * time.Millisecond,
+}
+
+// LatencyHistogram is a fixed-bucket cumulative histogram in the
+// Prometheus style: Buckets[i] counts samples <= LatencyBuckets[i], and
+// Count includes the implicit +Inf bucket.
+type LatencyHistogram struct {
+	Count   uint64
+	Sum     time.Duration
+	Buckets [14]uint64
+}
+
+// Observe folds one sample into the histogram.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	h.Count++
+	h.Sum += d
+	for i, le := range LatencyBuckets {
+		if d <= le {
+			h.Buckets[i]++
+		}
+	}
 }
 
 // summarizeLatency converts an internal/metrics summary of the node's

@@ -2,7 +2,9 @@ package fsr
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"log/slog"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -66,6 +68,7 @@ const incarnationBits = 40
 type Node struct {
 	cfg Config
 	tr  transport.Transport
+	log *slog.Logger // cfg.Logger tagged with this node's ID
 
 	engine *core.Engine
 	mgr    *vsc.Manager
@@ -102,6 +105,7 @@ type Node struct {
 	outBuf   []Message
 	outDone  bool
 	pumpBusy bool // a popped batch is being persisted (outMu)
+	snapPend bool // an admin-triggered snapshot awaits the pump (outMu)
 	asmState *assembler
 	// applied is the highest message sequence number persisted+applied;
 	// written by the pump under outMu, read by the event loop. While
@@ -221,8 +225,12 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		incarnation uint64
 		index       pubIndex // client-publish dedup index, rebuilt with the state
 	)
+	nodeLog := cfg.Logger.With("node", uint32(cfg.Self))
 	if cfg.DurableDir != "" {
-		wlog, err = wal.Open(cfg.DurableDir, wal.Options{SegmentBytes: cfg.WALSegmentBytes})
+		wlog, err = wal.Open(cfg.DurableDir, wal.Options{
+			SegmentBytes: cfg.WALSegmentBytes,
+			Logger:       nodeLog,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("fsr: open durable dir: %w", err)
 		}
@@ -292,6 +300,7 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 	n := &Node{
 		cfg:        cfg,
 		tr:         tr,
+		log:        nodeLog,
 		engine:     engine,
 		wlog:       wlog,
 		sm:         cfg.StateMachine,
@@ -346,6 +355,7 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		ChangeTimeout: cfg.ChangeTimeout,
 		Joiner:        cfg.Joiner,
 		Incarnation:   incarnation,
+		Logger:        nodeLog,
 		Callbacks: vsc.Callbacks{
 			Send: func(to ring.ProcID, payload []byte) {
 				_ = n.tr.Send(to, payload)
@@ -374,6 +384,9 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		}
 	})
 
+	n.log.Info("node start",
+		"joiner", cfg.Joiner, "durable", cfg.DurableDir != "",
+		"incarnation", incarnation, "applied", applied, "t", cfg.T)
 	n.wg.Add(2)
 	go n.loop()
 	go n.deliveryPump()
@@ -584,6 +597,53 @@ func (n *Node) Applied() uint64 {
 	return n.applied
 }
 
+// Ready reports nil when the node can serve: it has installed a view, is
+// not catching up on missed history, and its durable directory (if any)
+// still accepts writes. Otherwise the error names the first failing
+// condition — the substance behind an operator-facing /readyz probe.
+func (n *Node) Ready() error {
+	if n.stopping() {
+		if err := n.Err(); err != nil {
+			return err
+		}
+		return ErrStopped
+	}
+	n.mu.Lock()
+	joined := n.joined
+	n.mu.Unlock()
+	if !joined {
+		return errors.New("fsr: no installed view")
+	}
+	n.outMu.Lock()
+	catching := n.catching
+	n.outMu.Unlock()
+	if catching {
+		return errors.New("fsr: catching up on missed history")
+	}
+	if n.wlog != nil {
+		if err := n.wlog.Writable(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TriggerSnapshot asks the delivery pump to take a state-machine snapshot
+// at the current applied position ahead of the SnapshotEvery cadence (an
+// operator device: bound restart replay before planned maintenance). It
+// reports whether the request was queued — false when the node runs
+// without a durable log or state machine, or has halted.
+func (n *Node) TriggerSnapshot() bool {
+	if n.wlog == nil || n.sm == nil || n.stopping() {
+		return false
+	}
+	n.outMu.Lock()
+	n.snapPend = true
+	n.outCond.Signal()
+	n.outMu.Unlock()
+	return true
+}
+
 // halt closes the stop channel exactly once; the event loop notices and
 // shuts the node down.
 func (n *Node) halt() {
@@ -596,10 +656,14 @@ func (n *Node) halt() {
 // this node through a view change.
 func (n *Node) fail(err error) {
 	n.mu.Lock()
-	if n.err == nil {
+	first := n.err == nil
+	if first {
 		n.err = err
 	}
 	n.mu.Unlock()
+	if first {
+		n.log.Error("node fail-stop", "err", err, "epoch", n.CurrentView().ID)
+	}
 	n.halt()
 }
 
@@ -615,6 +679,7 @@ func (n *Node) onEvicted() {
 	n.mu.Lock()
 	n.evicted = true
 	n.mu.Unlock()
+	n.log.Warn("node evicted", "epoch", n.CurrentView().ID)
 	// Own undelivered broadcasts left the group with us; they may or may
 	// not survive through other members' recovery state, so the receipts
 	// resolve with an error rather than hanging forever.
@@ -642,6 +707,9 @@ func (n *Node) install(v core.View, sync *core.Sync, rebroadcast []core.PendingM
 	n.joined = true
 	n.lastView = info
 	n.mu.Unlock()
+	n.log.Info("view installed",
+		"epoch", info.ID, "leader", uint32(info.Members[0]), "members", len(info.Members),
+		"t", info.T, "sync_base", sync.StartSeq, "rebroadcasts", len(rebroadcast))
 	// The channel consumer owns what it receives; hand it its own Members
 	// copy so mutating it cannot corrupt CurrentView/Metrics.
 	info.Members = slices.Clone(info.Members)
@@ -863,7 +931,24 @@ func (n *Node) snapshotMetrics() Metrics {
 	m.SessionPublishes = n.sess.pubsAccepted
 	m.SessionDuplicates = n.sess.dupsFiltered
 	m.SessionBounded = n.sess.pubsBounded
+	m.PublishLatency = n.sess.pubLatency
 	n.sess.mu.Unlock()
+	if n.wlog != nil {
+		ws := n.wlog.Stats()
+		m.WAL = WALMetrics{
+			Segments:    ws.Segments,
+			Bytes:       ws.Bytes,
+			Appends:     ws.Appends,
+			Fsyncs:      ws.Fsyncs,
+			Rotations:   ws.Rotations,
+			Snapshots:   ws.Snapshots,
+			SnapshotSeq: ws.SnapshotSeq,
+			Repairs:     ws.Repairs,
+		}
+		if !ws.SnapshotTime.IsZero() {
+			m.WAL.SnapshotAge = time.Since(ws.SnapshotTime)
+		}
+	}
 	st2 := n.srv.Stats()
 	m.SessionSubscribers = st2.Subs
 	m.TailAttached = st2.TailAttached
@@ -1019,6 +1104,8 @@ func (n *Node) handlePayload(in inboundPayload) {
 		}
 	case wire.KindClient:
 		n.srv.Handle(in.from, in.payload)
+	case wire.KindAdmin:
+		n.handleAdmin(in.from, in.payload)
 	}
 }
 
@@ -1156,6 +1243,8 @@ func (n *Node) refreshCatchup(v core.View, sync *core.Sync, prevNext uint64) {
 	n.outMu.Lock()
 	n.catching = true
 	n.outMu.Unlock()
+	n.log.Info("catch-up start",
+		"epoch", v.ID, "after", c.after, "target", c.target, "peers", len(peers))
 	n.sendCatchupReq()
 }
 
@@ -1165,6 +1254,9 @@ func (n *Node) refreshCatchup(v core.View, sync *core.Sync, prevNext uint64) {
 func (n *Node) extendCatchup(target uint64) {
 	if n.catch == nil {
 		n.catch = &catchState{after: n.Applied(), peers: n.catchupPeers(n.mgr.View())}
+		n.log.Info("catch-up start",
+			"epoch", n.CurrentView().ID, "after", n.catch.after, "target", target,
+			"peers", len(n.catch.peers), "reason", "assembler hole")
 	}
 	if target > n.catch.target {
 		n.catch.target = target
@@ -1205,6 +1297,10 @@ func (n *Node) sendCatchupReq() {
 
 // finishCatchup releases the live stream.
 func (n *Node) finishCatchup() {
+	if n.catch != nil {
+		n.log.Info("catch-up finish",
+			"epoch", n.CurrentView().ID, "after", n.catch.after, "target", n.catch.target)
+	}
 	n.catch = nil
 	n.outMu.Lock()
 	if n.catching {
@@ -1413,7 +1509,7 @@ func (n *Node) deliveryPump() {
 	defer close(n.msgs)
 	for {
 		n.outMu.Lock()
-		for !n.pumpReadyLocked() && !n.outDone {
+		for !n.pumpReadyLocked() && !n.outDone && !n.snapPend {
 			n.outCond.Wait()
 		}
 		recovered := n.catchBuf
@@ -1424,15 +1520,17 @@ func (n *Node) deliveryPump() {
 			n.outBuf = nil
 		}
 		done := n.outDone
+		forceSnap := n.snapPend
+		n.snapPend = false
 		n.pumpBusy = len(recovered) > 0 || len(live) > 0
 		n.outMu.Unlock()
-		if len(recovered) == 0 && len(live) == 0 {
+		if len(recovered) == 0 && len(live) == 0 && !forceSnap {
 			if done {
 				return
 			}
 			continue
 		}
-		if err := n.applyBatch(recovered, live); err != nil {
+		if err := n.applyBatch(recovered, live, forceSnap); err != nil {
 			n.fail(err)
 			return
 		}
@@ -1459,7 +1557,7 @@ func (n *Node) pumpReadyLocked() bool {
 // recovered range in flight. Where the streams overlap, the live copy wins
 // — it is the one that reaches Subscribe/Messages — and the duplicate is
 // skipped by the cursor. Pump goroutine only.
-func (n *Node) applyBatch(recovered []catchItem, live []Message) error {
+func (n *Node) applyBatch(recovered []catchItem, live []Message, forceSnap bool) error {
 	// n.applied is written under outMu but only ever by this goroutine,
 	// so reading it unlocked here is race-free.
 	cursor := n.applied
@@ -1574,7 +1672,8 @@ func (n *Node) applyBatch(recovered []catchItem, live []Message) error {
 	for _, m := range dispatch {
 		n.dispatch(m)
 	}
-	if n.wlog != nil && n.sm != nil && n.sinceSnap >= n.cfg.SnapshotEvery {
+	if n.wlog != nil && n.sm != nil &&
+		(n.sinceSnap >= n.cfg.SnapshotEvery || (forceSnap && cursor > 0)) {
 		data, err := n.sm.Snapshot()
 		if err != nil {
 			return fmt.Errorf("fsr: state machine snapshot: %w", err)

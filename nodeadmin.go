@@ -1,0 +1,110 @@
+package fsr
+
+import (
+	"encoding/json"
+	"time"
+
+	"fsr/admin"
+	"fsr/internal/wire"
+)
+
+// handleAdmin answers one KindAdmin request on the event loop. The reply
+// travels back over the inbound connection the request arrived on (the same
+// path serveCatchup uses), so it reaches dialed-in admin clients that have
+// no listener of their own. All state is read through the same snapshot
+// paths Metrics uses; nothing here touches the frame hot path.
+func (n *Node) handleAdmin(from ProcID, payload []byte) {
+	v, err := wire.DecodeAdmin(payload)
+	if err != nil {
+		return // garbage; no reply channel to speak of
+	}
+	req, ok := v.(*wire.AdminReq)
+	if !ok {
+		return // a stray response; nodes only serve
+	}
+	resp := wire.AdminResp{Op: req.Op}
+	var body any
+	switch req.Op {
+	case wire.AdminStatus:
+		view := n.CurrentView()
+		s := admin.Status{
+			Role:       "member",
+			ID:         uint32(n.cfg.Self),
+			Epoch:      view.ID,
+			Applied:    n.Applied(),
+			CatchingUp: n.catch != nil,
+			IsLeader:   n.engine.IsLeader(),
+		}
+		if len(view.Members) > 0 {
+			s.Leader = uint32(view.Members[0])
+		}
+		if err := n.Ready(); err != nil {
+			s.ReadyErr = err.Error()
+		} else {
+			s.Ready = true
+		}
+		body = &s
+	case wire.AdminMembers:
+		view := n.CurrentView()
+		m := admin.Members{Epoch: view.ID, T: view.T}
+		for _, id := range view.Members {
+			m.IDs = append(m.IDs, uint32(id))
+		}
+		if len(m.IDs) > 0 {
+			m.Leader = m.IDs[0]
+		}
+		body = &m
+	case wire.AdminWAL:
+		w := admin.WALInfo{}
+		if n.wlog != nil {
+			ws := n.wlog.Stats()
+			w = admin.WALInfo{
+				Durable:     true,
+				Segments:    ws.Segments,
+				Bytes:       ws.Bytes,
+				Appends:     ws.Appends,
+				Fsyncs:      ws.Fsyncs,
+				Rotations:   ws.Rotations,
+				Snapshots:   ws.Snapshots,
+				SnapshotSeq: ws.SnapshotSeq,
+				Repairs:     ws.Repairs,
+			}
+			if !ws.SnapshotTime.IsZero() {
+				w.SnapshotAgeMillis = time.Since(ws.SnapshotTime).Milliseconds()
+			}
+		}
+		body = &w
+	case wire.AdminSessions:
+		n.sess.mu.Lock()
+		s := admin.Sessions{
+			Publishes:  n.sess.pubsAccepted,
+			Duplicates: n.sess.dupsFiltered,
+			Bounded:    n.sess.pubsBounded,
+		}
+		n.sess.mu.Unlock()
+		st := n.srv.Stats()
+		s.Subscribers = st.Subs
+		s.TailAttached = st.TailAttached
+		s.EdgeClients = st.EdgeClients
+		s.TailFrames = st.TailFrames
+		s.TailDetaches = st.TailDetaches
+		body = &s
+	case wire.AdminSnapshot:
+		r := admin.SnapshotResult{Triggered: n.TriggerSnapshot()}
+		if !r.Triggered {
+			r.Reason = "no durable log or state machine"
+		}
+		body = &r
+	default:
+		resp.Err = "unknown admin op"
+	}
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Body = b
+		}
+	}
+	_ = n.tr.Send(from, wire.EncodeAdminResp(&resp))
+}

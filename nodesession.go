@@ -6,6 +6,7 @@ import (
 	"iter"
 	"slices"
 	"sync"
+	"time"
 
 	"fsr/internal/serve"
 	"fsr/internal/wire"
@@ -296,8 +297,8 @@ type sessSrv struct {
 
 	mu        sync.Mutex
 	index     pubIndex
-	inflight  map[pubKey]struct{} // broadcast issued, not yet applied
-	perClient map[ProcID]int      // in-flight publish count per client
+	inflight  map[pubKey]time.Time // broadcast issued, not yet applied; value = accept time
+	perClient map[ProcID]int       // in-flight publish count per client
 	parked    []parkedPub
 	memlog    *memLog       // non-durable members only
 	signal    chan struct{} // closed and replaced at every applied batch
@@ -305,6 +306,10 @@ type sessSrv struct {
 	pubsAccepted uint64 // client publishes committed through this member
 	dupsFiltered uint64 // duplicate publishes filtered at apply time
 	pubsBounded  uint64 // publishes dropped by the per-client bound
+	// pubLatency histograms the accept→PUBACK latency of publishes
+	// committed through this member — the client-facing commit latency
+	// (receipts only cover the member's own broadcasts).
+	pubLatency LatencyHistogram
 }
 
 type pubKey struct {
@@ -328,22 +333,26 @@ type pubAck struct {
 func newSessSrv(n *Node) *sessSrv {
 	return &sessSrv{
 		n:         n,
-		inflight:  make(map[pubKey]struct{}),
+		inflight:  make(map[pubKey]time.Time),
 		perClient: make(map[ProcID]int),
 		signal:    make(chan struct{}),
 	}
 }
 
-// addInflight records a publish as in flight. Callers hold s.mu.
+// addInflight records a publish as in flight, stamping its accept time.
+// Callers hold s.mu.
 func (s *sessSrv) addInflight(key pubKey) {
-	s.inflight[key] = struct{}{}
+	s.inflight[key] = time.Now()
 	s.perClient[key.cid]++
 }
 
-// removeInflight clears an in-flight record, if present. Callers hold s.mu.
-func (s *sessSrv) removeInflight(key pubKey) {
-	if _, ok := s.inflight[key]; !ok {
-		return
+// removeInflight clears an in-flight record, returning its accept time so
+// the apply path can histogram accept→ack latency (drop and error paths
+// discard it). Callers hold s.mu.
+func (s *sessSrv) removeInflight(key pubKey) (time.Time, bool) {
+	accepted, ok := s.inflight[key]
+	if !ok {
+		return time.Time{}, false
 	}
 	delete(s.inflight, key)
 	if n := s.perClient[key.cid] - 1; n > 0 {
@@ -351,6 +360,7 @@ func (s *sessSrv) removeInflight(key pubKey) {
 	} else {
 		delete(s.perClient, key.cid)
 	}
+	return accepted, true
 }
 
 // watch returns a channel closed at the next applied batch.
@@ -386,8 +396,8 @@ func (s *sessSrv) classify(m Message, enveloped bool) (final Message, dup bool, 
 			s.mu.Lock()
 			s.index.add(m.Origin, m.LogicalID, m.Seq)
 			key := pubKey{cid: m.Origin, pub: m.LogicalID}
-			if _, ok := s.inflight[key]; ok {
-				s.removeInflight(key)
+			if accepted, ok := s.removeInflight(key); ok {
+				s.pubLatency.Observe(time.Since(accepted))
 				ack = &pubAck{cid: m.Origin, pub: m.LogicalID, seq: m.Seq}
 			}
 			s.mu.Unlock()
@@ -402,13 +412,17 @@ func (s *sessSrv) classify(m Message, enveloped bool) (final Message, dup bool, 
 	key := pubKey{cid: cid, pub: pubID}
 	s.mu.Lock()
 	if seq, committed := s.index.committed(cid, pubID); committed {
-		s.removeInflight(key)
+		if accepted, ok := s.removeInflight(key); ok {
+			s.pubLatency.Observe(time.Since(accepted))
+		}
 		s.dupsFiltered++
 		s.mu.Unlock()
 		return Message{Seq: m.Seq}, true, &pubAck{cid: cid, pub: pubID, seq: seq}
 	}
+	if accepted, ok := s.removeInflight(key); ok {
+		s.pubLatency.Observe(time.Since(accepted))
+	}
 	s.index.add(cid, pubID, m.Seq)
-	s.removeInflight(key)
 	s.pubsAccepted++
 	s.mu.Unlock()
 	final = Message{Seq: m.Seq, Origin: cid, LogicalID: pubID, Payload: inner}
@@ -489,6 +503,7 @@ func (n *Node) newServe() *serve.Server {
 		Redirect: func() (members []ProcID, addrs []string, applied uint64) {
 			return n.CurrentView().Members, nil, n.Applied()
 		},
+		Logger: n.log,
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"iter"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fsr/internal/wire"
@@ -210,6 +211,23 @@ type remoteSession struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// lastContact is the unix-nano timestamp of the newest inbound frame
+	// (events, acks, keepalives alike) — the upstream-liveness signal an
+	// edge replica's readiness probe reads via LastContact.
+	lastContact atomic.Int64
+}
+
+// LastContact reports when the session last heard anything from the
+// member serving it (the zero time before first contact). Server
+// keepalives arrive every second on an attached idle subscription, so a
+// stale LastContact means the upstream link is genuinely out.
+func (s *remoteSession) LastContact() time.Time {
+	ns := s.lastContact.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 type pendingPub struct {
@@ -566,6 +584,7 @@ func (s *remoteSession) handleFrame(gen uint64, payload []byte) {
 	if err != nil {
 		return // not ours / corrupt: ignore
 	}
+	s.lastContact.Store(time.Now().UnixNano())
 	switch v := msg.(type) {
 	case *wire.ClientPubAck:
 		s.mu.Lock()
