@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"fsr/internal/wal"
 	"fsr/transport"
 	"fsr/transport/mem"
 	"fsr/transport/tcp"
@@ -31,6 +32,12 @@ type ClusterConfig struct {
 	// application state machine (one instance per member — replicas must
 	// not share state outside the protocol).
 	StateMachines func(id ProcID) StateMachine
+	// WALFS, when set, supplies a per-member filesystem for the write-ahead
+	// log — the storage fault-injection seam. Returning nil for a member
+	// gives it the real filesystem. A returned FS models one disk: the
+	// cluster reuses it across that member's restarts, never across
+	// members.
+	WALFS func(id ProcID) wal.FS
 }
 
 // WithDurableDir returns a copy of cfg with the per-member durable base
@@ -57,6 +64,9 @@ func (cfg ClusterConfig) memberConfig(id ProcID) Config {
 	}
 	if cfg.StateMachines != nil {
 		nc.StateMachine = cfg.StateMachines(id)
+	}
+	if cfg.WALFS != nil {
+		nc.WALFS = cfg.WALFS(id)
 	}
 	return nc
 }

@@ -8,6 +8,7 @@ import (
 
 	"fsr/internal/core"
 	"fsr/internal/ring"
+	"fsr/internal/wal"
 )
 
 // ProcID identifies one process in the group.
@@ -86,6 +87,12 @@ type Config struct {
 	// WALSegmentBytes caps one write-ahead-log segment file (the unit of
 	// truncation behind a snapshot). Default 4 MiB.
 	WALSegmentBytes int
+
+	// WALFS overrides the filesystem the write-ahead log runs on — the
+	// storage fault-injection seam (internal/wal/walfault; the chaos
+	// harness's hostile-disk profile runs durable members on it). Nil, the
+	// production value, selects the real filesystem.
+	WALFS wal.FS
 
 	// Logger receives structured events — view installs, catch-up
 	// progress, WAL rotation and repair, slow-subscriber detaches — each

@@ -305,6 +305,7 @@ func (e *Edge) Metrics() Metrics {
 			Snapshots:   ws.Snapshots,
 			SnapshotSeq: ws.SnapshotSeq,
 			Repairs:     ws.Repairs,
+			Poisoned:    ws.Poisoned,
 		}
 		if !ws.SnapshotTime.IsZero() {
 			m.WAL.SnapshotAge = time.Since(ws.SnapshotTime)

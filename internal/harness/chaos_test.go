@@ -51,7 +51,7 @@ func TestScenarioCoverage(t *testing.T) {
 	for i := int64(0); i < profiles; i++ {
 		classes[profileName(Generate(base+i, false))] = true
 	}
-	for _, want := range []string{"timing-only", "leader-crash+restart", "follower-crash+restart", "membership-churn", "client-sessions", "edge-replicas"} {
+	for _, want := range []string{"timing-only", "leader-crash+restart", "follower-crash+restart", "membership-churn", "client-sessions", "edge-replicas", "hostile-disk"} {
 		if !classes[want] {
 			t.Fatalf("class %q missing from %d consecutive seeds (base %d)", want, profiles, base)
 		}
@@ -89,6 +89,28 @@ func TestChaos(t *testing.T) {
 	// one scenario's traffic may legitimately never bunch.
 	if !pinned && count >= 10 && MultiSegFramesObserved() == 0 {
 		t.Errorf("no multi-segment frame observed across %d scenarios: engine batching is not being exercised by chaos traffic", count)
+	}
+}
+
+// TestChaosHostileDiskPinned replays a fixed set of hostile-disk scenarios
+// (seeds ≡ 6 mod profiles) every run: a durable member rides a seeded
+// fault-injecting filesystem — torn writes, failing and lying fsyncs,
+// ENOSPC, bit flips — under client traffic, crashes, and restarts, and the
+// checker holds the cluster to acked⇒durable. Pinned seeds keep known-
+// nasty schedules in every CI run; TestChaos layers fresh random ones on
+// top. The name contains "Chaos" so CI's -run Chaos selects it.
+func TestChaosHostileDiskPinned(t *testing.T) {
+	if _, pinned := seedBase(t); pinned {
+		t.Skip("FSR_SEED replay runs through TestChaos")
+	}
+	for _, seed := range []int64{6, 13, 20, 27, 34, 41, 48, 55} {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			sc := Generate(seed, false)
+			if got := profileName(sc); got != "hostile-disk" {
+				t.Fatalf("seed %d generated profile %q, want hostile-disk", seed, got)
+			}
+			RunScenario(t, sc)
+		})
 	}
 }
 

@@ -151,6 +151,8 @@ func profileName(sc Scenario) string {
 		return "client-sessions"
 	case 5:
 		return "edge-replicas"
+	case 6:
+		return "hostile-disk"
 	default:
 		return "timing-only"
 	}

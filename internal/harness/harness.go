@@ -23,10 +23,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"log/slog"
 	"math/rand"
+	"path/filepath"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -35,6 +38,8 @@ import (
 
 	"fsr"
 	"fsr/edge"
+	"fsr/internal/wal"
+	"fsr/internal/wal/walfault"
 	"fsr/transport/chaos"
 	"fsr/transport/mem"
 )
@@ -93,6 +98,11 @@ const (
 	// EvRestartEdge brings it back on its durable store.
 	EvCrashEdge
 	EvRestartEdge
+	// EvCrashDisk power-cuts the scenario's hostile-disk member (Scenario
+	// .DiskNode): the process fail-stops (if storage poison has not already
+	// fail-stopped it) and its fault-layer disk drops every byte not
+	// honestly fsynced — including bytes a lying fsync claimed durable.
+	EvCrashDisk
 )
 
 var kindNames = map[EventKind]string{
@@ -100,6 +110,7 @@ var kindNames = map[EventKind]string{
 	EvRestart: "restart", EvRotate: "rotate", EvJoin: "join",
 	EvLeave: "leave", EvSlowNode: "slow-node", EvHealNode: "heal-node",
 	EvStallLink: "stall-link", EvCrashEdge: "crash-edge", EvRestartEdge: "restart-edge",
+	EvCrashDisk: "crash-disk",
 }
 
 // Event is one scheduled fault: Kind fires At after the workload starts.
@@ -139,9 +150,20 @@ type Scenario struct {
 	// edge crashes via failover between them), publishers start on an
 	// edge and migrate to a writable member through the NOT-WRITABLE
 	// redirect.
-	Edges  int
-	Net    chaos.Options
-	Events []Event
+	Edges int
+	// Disk, when non-nil, runs member DiskNode's write-ahead log on a
+	// seeded fault-injecting filesystem (internal/wal/walfault): torn
+	// writes, honest and lying fsync failures, ENOSPC and read bit-flips,
+	// all derived from Seed. Exactly one member per scenario takes storage
+	// faults, so the cluster always retains a durable majority. The member
+	// is expected to poison its WAL and fail-stop at some point; the
+	// harness reaps it like a crash and the EvCrashDisk/EvRestart pair
+	// (plus a final revival before quiescence) exercises recovery — a
+	// corrupt WAL at restart is wiped for a state-transfer rejoin.
+	Disk     *walfault.Options
+	DiskNode int
+	Net      chaos.Options
+	Events   []Event
 }
 
 // String renders the plan — two runs of one seed must render identically
@@ -152,6 +174,11 @@ func (s Scenario) String() string {
 		s.Seed, s.N, s.T, s.Senders, s.Messages, s.MaxPay, s.Gap,
 		s.Clients, s.ClientMsgs, s.Edges,
 		s.Net.MinDelay, s.Net.MaxDelay, s.Net.StallEvery, s.Net.MaxStall)
+	if s.Disk != nil {
+		fmt.Fprintf(&b, " disk{node=%d torn=%d fsync=%d lie=%d enospc=%d flip=%d}",
+			s.DiskNode, s.Disk.TornEvery, s.Disk.FsyncErrEvery, s.Disk.LieEvery,
+			s.Disk.ENOSPCEvery, s.Disk.FlipEvery)
+	}
 	for _, e := range s.Events {
 		fmt.Fprintf(&b, " @%v:%s", e.At.Round(time.Millisecond), kindNames[e.Kind])
 		switch e.Kind {
@@ -165,14 +192,15 @@ func (s Scenario) String() string {
 	return b.String()
 }
 
-// Profile classes guarantee coverage across a seed range: every sixth
-// seed crashes the leader, every sixth crash-restarts a follower, every
-// sixth churns membership, every sixth drives non-member client sessions
-// through a serving-member crash, every sixth crash-restarts an edge
-// replica under client traffic routed through the edge tier; the rest
-// stress timing only. Extra faults (rotations, slow nodes, stalls)
-// sprinkle into all classes.
-const profiles = 6
+// Profile classes guarantee coverage across a seed range: every seventh
+// seed crashes the leader, every seventh crash-restarts a follower, every
+// seventh churns membership, every seventh drives non-member client
+// sessions through a serving-member crash, every seventh crash-restarts an
+// edge replica under client traffic routed through the edge tier, every
+// seventh runs one durable member on a hostile disk (storage fault
+// injection with a power-cut crash-restart); the rest stress timing only.
+// Extra faults (rotations, slow nodes, stalls) sprinkle into all classes.
+const profiles = 7
 
 // Generate derives the scenario for a seed. Soak scales the workload up.
 func Generate(seed int64, soak bool) Scenario {
@@ -248,6 +276,32 @@ func Generate(seed int64, soak bool) Scenario {
 		s.Events = append(s.Events,
 			Event{At: base, Kind: EvCrashEdge, Node: idx},
 			Event{At: base + 500*time.Millisecond + time.Duration(rng.Intn(300))*time.Millisecond, Kind: EvRestartEdge, Node: idx},
+		)
+	case 6: // hostile-disk: one durable member on a fault-injecting filesystem
+		s.Clients = 1 + rng.Intn(2)
+		s.ClientMsgs = 10 + rng.Intn(15)
+		if soak {
+			s.ClientMsgs *= 3
+		}
+		// Mean fault periods sized against the scenario's WAL op volume (a
+		// few hundred appends/flushes, tens of fsyncs): most seeds inject a
+		// handful of storage faults, some none, some several — coverage
+		// across clean runs, single-fault poisons and compound failures.
+		d := walfault.NoOneShots()
+		d.Seed = seed
+		d.TornEvery = 40 + rng.Intn(80)
+		d.FsyncErrEvery = 30 + rng.Intn(60)
+		d.LieEvery = 30 + rng.Intn(60)
+		d.ENOSPCEvery = 25 + rng.Intn(50)
+		d.FlipEvery = 60 + rng.Intn(120)
+		s.Disk = &d
+		s.DiskNode = rng.Intn(s.N)
+		// A deterministic power cut + restart on top of whatever the fault
+		// schedule does: the crash reveals lying-fsync losses, the restart
+		// exercises torn-tail repair, corrupt-WAL wipe and catch-up.
+		s.Events = append(s.Events,
+			Event{At: base, Kind: EvCrashDisk},
+			Event{At: base + 500*time.Millisecond + time.Duration(rng.Intn(300))*time.Millisecond, Kind: EvRestart},
 		)
 	}
 	// Timing faults for everyone; rotation for half.
@@ -433,8 +487,23 @@ func RunScenario(t TB, sc Scenario) {
 		ChangeTimeout:     400 * time.Millisecond,
 		Logger:            logger,
 	}
+	durBase := t.TempDir()
 	ccfg := fsr.ClusterConfig{N: sc.N, T: sc.T, NodeConfig: nodeCfg}.
-		WithDurableDir(t.TempDir()).WithStateMachines(reg.factory)
+		WithDurableDir(durBase).WithStateMachines(reg.factory)
+	var diskFS *walfault.FS
+	if sc.Disk != nil {
+		// One fault-injecting disk for the scenario's hostile member,
+		// shared across its incarnations (FirstID is 0, so cluster index
+		// == ProcID). Everyone else runs on the real filesystem.
+		diskFS = walfault.New(nil, *sc.Disk)
+		diskFS.Disarm() // boot on a calm disk; armed once the cluster is up
+		ccfg.WALFS = func(id fsr.ProcID) wal.FS {
+			if id == fsr.ProcID(sc.DiskNode) {
+				return diskFS
+			}
+			return nil
+		}
+	}
 	cluster, err := fsr.NewCluster(ccfg, ct)
 	if err != nil {
 		failf(t, sc.Seed, "cluster: %v", err)
@@ -443,7 +512,8 @@ func RunScenario(t TB, sc Scenario) {
 	defer cluster.Stop()
 
 	run := &runner{t: t, sc: sc, reg: reg, ct: ct, cluster: cluster,
-		base: t.TempDir(), nodeCfg: nodeCfg, log: logger}
+		base: t.TempDir(), durBase: durBase, diskFS: diskFS,
+		nodeCfg: nodeCfg, log: logger}
 	run.alive = make(map[fsr.ProcID]*fsr.Node, sc.N)
 	for i, id := range cluster.IDs() {
 		run.alive[id] = cluster.Node(i)
@@ -452,6 +522,9 @@ func RunScenario(t TB, sc Scenario) {
 	defer run.stopEdges()
 	if t.Failed() {
 		return
+	}
+	if diskFS != nil {
+		diskFS.Arm() // the cluster is up; let the weather begin
 	}
 	defer func() {
 		// Members admitted mid-run are not owned by the Cluster.
@@ -496,6 +569,7 @@ func RunScenario(t TB, sc Scenario) {
 	wg.Wait()
 
 	run.awaitReceipts()
+	run.reviveDisk()
 	live := run.quiesce()
 	run.recordBatching()
 	if t.Failed() {
@@ -713,6 +787,8 @@ type runner struct {
 	ct      *chaos.Transport
 	cluster *fsr.Cluster
 	base    string
+	durBase string       // ClusterConfig.DurableDir (member WALs live under node-<id>)
+	diskFS  *walfault.FS // the hostile member's disk; nil outside profile 6
 	nodeCfg fsr.Config
 	log     *slog.Logger
 
@@ -973,7 +1049,99 @@ func (r *runner) fire(ev Event) {
 		r.crashEdge(ev.Node)
 	case EvRestartEdge:
 		r.restartEdge(ev.Node)
+	case EvCrashDisk:
+		r.crashDisk()
 	}
+}
+
+// reapPoisoned notices a hostile-disk member that fail-stopped on its own
+// (WAL poisoned by a storage fault, or evicted while degraded) and books it
+// as a crash so EvRestart/reviveDisk can bring it back. It also enforces
+// the fail-stop contract: a poisoned member must report not-ready and must
+// never keep serving.
+func (r *runner) reapPoisoned() {
+	if r.diskFS == nil {
+		return
+	}
+	id := fsr.ProcID(r.sc.DiskNode)
+	r.mu.Lock()
+	n, isAlive := r.alive[id]
+	r.mu.Unlock()
+	if !isAlive || n.Err() == nil {
+		return
+	}
+	if errors.Is(n.Err(), wal.ErrPoisoned) {
+		if n.Ready() == nil {
+			failf(r.t, r.sc.Seed, "poisoned member %d still reports ready", id)
+		}
+		r.log.Info("hostile disk: reaping poisoned member", "node", uint32(id), "err", n.Err())
+	} else {
+		r.log.Info("hostile disk: reaping halted member", "node", uint32(id), "err", n.Err())
+	}
+	r.mu.Lock()
+	delete(r.alive, id)
+	if !slices.Contains(r.crashed, r.sc.DiskNode) {
+		r.crashed = append(r.crashed, r.sc.DiskNode)
+	}
+	r.mu.Unlock()
+	// The process already halted itself; Crash additionally severs its
+	// transport endpoint so peers observe clean silence.
+	r.cluster.Crash(r.sc.DiskNode)
+}
+
+// crashDisk is the scheduled power cut of the hostile-disk member: the
+// process fail-stops (unless storage poison already took it down) and the
+// fault-layer disk drops every byte not honestly fsynced — the moment a
+// lying fsync's durability claim is put to the test.
+func (r *runner) crashDisk() {
+	if r.diskFS == nil {
+		return
+	}
+	r.reapPoisoned()
+	id := fsr.ProcID(r.sc.DiskNode)
+	r.mu.Lock()
+	_, isAlive := r.alive[id]
+	if isAlive {
+		if len(r.crashed) >= r.sc.T {
+			r.mu.Unlock()
+			return // budget exhausted; leave the member running, disk intact
+		}
+		delete(r.alive, id)
+		r.crashed = append(r.crashed, r.sc.DiskNode)
+	}
+	r.mu.Unlock()
+	if isAlive {
+		r.cluster.Crash(r.sc.DiskNode)
+	}
+	if err := r.diskFS.Crash(); err != nil {
+		r.log.Info("hostile disk: power-cut truncation", "err", err)
+	}
+}
+
+// reviveDisk runs after the workload: if the hostile-disk member is down —
+// by schedule or by poison — bring it back for the final quiescence so the
+// checker can hold it to prefix agreement and uniformity. Its disk takes a
+// final power cut first, so recovery starts from what was honestly
+// durable.
+func (r *runner) reviveDisk() {
+	if r.diskFS == nil {
+		return
+	}
+	r.reapPoisoned()
+	r.mu.Lock()
+	pos := slices.Index(r.crashed, r.sc.DiskNode)
+	if pos >= 0 {
+		r.crashed = slices.Delete(r.crashed, pos, pos+1)
+	}
+	r.mu.Unlock()
+	if pos < 0 {
+		return
+	}
+	// Final power cut, then calm weather: recovery is judged on what the
+	// faults left behind, not hampered by fresh ones.
+	_ = r.diskFS.Crash()
+	r.diskFS.Disarm()
+	r.restartMember(r.sc.DiskNode)
 }
 
 // leader returns the live node currently coordinating the group.
@@ -1033,14 +1201,57 @@ func (r *runner) restart() {
 	idx := r.crashed[0]
 	r.crashed = r.crashed[1:]
 	r.mu.Unlock()
-	node, err := r.cluster.Restart(idx)
+	r.restartMember(idx)
+}
+
+// restartMember brings one crashed member back from its durable dir. For
+// the hostile-disk member the recovery contract is looser: injected open
+// faults may abort a few attempts (retried), and a corrupt log means the
+// member must NOT serve from it — it wipes local state and re-joins via
+// state transfer instead. Any other member failing to restart is a bug.
+func (r *runner) restartMember(idx int) {
+	hostile := r.diskFS != nil && idx == r.sc.DiskNode
+	for attempt := 0; ; attempt++ {
+		node, err := r.cluster.Restart(idx)
+		if err == nil {
+			r.mu.Lock()
+			r.alive[node.Self()] = node
+			r.mu.Unlock()
+			return
+		}
+		if !hostile || attempt >= 4 {
+			failf(r.t, r.sc.Seed, "restart of member %d: %v", idx, err)
+			return
+		}
+		if errors.Is(err, wal.ErrCorrupt) {
+			r.log.Info("hostile disk: corrupt log on restart, wiping for state transfer",
+				"node", idx, "err", err)
+			r.wipeDisk(idx)
+			continue
+		}
+		r.log.Info("hostile disk: restart attempt failed, retrying",
+			"node", idx, "attempt", attempt, "err", err)
+	}
+}
+
+// wipeDisk discards the hostile-disk member's log and snapshots (keeping
+// the gen incarnation file, so the member still re-joins as a fresh
+// incarnation of itself). Removal goes through the fault layer so its
+// per-file tracking stays consistent with the directory contents.
+func (r *runner) wipeDisk(idx int) {
+	dir := filepath.Join(r.durBase, fmt.Sprintf("node-%d", r.cluster.IDs()[idx]))
+	names, err := r.diskFS.ReadDir(dir)
 	if err != nil {
-		failf(r.t, r.sc.Seed, "restart of member %d: %v", idx, err)
+		failf(r.t, r.sc.Seed, "wiping hostile disk %d: %v", idx, err)
 		return
 	}
-	r.mu.Lock()
-	r.alive[node.Self()] = node
-	r.mu.Unlock()
+	for _, name := range names {
+		if strings.HasSuffix(name, ".seg") || strings.HasSuffix(name, ".snap") {
+			if err := r.diskFS.Remove(filepath.Join(dir, name)); err != nil {
+				failf(r.t, r.sc.Seed, "wiping hostile disk %d: %v", idx, err)
+			}
+		}
+	}
 }
 
 // join admits a brand-new durable member mid-run.

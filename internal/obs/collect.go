@@ -64,6 +64,7 @@ func WriteNodeMetrics(w io.Writer, self uint32, m fsr.Metrics) error {
 	p.Gauge("fsr_wal_snapshot_seq", "Sequence number the latest snapshot covers.", float64(m.WAL.SnapshotSeq), "node", node)
 	p.Gauge("fsr_wal_snapshot_age_seconds", "Seconds since the latest snapshot was written.", m.WAL.SnapshotAge.Seconds(), "node", node)
 	p.Counter("fsr_wal_repairs_total", "Torn tails truncated during recovery.", m.WAL.Repairs, "node", node)
+	p.GaugeBool("fsr_wal_poisoned", "Whether a storage failure froze the durable log (member fail-stops).", m.WAL.Poisoned, "node", node)
 
 	p.Histogram("fsr_publish_latency_seconds",
 		"Session Publish accept-to-acknowledgment latency.",
@@ -102,5 +103,6 @@ func WriteEdgeMetrics(w io.Writer, self uint32, m edge.Metrics) error {
 	p.Gauge("fsr_edge_wal_snapshot_seq", "Offset the latest persisted snapshot covers.", float64(m.WAL.SnapshotSeq), "edge", id)
 	p.Gauge("fsr_edge_wal_snapshot_age_seconds", "Seconds since the latest snapshot was persisted.", m.WAL.SnapshotAge.Seconds(), "edge", id)
 	p.Counter("fsr_edge_wal_repairs_total", "Torn tails truncated during recovery.", m.WAL.Repairs, "edge", id)
+	p.GaugeBool("fsr_edge_wal_poisoned", "Whether a storage failure froze the durable store.", m.WAL.Poisoned, "edge", id)
 	return p.Err()
 }

@@ -105,6 +105,10 @@ type Manager struct {
 	snapshot  *core.RecoveryState
 	changing  bool
 	changeDue time.Time
+	// halfDeferred marks that this member held back one even-split proposal
+	// (it kept exactly half the view but not its lowest-ID member — see the
+	// tie-break in startChange) and may proceed at the next retry.
+	halfDeferred bool
 
 	// Coordinator-side collection state.
 	myEpoch   uint64
@@ -270,15 +274,29 @@ func (m *Manager) nextMembers() []ring.ProcID {
 // Exactly half still qualifies: losing half the view at once (e.g. the
 // old coordinator and another member crashing together mid-change) is a
 // recovery the protocol supports, and the survivors cannot distinguish it
-// from a symmetric partition. The residual hole is therefore a perfectly
-// even split under MUTUAL false suspicion, which requires n even and both
-// halves to suspect each other within one view — strictly rarer than the
-// minority rumps this guard removes, and impossible under the crash-stop
-// model proper.
+// from a symmetric partition. A perfectly even split under MUTUAL false
+// suspicion — n even, both halves suspecting each other within one view —
+// would let both halves qualify simultaneously, so startChange adds a
+// deterministic tie-break on top of this test: at exactly half, only the
+// half retaining the lowest-ID current-view member proposes immediately;
+// the other half defers one ChangeTimeout (see the halfDeferred branch),
+// giving the favored half's NEWVIEW time to arrive and evict it. The
+// deferred half does proceed after the timeout — silence for a full
+// ChangeTimeout is the protocol's definition of a dead peer, and wedging
+// forever on a half that really did crash (the coordinator-crash-mid-
+// change recovery) is not acceptable — so a partition that outlasts the
+// timeout AND suppresses every NEWVIEW can still fork an even split. That
+// residual requires the model violation to persist past the failure
+// detector's own horizon, strictly narrower than the simultaneous-mint
+// race the tie-break removes.
 func (m *Manager) hasQuorum(proposed []ring.ProcID) bool {
-	cur := m.view.Ring.Members()
+	return 2*m.keptOfCurrent(proposed) >= len(m.view.Ring.Members())
+}
+
+// keptOfCurrent counts current-view members the proposal retains.
+func (m *Manager) keptOfCurrent(proposed []ring.ProcID) int {
 	kept := 0
-	for _, p := range cur {
+	for _, p := range m.view.Ring.Members() {
 		// A registered graceful leaver counts as support: it is a live,
 		// cooperating member that asked to be excluded — unlike a
 		// suspected member, it cannot be the other side of a partition
@@ -289,7 +307,7 @@ func (m *Manager) hasQuorum(proposed []ring.ProcID) bool {
 			kept++
 		}
 	}
-	return 2*kept >= len(cur)
+	return kept
 }
 
 // startChange (re)starts a view change with a fresh epoch, self as
@@ -312,9 +330,33 @@ func (m *Manager) startChange(now time.Time) {
 	if len(members) == 0 {
 		return
 	}
-	if !m.hasQuorum(members) {
+	cur := m.view.Ring.Members()
+	kept := m.keptOfCurrent(members)
+	if 2*kept < len(cur) {
 		return // minority side of a (suspected) partition: must not propose
 	}
+	if 2*kept == len(cur) && !m.halfDeferred {
+		// Even-split tie-break (see hasQuorum): when a view splits exactly
+		// in half under mutual false suspicion, both halves pass the
+		// half-quorum test and would mint colliding same-epoch views. Break
+		// the tie deterministically: the half retaining the lowest-ID
+		// current-view member proposes now; the other half defers one
+		// ChangeTimeout, during which the favored half's NEWVIEW evicts it
+		// (false suspicion) or admits it (transient suspicion). Only if the
+		// favored half stays silent for the full timeout — the failure
+		// detector's own crash horizon — does the deferred half proceed,
+		// which keeps recovery alive when half the view genuinely died.
+		lowest := slices.Min(cur)
+		if !slices.Contains(members, lowest) && !m.leavers[lowest] {
+			m.halfDeferred = true
+			m.changing = true
+			m.changeDue = now.Add(m.cfg.ChangeTimeout)
+			m.log.Info("view change deferred: even split without lowest member",
+				"lowest", uint32(lowest), "kept", kept, "view_n", len(cur))
+			return
+		}
+	}
+	m.halfDeferred = false
 	m.myEpoch = max(m.hiEpoch, m.myEpoch) + 1
 	m.proposed = members
 	m.proposedT = min(m.cfg.T, len(members)-1)
@@ -480,6 +522,7 @@ func (m *Manager) handleNewView(nv *NewView, now time.Time) {
 		// Excluded: graceful leave honored (or false suspicion — cannot
 		// happen with P, but do not silently diverge).
 		m.changing = false
+		m.halfDeferred = false
 		m.log.Warn("excluded from view", "epoch", nv.Epoch, "members", len(nv.Members))
 		if m.cfg.Callbacks.Evicted != nil {
 			m.cfg.Callbacks.Evicted()
@@ -504,6 +547,7 @@ func (m *Manager) handleNewView(nv *NewView, now time.Time) {
 	m.leavers = make(map[ring.ProcID]bool)
 	m.rotate = false
 	m.changing = false
+	m.halfDeferred = false
 	m.snapshot = nil
 	m.collected = nil
 	m.hiEpoch = nv.Epoch

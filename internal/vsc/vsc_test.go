@@ -608,3 +608,88 @@ func TestLeaveOverlappingCrashStillCompletes(t *testing.T) {
 		t.Fatal("leaver never learned its departure completed")
 	}
 }
+
+// TestSymmetricEvenSplitTieBreak: a perfectly even split under MUTUAL
+// false suspicion — the residual split-brain hole left by the half-quorum
+// guard. Both halves retain exactly half the view and would, without the
+// tie-break, mint colliding same-epoch views. The deterministic tie-break
+// lets only the half retaining the lowest-ID current-view member propose
+// immediately; the other half defers, receives the favored half's NEWVIEW
+// within the deferral window, and evicts itself instead of diverging.
+func TestSymmetricEvenSplitTieBreak(t *testing.T) {
+	ids := []ring.ProcID{10, 11, 12, 13}
+	v := groupView(t, ids, 2)
+	h := newHarness(t)
+	for _, id := range ids {
+		h.add(id, v, false)
+	}
+	// Halves {10,11} and {12,13} suspect each other. Feed the unfavored
+	// half first so its coordinator (12) reaches the exactly-half state
+	// and must decide before any traffic from the favored half arrives.
+	for _, b := range []ring.ProcID{12, 13} {
+		for _, a := range []ring.ProcID{10, 11} {
+			h.managers[b].OnSuspect(a, h.now)
+		}
+	}
+	for _, a := range []ring.ProcID{10, 11} {
+		for _, b := range []ring.ProcID{12, 13} {
+			h.managers[a].OnSuspect(b, h.now)
+		}
+	}
+	h.pump()
+	// The half with the lowest-ID member (10) installs the next view.
+	for _, a := range []ring.ProcID{10, 11} {
+		got := h.lastView(a)
+		if got.ID <= v.ID {
+			t.Fatalf("favored member %d stuck in view %d", a, got.ID)
+		}
+		if want := []ring.ProcID{10, 11}; !reflect.DeepEqual(got.Ring.Members(), want) {
+			t.Fatalf("favored member %d installed %v, want %v", a, got.Ring.Members(), want)
+		}
+	}
+	// The unfavored half deferred its proposal, never installed a rump
+	// view, and fail-stopped on the favored half's NEWVIEW.
+	for _, b := range []ring.ProcID{12, 13} {
+		if len(h.installs[b]) != 0 {
+			t.Fatalf("unfavored member %d installed %v, want nothing", b, h.installs[b])
+		}
+		if !h.evicted[b] {
+			t.Fatalf("unfavored member %d never evicted itself", b)
+		}
+	}
+}
+
+// TestEvenSplitWithoutLowestRecoversByTimeout: the liveness side of the
+// tie-break. When the half holding the lowest-ID member genuinely crashed,
+// the surviving (unfavored) half must not wedge forever: it defers one
+// ChangeTimeout, hears nothing, and then completes the change itself.
+func TestEvenSplitWithoutLowestRecoversByTimeout(t *testing.T) {
+	ids := []ring.ProcID{10, 11, 12, 13}
+	v := groupView(t, ids, 2)
+	h := newHarness(t)
+	for _, id := range ids {
+		h.add(id, v, false)
+	}
+	h.crash(10)
+	h.crash(11)
+	h.suspectEverywhere(10)
+	h.suspectEverywhere(11)
+	h.pump()
+	// Deferral window: the survivors hold back (no lowest-ID member).
+	for _, b := range []ring.ProcID{12, 13} {
+		if len(h.installs[b]) != 0 {
+			t.Fatalf("survivor %d proposed during the deferral window: %v", b, h.installs[b])
+		}
+	}
+	h.now = h.now.Add(time.Second)
+	for _, b := range []ring.ProcID{12, 13} {
+		h.managers[b].Tick(h.now)
+	}
+	h.pump()
+	for _, b := range []ring.ProcID{12, 13} {
+		got := h.lastView(b)
+		if want := []ring.ProcID{12, 13}; !reflect.DeepEqual(got.Ring.Members(), want) {
+			t.Fatalf("survivor %d installed %v, want %v", b, got.Ring.Members(), want)
+		}
+	}
+}

@@ -21,6 +21,21 @@
 // truncated away; everything before it is intact because records are
 // written sequentially.
 //
+// # Failure model
+//
+// A failed write, flush or fsync permanently poisons the log: every later
+// Append/Sync/WriteSnapshot/Replay/ReadFrom returns the same sticky error
+// (ErrPoisoned) and the owner is expected to fail-stop. Two disk realities
+// force this. First, fsyncgate: after a failed fsync the kernel may drop
+// the dirty pages yet let a *retried* fsync succeed, so a log that shrugs
+// off one fsync error can later claim durability for records that never
+// hit the platter. Second, a short append leaves a partial record in the
+// buffered writer; any further append would flush garbage into the
+// segment's interior, turning a recoverable torn tail into ErrCorrupt on
+// the next open. Freezing the log at the first failure keeps everything
+// below the failure point recoverable: the next incarnation's Open truncates
+// the torn tail and replays the intact prefix.
+//
 // The log is safe for concurrent use: the delivery goroutine appends while
 // the protocol loop serves catch-up reads to restarted peers.
 package wal
@@ -69,6 +84,9 @@ type Options struct {
 	// batch; this cap just limits the window inside huge batches.
 	// Default 256.
 	SyncEvery int
+	// FS overrides the filesystem the log runs on — the fault-injection
+	// seam (internal/wal/walfault). Nil selects the real filesystem.
+	FS FS
 	// Logger receives structured events for segment rotation, torn-tail
 	// repair, and snapshots. Nil discards them.
 	Logger *slog.Logger
@@ -86,6 +104,7 @@ type Stats struct {
 	SnapshotSeq  uint64 // seq covered by the latest snapshot (0 if none)
 	SnapshotTime time.Time
 	Repairs      uint64 // torn tails truncated at Open
+	Poisoned     bool   // a write/flush/fsync failed; the log is frozen
 }
 
 const (
@@ -105,6 +124,12 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // ErrCorrupt reports a log whose interior (not its tail) fails validation.
 var ErrCorrupt = errors.New("wal: corrupt log")
 
+// ErrPoisoned is the sticky error a failed write, flush or fsync leaves
+// behind: the log refuses all further mutation and serving, so the owner
+// fail-stops instead of acking records whose durability the disk already
+// betrayed (see the package comment's failure model).
+var ErrPoisoned = errors.New("wal: poisoned by storage failure")
+
 // errTorn marks a record cut short at the end of the newest segment — the
 // expected shape of a crash mid-append, healed by truncation.
 var errTorn = errors.New("wal: torn tail")
@@ -121,14 +146,16 @@ type Log struct {
 	mu   sync.Mutex
 	dir  string
 	opts Options
+	fsys FS
 	gen  uint64
 
 	segs     []segment // ascending by first seq; the final one is active
-	f        *os.File  // active segment
+	f        File      // active segment
 	w        *bufio.Writer
 	size     int64 // bytes in the active segment (including buffered)
 	unsynced int
 	lastSeq  uint64 // highest entry or snapshot seq ever recorded
+	err      error  // sticky poison; non-nil freezes the log
 
 	snap *Snapshot // latest snapshot, kept in memory for serving
 	hint readHint  // resume point for paged catch-up reads
@@ -161,17 +188,20 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.SyncEvery <= 0 {
 		opts.SyncEvery = defaultSyncEvery
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = OS
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts, log: opts.Logger}
+	l := &Log{dir: dir, opts: opts, fsys: opts.FS, log: opts.Logger}
 	if l.log == nil {
 		l.log = slog.New(slog.DiscardHandler)
 	}
 	if err := l.bumpGeneration(); err != nil {
 		return nil, err
 	}
-	segs, snaps, err := scanDir(dir)
+	segs, snaps, err := scanDir(l.fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -199,23 +229,22 @@ func Open(dir string, opts Options) (*Log, error) {
 func (l *Log) bumpGeneration() error {
 	path := filepath.Join(l.dir, "gen")
 	prev := uint64(0)
-	if b, err := os.ReadFile(path); err == nil {
+	if b, err := l.fsys.ReadFile(path); err == nil {
 		if v, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64); perr == nil {
 			prev = v
 		}
 	}
 	l.gen = prev + 1
-	return writeFileAtomic(path, []byte(strconv.FormatUint(l.gen, 10)))
+	return writeFileAtomic(l.fsys, path, []byte(strconv.FormatUint(l.gen, 10)))
 }
 
 // scanDir classifies the directory contents.
-func scanDir(dir string) (segs []segment, snapSeqs []uint64, err error) {
-	entries, err := os.ReadDir(dir)
+func scanDir(fsys FS, dir string) (segs []segment, snapSeqs []uint64, err error) {
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
-	for _, e := range entries {
-		name := e.Name()
+	for _, name := range names {
 		switch {
 		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
 			if _, perr := strconv.ParseUint(name[4:len(name)-4], 16, 64); perr == nil {
@@ -236,12 +265,12 @@ func scanDir(dir string) (segs []segment, snapSeqs []uint64, err error) {
 func (l *Log) loadSnapshot(seqs []uint64) error {
 	for i := len(seqs) - 1; i >= 0; i-- {
 		path := l.snapPath(seqs[i])
-		snap, err := readSnapshotFile(path)
+		snap, err := readSnapshotFile(l.fsys, path)
 		if err != nil {
 			// A half-written snapshot (crash during WriteSnapshot before
 			// the rename... cannot happen; after a partial disk write it
 			// can): ignore it and fall back to the previous one.
-			_ = os.Remove(path)
+			_ = l.fsys.Remove(path)
 			continue
 		}
 		l.snap = &snap
@@ -253,7 +282,7 @@ func (l *Log) loadSnapshot(seqs []uint64) error {
 // recoverSegment validates one segment, truncating a torn tail on the last
 // one and recording its entry bounds.
 func (l *Log) recoverSegment(s *segment, isLast bool) error {
-	f, err := os.Open(s.path)
+	f, err := l.fsys.Open(s.path)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -279,7 +308,7 @@ func (l *Log) recoverSegment(s *segment, isLast bool) error {
 	}
 	l.repairs++
 	l.log.Info("wal repair", "segment", filepath.Base(s.path), "valid_bytes", valid, "last_seq", s.last)
-	return os.Truncate(s.path, valid)
+	return l.fsys.Truncate(s.path, valid)
 }
 
 // openActive opens the newest segment for appending, creating the first
@@ -289,18 +318,18 @@ func (l *Log) openActive() error {
 		return l.createSegment(l.lastSeq + 1)
 	}
 	s := &l.segs[len(l.segs)-1]
-	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fsys.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		_ = f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.f = f
 	l.w = bufio.NewWriter(f)
-	l.size = st.Size()
+	l.size = size
 	return nil
 }
 
@@ -308,7 +337,7 @@ func (l *Log) openActive() error {
 // seq. Callers hold the lock (or run before the log is shared).
 func (l *Log) createSegment(seq uint64) error {
 	path := filepath.Join(l.dir, fmt.Sprintf("wal-%016x.seg", seq))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -356,11 +385,25 @@ func (l *Log) LatestSnapshot() (Snapshot, bool) {
 	return *l.snap, true
 }
 
+// poisonLocked records the first storage failure and freezes the log: the
+// same sticky error comes back from every later mutation or read. Callers
+// hold the lock.
+func (l *Log) poisonLocked(err error) error {
+	if l.err == nil {
+		l.err = fmt.Errorf("%w: %w", ErrPoisoned, err)
+		l.log.Error("wal poisoned", "err", err)
+	}
+	return l.err
+}
+
 // Append writes one entry, rotating segments as they fill. The entry is
 // durable only after the next Sync (explicit or batched).
 func (l *Log) Append(e Entry) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
 	if l.f == nil {
 		return fmt.Errorf("wal: log closed")
 	}
@@ -371,7 +414,11 @@ func (l *Log) Append(e Entry) error {
 	}
 	rec := appendRecord(nil, e)
 	if _, err := l.w.Write(rec); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		// A short write leaves a partial record in the buffer (and maybe
+		// on disk). Poisoning here means no later append can flush bytes
+		// after the garbage: what is on disk stays a torn TAIL, which the
+		// next incarnation's Open truncates — never interior corruption.
+		return l.poisonLocked(fmt.Errorf("wal: append: %w", err))
 	}
 	l.size += int64(len(rec))
 	s := &l.segs[len(l.segs)-1]
@@ -396,11 +443,14 @@ func (l *Log) rotate(seq uint64) error {
 		return err
 	}
 	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return l.poisonLocked(fmt.Errorf("wal: rotate: %w", err))
 	}
 	l.rotates++
 	l.log.Info("wal rotate", "first_seq", seq, "segments", len(l.segs)+1, "sealed_bytes", l.size)
-	return l.createSegment(seq)
+	if err := l.createSegment(seq); err != nil {
+		return l.poisonLocked(err)
+	}
+	return nil
 }
 
 // Sync flushes buffered appends and fsyncs the active segment — the
@@ -411,15 +461,24 @@ func (l *Log) Sync() error {
 	return l.syncLocked()
 }
 
+// syncLocked is the durability point — and the fsyncgate guard. A failed
+// flush or fsync must not be retried: the kernel may already have dropped
+// the dirty pages, so a retried fsync that "succeeds" would claim
+// durability for records that are gone. The first failure poisons the log
+// permanently; the owner fail-stops and the next incarnation recovers the
+// prefix that truly reached the disk.
 func (l *Log) syncLocked() error {
+	if l.err != nil {
+		return l.err
+	}
 	if l.f == nil {
 		return nil
 	}
 	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: flush: %w", err)
+		return l.poisonLocked(fmt.Errorf("wal: flush: %w", err))
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		return l.poisonLocked(fmt.Errorf("wal: fsync: %w", err))
 	}
 	l.fsyncs++
 	l.unsynced = 0
@@ -429,6 +488,15 @@ func (l *Log) syncLocked() error {
 // WriteSnapshot records a state-machine snapshot covering everything up to
 // and including seq, then truncates segments made redundant by it. The
 // caller hands over ownership of data.
+//
+// Crash atomicity: entries are fsynced first, the snapshot file lands via
+// write-temp/fsync/rename/dir-sync, and only then are covered segments
+// removed — so at every intermediate crash point the directory holds
+// either the old snapshot with all its segments or the new snapshot
+// (possibly with now-redundant segments, which replay harmlessly). Any
+// failure mid-sequence poisons the log: a half-truncated directory must
+// not accept further appends, but reopening it recovers every entry above
+// the last durable snapshot.
 func (l *Log) WriteSnapshot(seq uint64, data []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -442,8 +510,8 @@ func (l *Log) WriteSnapshot(seq uint64, data []byte) error {
 	file := make([]byte, 0, 4+len(body))
 	file = binary.LittleEndian.AppendUint32(file, crc32.Checksum(body, crcTable))
 	file = append(file, body...)
-	if err := writeFileAtomic(l.snapPath(seq), file); err != nil {
-		return err
+	if err := writeFileAtomic(l.fsys, l.snapPath(seq), file); err != nil {
+		return l.poisonLocked(err)
 	}
 	prev := l.snap
 	l.snap = &Snapshot{Seq: seq, Data: data}
@@ -455,13 +523,13 @@ func (l *Log) WriteSnapshot(seq uint64, data []byte) error {
 		l.lastSeq = seq
 	}
 	if prev != nil && prev.Seq != seq {
-		_ = os.Remove(l.snapPath(prev.Seq))
+		_ = l.fsys.Remove(l.snapPath(prev.Seq))
 	}
 	// Truncation: a non-active segment whose entries are all covered by
 	// the snapshot will never be replayed or served again.
 	for len(l.segs) > 1 && l.segs[0].last <= seq {
-		if err := os.Remove(l.segs[0].path); err != nil && !os.IsNotExist(err) {
-			return fmt.Errorf("wal: truncate: %w", err)
+		if err := l.fsys.Remove(l.segs[0].path); err != nil && !os.IsNotExist(err) {
+			return l.poisonLocked(fmt.Errorf("wal: truncate: %w", err))
 		}
 		l.segs = l.segs[1:]
 	}
@@ -474,16 +542,16 @@ func (l *Log) WriteSnapshot(seq uint64, data []byte) error {
 	// skip the interior gap.
 	if last := &l.segs[len(l.segs)-1]; last.last <= seq {
 		if err := l.f.Close(); err != nil {
-			return fmt.Errorf("wal: %w", err)
+			return l.poisonLocked(fmt.Errorf("wal: %w", err))
 		}
 		for _, s := range l.segs {
-			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
-				return fmt.Errorf("wal: truncate: %w", err)
+			if err := l.fsys.Remove(s.path); err != nil && !os.IsNotExist(err) {
+				return l.poisonLocked(fmt.Errorf("wal: truncate: %w", err))
 			}
 		}
 		l.segs = nil
 		if err := l.createSegment(seq + 1); err != nil {
-			return err
+			return l.poisonLocked(err)
 		}
 	}
 	return nil
@@ -507,13 +575,14 @@ func (l *Log) Stats() Stats {
 		Snapshots:    l.snaps,
 		SnapshotTime: l.snapTime,
 		Repairs:      l.repairs,
+		Poisoned:     l.err != nil,
 	}
 	if l.snap != nil {
 		st.SnapshotSeq = l.snap.Seq
 	}
 	for i := range l.segs[:max(len(l.segs)-1, 0)] {
-		if fi, err := os.Stat(l.segs[i].path); err == nil {
-			st.Bytes += fi.Size()
+		if size, err := l.fsys.FileSize(l.segs[i].path); err == nil {
+			st.Bytes += size
 		}
 	}
 	if len(l.segs) > 0 {
@@ -525,18 +594,23 @@ func (l *Log) Stats() Stats {
 // Writable probes whether the durable directory still accepts writes —
 // the readiness check for a disk yanked out from under a running node. It
 // creates and removes a marker file rather than testing permission bits,
-// so remounted-read-only and ENOSPC failures are caught too.
+// so remounted-read-only and ENOSPC failures are caught too. A poisoned
+// log reports its sticky error without touching the disk: whatever the
+// probe would say now, the log already refused to trust this disk.
 func (l *Log) Writable() error {
 	l.mu.Lock()
-	dir := l.dir
+	dir, err := l.dir, l.err
 	l.mu.Unlock()
-	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	f, err := l.fsys.CreateTemp(dir, ".probe-*")
 	if err != nil {
 		return fmt.Errorf("wal: not writable: %w", err)
 	}
 	name := f.Name()
 	_ = f.Close()
-	if err := os.Remove(name); err != nil {
+	if err := l.fsys.Remove(name); err != nil {
 		return fmt.Errorf("wal: not writable: %w", err)
 	}
 	return nil
@@ -547,9 +621,12 @@ func (l *Log) Writable() error {
 func (l *Log) Replay(after uint64, fn func(Entry) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
 	if l.w != nil {
 		if err := l.w.Flush(); err != nil {
-			return fmt.Errorf("wal: flush: %w", err)
+			return l.poisonLocked(fmt.Errorf("wal: flush: %w", err))
 		}
 	}
 	for i := range l.segs {
@@ -557,7 +634,7 @@ func (l *Log) Replay(after uint64, fn func(Entry) error) error {
 		if s.first == 0 || s.last <= after {
 			continue
 		}
-		f, err := os.Open(s.path)
+		f, err := l.fsys.Open(s.path)
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -581,9 +658,15 @@ func (l *Log) Replay(after uint64, fn func(Entry) error) error {
 func (l *Log) ReadFrom(after, upTo uint64, maxEntries, maxBytes int) (entries []Entry, more bool, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.err != nil {
+		// A poisoned member must not serve catch-up: its buffered tail
+		// never flushed, and flushing it now could write a partial record
+		// into the interior. Peers rotate to another server.
+		return nil, false, l.err
+	}
 	if l.w != nil {
 		if err := l.w.Flush(); err != nil {
-			return nil, false, fmt.Errorf("wal: flush: %w", err)
+			return nil, false, l.poisonLocked(fmt.Errorf("wal: flush: %w", err))
 		}
 	}
 	bytes := 0
@@ -596,7 +679,7 @@ func (l *Log) ReadFrom(after, upTo uint64, maxEntries, maxBytes int) (entries []
 		if l.hint.path == s.path && l.hint.after == after {
 			start = l.hint.off
 		}
-		f, err := os.Open(s.path)
+		f, err := l.fsys.Open(s.path)
 		if err != nil {
 			return nil, false, fmt.Errorf("wal: %w", err)
 		}
@@ -629,14 +712,19 @@ func (l *Log) ReadFrom(after, upTo uint64, maxEntries, maxBytes int) (entries []
 // errPageFull stops a ReadFrom scan once the page limits are hit.
 var errPageFull = errors.New("wal: page full")
 
-// Close flushes, fsyncs and releases the active segment.
+// Close flushes, fsyncs and releases the active segment. A poisoned log
+// releases the file handle without flushing (the buffer may hold a partial
+// record) and returns the sticky error.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
-		return nil
+		return l.err
 	}
-	err := l.syncLocked()
+	err := l.err
+	if err == nil {
+		err = l.syncLocked()
+	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
@@ -665,13 +753,13 @@ func appendRecord(buf []byte, e Entry) []byte {
 // the byte offset of the end of the last intact record; a short or
 // corrupt tail is reported as errTorn (the caller decides whether that is
 // legal), any error from fn is passed through.
-func scanRecords(f *os.File, fn func(Entry) error) (int64, error) {
+func scanRecords(f File, fn func(Entry) error) (int64, error) {
 	return scanRecordsAt(f, 0, fn)
 }
 
 // scanRecordsAt is scanRecords starting at byte offset off; the returned
 // offset is relative to off.
-func scanRecordsAt(f *os.File, off int64, fn func(Entry) error) (int64, error) {
+func scanRecordsAt(f File, off int64, fn func(Entry) error) (int64, error) {
 	if off > 0 {
 		if _, err := f.Seek(off, io.SeekStart); err != nil {
 			return 0, fmt.Errorf("wal: %w", err)
@@ -720,8 +808,8 @@ func scanRecordsAt(f *os.File, off int64, fn func(Entry) error) (int64, error) {
 }
 
 // readSnapshotFile loads and validates one snapshot file.
-func readSnapshotFile(path string) (Snapshot, error) {
-	b, err := os.ReadFile(path)
+func readSnapshotFile(fsys FS, path string) (Snapshot, error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return Snapshot{}, fmt.Errorf("wal: %w", err)
 	}
@@ -743,13 +831,13 @@ func readSnapshotFile(path string) (Snapshot, error) {
 
 // writeFileAtomic writes data via a temp file, fsync and rename, then
 // fsyncs the directory so the rename survives a crash.
-func writeFileAtomic(path string, data []byte) error {
+func writeFileAtomic(fsys FS, path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		_ = tmp.Close()
 		return fmt.Errorf("wal: %w", err)
@@ -761,12 +849,9 @@ func writeFileAtomic(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
+	_ = fsys.SyncDir(dir)
 	return nil
 }

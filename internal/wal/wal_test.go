@@ -88,7 +88,7 @@ func TestSegmentRotation(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, _, err := scanDir(dir)
+	segs, _, err := scanDir(OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestTornTailTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Simulate a crash mid-append: chop bytes off the active segment.
-	segs, _, err := scanDir(dir)
+	segs, _, err := scanDir(OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestSnapshotTruncatesSegments(t *testing.T) {
 		t.Fatal(err)
 	}
 	appendN(t, l, 1, 200)
-	before, _, err := scanDir(dir)
+	before, _, err := scanDir(OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestSnapshotTruncatesSegments(t *testing.T) {
 	if first == 0 || first > 151 || last != 200 {
 		t.Fatalf("Bounds after snapshot = (%d, %d)", first, last)
 	}
-	after, _, err := scanDir(dir)
+	after, _, err := scanDir(OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -115,6 +115,10 @@ type WALMetrics struct {
 	SnapshotAge time.Duration
 	// Repairs counts torn tails truncated during recovery at Open.
 	Repairs uint64
+	// Poisoned reports a log frozen by a storage failure (failed write,
+	// flush or fsync): the member has stopped acking and is about to
+	// fail-stop — page on this.
+	Poisoned bool
 }
 
 // LatencyBuckets are the upper bounds of LatencyHistogram's cumulative

@@ -229,6 +229,7 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 	if cfg.DurableDir != "" {
 		wlog, err = wal.Open(cfg.DurableDir, wal.Options{
 			SegmentBytes: cfg.WALSegmentBytes,
+			FS:           cfg.WALFS,
 			Logger:       nodeLog,
 		})
 		if err != nil {
@@ -944,6 +945,7 @@ func (n *Node) snapshotMetrics() Metrics {
 			Snapshots:   ws.Snapshots,
 			SnapshotSeq: ws.SnapshotSeq,
 			Repairs:     ws.Repairs,
+			Poisoned:    ws.Poisoned,
 		}
 		if !ws.SnapshotTime.IsZero() {
 			m.WAL.SnapshotAge = time.Since(ws.SnapshotTime)

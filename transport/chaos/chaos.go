@@ -248,13 +248,21 @@ func (t *Transport) delayFor(from, to transport.ProcID, i uint64) time.Duration 
 	return d
 }
 
-// mix is splitmix64's finalizer — a fast, well-distributed 64-bit hash.
-func mix(z uint64) uint64 {
+// Mix is splitmix64's finalizer — a fast, well-distributed 64-bit hash.
+// It is the shared seeding primitive of the repository's fault injectors:
+// this transport's delay/stall schedule and the storage-layer injector
+// (internal/wal/walfault) both derive their schedules as pure functions of
+// Mix(seed ^ Mix(identity) ^ Mix(op index)), so every injected fault is
+// replayable from the one scenario seed.
+func Mix(z uint64) uint64 {
 	z += 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
+
+// mix keeps the package-internal call sites short.
+func mix(z uint64) uint64 { return Mix(z) }
 
 // linkFor returns (creating if needed) the live link from->to.
 func (t *Transport) linkFor(from, to transport.ProcID, send func(payload []byte) error) (*link, error) {
