@@ -94,6 +94,23 @@ type SnapshotResult struct {
 	Reason    string `json:"reason,omitempty"`
 }
 
+// EvictResult answers an eviction request. Requested means the membership
+// layer accepted the request (relaying to the coordinator if needed); the
+// eviction itself completes asynchronously with the next view change.
+type EvictResult struct {
+	Target    uint32 `json:"target"`
+	Requested bool   `json:"requested"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+// JoinHintResult answers a join hint. Accepted means the process queued an
+// admission request through the supplied contacts; admission itself
+// completes asynchronously with a view change that includes the process.
+type JoinHintResult struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+}
+
 // Client is one admin connection to a member or edge. It is safe for
 // concurrent use; requests are serialized over the single connection.
 type Client struct {
@@ -143,7 +160,8 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // Close releases the connection.
 func (c *Client) Close() error { return c.cc.Close() }
 
-func (c *Client) do(op byte, out any) error {
+func (c *Client) do(req *wire.AdminReq, out any) error {
+	op := req.Op
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Drain a stale reply from an earlier timed-out request.
@@ -151,7 +169,7 @@ func (c *Client) do(op byte, out any) error {
 	case <-c.resp:
 	default:
 	}
-	if err := c.cc.Send(wire.EncodeAdminReq(&wire.AdminReq{Op: op})); err != nil {
+	if err := c.cc.Send(wire.EncodeAdminReq(req)); err != nil {
 		return fmt.Errorf("admin: send: %w", err)
 	}
 	t := time.NewTimer(c.timeout)
@@ -181,7 +199,7 @@ func (c *Client) do(op byte, out any) error {
 // Status fetches the process headline.
 func (c *Client) Status() (*Status, error) {
 	var s Status
-	if err := c.do(wire.AdminStatus, &s); err != nil {
+	if err := c.do(&wire.AdminReq{Op: wire.AdminStatus}, &s); err != nil {
 		return nil, err
 	}
 	return &s, nil
@@ -190,7 +208,7 @@ func (c *Client) Status() (*Status, error) {
 // Members fetches the installed view membership.
 func (c *Client) Members() (*Members, error) {
 	var m Members
-	if err := c.do(wire.AdminMembers, &m); err != nil {
+	if err := c.do(&wire.AdminReq{Op: wire.AdminMembers}, &m); err != nil {
 		return nil, err
 	}
 	return &m, nil
@@ -199,7 +217,7 @@ func (c *Client) Members() (*Members, error) {
 // WAL fetches the durable-log counters.
 func (c *Client) WAL() (*WALInfo, error) {
 	var w WALInfo
-	if err := c.do(wire.AdminWAL, &w); err != nil {
+	if err := c.do(&wire.AdminReq{Op: wire.AdminWAL}, &w); err != nil {
 		return nil, err
 	}
 	return &w, nil
@@ -208,7 +226,7 @@ func (c *Client) WAL() (*WALInfo, error) {
 // Sessions fetches the client-serving counters.
 func (c *Client) Sessions() (*Sessions, error) {
 	var s Sessions
-	if err := c.do(wire.AdminSessions, &s); err != nil {
+	if err := c.do(&wire.AdminReq{Op: wire.AdminSessions}, &s); err != nil {
 		return nil, err
 	}
 	return &s, nil
@@ -217,7 +235,30 @@ func (c *Client) Sessions() (*Sessions, error) {
 // Snapshot asks the process to take a state-machine snapshot now.
 func (c *Client) Snapshot() (*SnapshotResult, error) {
 	var r SnapshotResult
-	if err := c.do(wire.AdminSnapshot, &r); err != nil {
+	if err := c.do(&wire.AdminReq{Op: wire.AdminSnapshot}, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Evict asks the process to force member target out of the view — the
+// operator override for a wedged or half-partitioned member the failure
+// detector has not acted on. Any member accepts the request and relays it
+// to the coordinator; the eviction completes with the next view change.
+func (c *Client) Evict(target uint32) (*EvictResult, error) {
+	var r EvictResult
+	if err := c.do(&wire.AdminReq{Op: wire.AdminEvict, Target: target}, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// JoinHint hands the process a contact list (member IDs) to request
+// admission through — the nudge for a joiner that restarted with a stale
+// or empty member list. A process already in a view refuses politely.
+func (c *Client) JoinHint(contacts []uint32) (*JoinHintResult, error) {
+	var r JoinHintResult
+	if err := c.do(&wire.AdminReq{Op: wire.AdminJoinHint, Contacts: contacts}, &r); err != nil {
 		return nil, err
 	}
 	return &r, nil

@@ -1,0 +1,141 @@
+package fsr_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"fsr"
+	"fsr/admin"
+	"fsr/internal/wire"
+	"fsr/transport"
+	"fsr/transport/mem"
+)
+
+// adminAsk sends one AdminReq to a process over a raw transport endpoint
+// and returns the decoded response body.
+func adminAsk(t *testing.T, ep transport.Transport, resp <-chan *wire.AdminResp,
+	to fsr.ProcID, req *wire.AdminReq, out any) {
+	t.Helper()
+	if err := ep.Send(to, wire.EncodeAdminReq(req)); err != nil {
+		t.Fatalf("admin send to %d: %v", to, err)
+	}
+	select {
+	case p := <-resp:
+		if p.Op != req.Op {
+			t.Fatalf("admin response op %d, want %d", p.Op, req.Op)
+		}
+		if p.Err != "" {
+			t.Fatalf("admin op %d refused: %s", req.Op, p.Err)
+		}
+		if err := json.Unmarshal(p.Body, out); err != nil {
+			t.Fatalf("admin op %d body: %v", req.Op, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("admin op %d: no response from %d", req.Op, to)
+	}
+}
+
+// TestAdminEvictAndJoinHint drives the operator membership ops end to end:
+// evict relayed through a non-coordinator forces a live member out of the
+// view (and the evictee fail-stops), and a contact-less joiner sits idle
+// until a join-hint hands it members to request admission through.
+func TestAdminEvictAndJoinHint(t *testing.T) {
+	network := mem.NewNetwork(mem.Options{})
+	cluster, err := fsr.NewCluster(
+		fsr.ClusterConfig{N: 3, T: 1, NodeConfig: fastConfig()},
+		fsr.MemTransport(network))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Stop)
+	awaitView := func(n *fsr.Node, want int) fsr.ViewInfo {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			v := n.CurrentView()
+			if len(v.Members) == want {
+				return v
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d stuck with view %v, want %d members", n.Self(), v.Members, want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	awaitView(cluster.Node(0), 3)
+
+	// A raw admin endpoint in the client ID space, as fsr-admin would dial.
+	ep, err := network.Join(fsr.ClientIDBase + 0x500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	resp := make(chan *wire.AdminResp, 4)
+	ep.SetHandler(func(from transport.ProcID, payload []byte) {
+		if len(payload) == 0 || payload[0] != wire.KindAdmin {
+			return
+		}
+		v, err := wire.DecodeAdmin(payload)
+		if err != nil {
+			return
+		}
+		if p, ok := v.(*wire.AdminResp); ok {
+			p.Body = append([]byte(nil), p.Body...)
+			resp <- p
+		}
+	})
+
+	// Evicting a non-member is refused outright.
+	var ev admin.EvictResult
+	adminAsk(t, ep, resp, 1, &wire.AdminReq{Op: wire.AdminEvict, Target: 77}, &ev)
+	if ev.Requested {
+		t.Fatalf("evict of non-member 77 accepted: %+v", ev)
+	}
+
+	// Evict member 2 through member 1 — not the coordinator, so the
+	// request must be relayed — and watch the view shrink to {0, 1}.
+	adminAsk(t, ep, resp, 1, &wire.AdminReq{Op: wire.AdminEvict, Target: 2}, &ev)
+	if !ev.Requested {
+		t.Fatalf("evict of member 2 refused: %+v", ev)
+	}
+	v := awaitView(cluster.Node(0), 2)
+	for _, m := range v.Members {
+		if m == 2 {
+			t.Fatalf("member 2 still in view %v after evict", v.Members)
+		}
+	}
+
+	// A joiner booted with no contacts has no one to ask for admission;
+	// the join-hint hands it the membership and it joins.
+	jcfg := fastConfig()
+	jcfg.Self = 7
+	jcfg.Joiner = true
+	jep, err := network.Join(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner, err := fsr.NewNode(jcfg, jep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(joiner.Stop)
+	var jh admin.JoinHintResult
+	adminAsk(t, ep, resp, 7, &wire.AdminReq{Op: wire.AdminJoinHint, Contacts: []uint32{0, 1}}, &jh)
+	if !jh.Accepted {
+		t.Fatalf("join hint refused: %+v", jh)
+	}
+	v = awaitView(joiner, 3)
+	found := false
+	for _, m := range v.Members {
+		found = found || m == 7
+	}
+	if !found {
+		t.Fatalf("joiner 7 not in its installed view %v", v.Members)
+	}
+	// A second hint against the now-admitted member is refused politely.
+	adminAsk(t, ep, resp, 7, &wire.AdminReq{Op: wire.AdminJoinHint, Contacts: []uint32{0, 1}}, &jh)
+	if jh.Accepted {
+		t.Fatal("join hint accepted by an admitted member")
+	}
+}

@@ -38,6 +38,11 @@ type ClusterConfig struct {
 	// cluster reuses it across that member's restarts, never across
 	// members.
 	WALFS func(id ProcID) wal.FS
+	// WireVersion, when set, supplies a per-member wire protocol version —
+	// the version-skew seam for rolling-upgrade tests. Returning 0 for a
+	// member gives it wire.CurrentVersion. Consulted again on Restart, so a
+	// test can flip a member's version across a restart (the upgrade).
+	WireVersion func(id ProcID) byte
 }
 
 // WithDurableDir returns a copy of cfg with the per-member durable base
@@ -67,6 +72,9 @@ func (cfg ClusterConfig) memberConfig(id ProcID) Config {
 	}
 	if cfg.WALFS != nil {
 		nc.WALFS = cfg.WALFS(id)
+	}
+	if cfg.WireVersion != nil {
+		nc.WireVersion = cfg.WireVersion(id)
 	}
 	return nc
 }

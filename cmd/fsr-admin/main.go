@@ -7,10 +7,17 @@
 //	fsr-admin -addrs ... wal         # durable-log counters
 //	fsr-admin -addrs ... sessions    # publish traffic + subscriber census
 //	fsr-admin -addrs ... snapshot    # trigger a state-machine snapshot
+//	fsr-admin -addrs ... evict 3     # force member 3 out of the view
+//	fsr-admin -addrs ... join-hint 0,1,2   # contacts for an unadmitted joiner
 //
 // status sweeps every address and reports each process's role, view,
 // applied offset and lag behind the most-advanced process; the other ops
 // sweep too, one row per answering process. -json emits the raw documents.
+//
+// evict asks every addressed member; each relays the request to the view
+// coordinator, so duplicates converge on one view change. join-hint hands
+// every addressed process the contact list; members already in a view
+// refuse politely, an unadmitted joiner queues an admission request.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -32,7 +40,7 @@ func main() {
 	flag.Parse()
 	op := flag.Arg(0)
 	if *addrsFlag == "" || op == "" {
-		fmt.Fprintln(os.Stderr, "usage: fsr-admin -addrs host:port[,host:port...] {status|members|wal|sessions|snapshot}")
+		fmt.Fprintln(os.Stderr, "usage: fsr-admin -addrs host:port[,host:port...] {status|members|wal|sessions|snapshot|evict <id>|join-hint <id,...>}")
 		os.Exit(2)
 	}
 	var addrs []string
@@ -41,7 +49,7 @@ func main() {
 			addrs = append(addrs, a)
 		}
 	}
-	if err := run(addrs, op, *timeout, *asJSON); err != nil {
+	if err := run(addrs, op, flag.Arg(1), *timeout, *asJSON); err != nil {
 		fmt.Fprintf(os.Stderr, "fsr-admin: %v\n", err)
 		os.Exit(1)
 	}
@@ -78,7 +86,7 @@ func sweep(addrs []string, timeout time.Duration, ask func(*admin.Client) (any, 
 	return results
 }
 
-func run(addrs []string, op string, timeout time.Duration, asJSON bool) error {
+func run(addrs []string, op, arg string, timeout time.Duration, asJSON bool) error {
 	var ask func(*admin.Client) (any, error)
 	switch op {
 	case "status":
@@ -91,8 +99,30 @@ func run(addrs []string, op string, timeout time.Duration, asJSON bool) error {
 		ask = func(c *admin.Client) (any, error) { return c.Sessions() }
 	case "snapshot":
 		ask = func(c *admin.Client) (any, error) { return c.Snapshot() }
+	case "evict":
+		target, err := strconv.ParseUint(arg, 10, 32)
+		if err != nil {
+			return fmt.Errorf("evict: want a member ID, got %q", arg)
+		}
+		ask = func(c *admin.Client) (any, error) { return c.Evict(uint32(target)) }
+	case "join-hint":
+		var contacts []uint32
+		for _, s := range strings.Split(arg, ",") {
+			if s = strings.TrimSpace(s); s == "" {
+				continue
+			}
+			id, err := strconv.ParseUint(s, 10, 32)
+			if err != nil {
+				return fmt.Errorf("join-hint: want member IDs, got %q", s)
+			}
+			contacts = append(contacts, uint32(id))
+		}
+		if len(contacts) == 0 {
+			return fmt.Errorf("join-hint: no contact IDs supplied")
+		}
+		ask = func(c *admin.Client) (any, error) { return c.JoinHint(contacts) }
 	default:
-		return fmt.Errorf("unknown op %q (want status, members, wal, sessions or snapshot)", op)
+		return fmt.Errorf("unknown op %q (want status, members, wal, sessions, snapshot, evict or join-hint)", op)
 	}
 	results := sweep(addrs, timeout, ask)
 	if asJSON {
@@ -207,6 +237,26 @@ func render(results []result, op string) {
 			}
 			s := r.doc.(*admin.SnapshotResult)
 			fmt.Fprintf(w, "%s\t%v\t%s\n", r.addr, s.Triggered, s.Reason)
+		}
+	case "evict":
+		fmt.Fprintln(w, "ADDR\tTARGET\tREQUESTED\tREASON")
+		for _, r := range results {
+			if r.err != nil {
+				fmt.Fprintf(w, "%s\terror: %v\n", r.addr, r.err)
+				continue
+			}
+			e := r.doc.(*admin.EvictResult)
+			fmt.Fprintf(w, "%s\t%d\t%v\t%s\n", r.addr, e.Target, e.Requested, e.Reason)
+		}
+	case "join-hint":
+		fmt.Fprintln(w, "ADDR\tACCEPTED\tREASON")
+		for _, r := range results {
+			if r.err != nil {
+				fmt.Fprintf(w, "%s\terror: %v\n", r.addr, r.err)
+				continue
+			}
+			j := r.doc.(*admin.JoinHintResult)
+			fmt.Fprintf(w, "%s\t%v\t%s\n", r.addr, j.Accepted, j.Reason)
 		}
 	}
 }

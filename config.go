@@ -9,6 +9,7 @@ import (
 	"fsr/internal/core"
 	"fsr/internal/ring"
 	"fsr/internal/wal"
+	"fsr/internal/wire"
 )
 
 // ProcID identifies one process in the group.
@@ -94,6 +95,13 @@ type Config struct {
 	// production value, selects the real filesystem.
 	WALFS wal.FS
 
+	// WireVersion overrides the protocol version this node stamps on its
+	// outbound ring frames — the version-skew seam for rolling-upgrade
+	// tests (the chaos harness runs mixed old/new rings on it). Zero, the
+	// production value, selects wire.CurrentVersion. Must share
+	// wire.ProtoMajor: a node cannot speak a major it does not implement.
+	WireVersion byte
+
 	// Logger receives structured events — view installs, catch-up
 	// progress, WAL rotation and repair, slow-subscriber detaches — each
 	// tagged with the node ID. Default discards them. Logging happens off
@@ -154,6 +162,13 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.WireVersion == 0 {
+		c.WireVersion = wire.CurrentVersion
+	}
+	if wire.VersionMajor(c.WireVersion) != wire.ProtoMajor {
+		return c, fmt.Errorf("fsr: WireVersion %d.%d: this build implements major %d",
+			wire.VersionMajor(c.WireVersion), wire.VersionMinor(c.WireVersion), wire.ProtoMajor)
 	}
 	if !c.Joiner && len(c.Members) == 0 {
 		return c, fmt.Errorf("fsr: empty initial membership")

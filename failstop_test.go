@@ -44,8 +44,11 @@ func TestNodeFailStopIsTerminal(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Corrupt ring traffic: KindFSR prefix, truncated body.
-	if err := ep1.Send(0, []byte{wire.KindFSR, 0x01}); err != nil {
+	// Corrupt ring traffic: KindFSR prefix, valid version, truncated body.
+	// (A wrong-VERSION frame is deliberately non-fatal — see
+	// TestNodeSkipsForeignPayloads — so the version byte here must be ours
+	// for the truncation to count as same-major corruption.)
+	if err := ep1.Send(0, []byte{wire.KindFSR, wire.CurrentVersion, 0x01}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -74,6 +77,82 @@ func TestNodeFailStopIsTerminal(t *testing.T) {
 	// ...and the node accepts no further work.
 	if _, err := n.Broadcast(context.Background(), []byte("late")); err != ErrStopped {
 		t.Fatalf("Broadcast after fail-stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestNodeSkipsForeignPayloads: payloads a future release might send — a
+// whole new channel kind, a frame stamped with a foreign protocol major, a
+// view-change message of an unknown type — must be skipped and counted,
+// never treated as corruption. This is the receiving half of the upgrade
+// story: a mixed-version ring survives because old nodes shrug at what
+// they cannot parse instead of fail-stopping on it.
+func TestNodeSkipsForeignPayloads(t *testing.T) {
+	network := mem.NewNetwork(mem.Options{})
+	ep0, err := network.Join(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := network.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep1.Close()
+	cfg := Config{
+		Self:              0,
+		Members:           []ProcID{0, 1},
+		HeartbeatInterval: 10 * time.Millisecond,
+		FailureTimeout:    time.Minute,
+		ChangeTimeout:     time.Minute,
+	}
+	n, err := NewNode(cfg, ep0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+
+	// A channel kind this build has never heard of...
+	if err := ep1.Send(0, []byte{0xEE, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	// ...a well-formed frame from a foreign protocol major...
+	alien := wire.EncodeFrame(&wire.Frame{
+		Ver:    wire.MakeVersion(wire.ProtoMajor+1, 0),
+		ViewID: 1,
+	})
+	if err := ep1.Send(0, alien); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a view-change control message of an unknown type.
+	if err := ep1.Send(0, []byte{wire.KindVSC, 0xEF, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m := n.Metrics()
+		if m.SkippedVersion == 1 && m.SkippedUnknown == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("skip counters never settled: version=%d unknown=%d (want 1, 2)",
+				m.SkippedVersion, m.SkippedUnknown)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The node shrugged: no fail-stop, stream open, still taking work.
+	if err := n.Err(); err != nil {
+		t.Fatalf("node halted on foreign payloads: %v", err)
+	}
+	select {
+	case _, ok := <-n.Messages():
+		if !ok {
+			t.Fatal("Messages closed after foreign payloads")
+		}
+		t.Fatal("unexpected delivery")
+	default:
+	}
+	if _, err := n.Broadcast(context.Background(), []byte("still alive")); err != nil {
+		t.Fatalf("Broadcast refused after foreign payloads: %v", err)
 	}
 }
 

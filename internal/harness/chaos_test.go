@@ -3,10 +3,21 @@ package harness
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"slices"
 	"strconv"
 	"testing"
 	"time"
 )
+
+// heapWatermark forces a collection and reports the live heap — the
+// number the soak's leak check watches between scenarios.
+func heapWatermark() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
 
 // seedBase picks where this run's seed range starts: FSR_SEED pins a single
 // scenario for replay; otherwise every run explores a fresh range (the
@@ -51,7 +62,7 @@ func TestScenarioCoverage(t *testing.T) {
 	for i := int64(0); i < profiles; i++ {
 		classes[profileName(Generate(base+i, false))] = true
 	}
-	for _, want := range []string{"timing-only", "leader-crash+restart", "follower-crash+restart", "membership-churn", "client-sessions", "edge-replicas", "hostile-disk"} {
+	for _, want := range []string{"timing-only", "leader-crash+restart", "follower-crash+restart", "membership-churn", "client-sessions", "edge-replicas", "hostile-disk", "asym-partition", "wan-geo", "rolling-upgrade"} {
 		if !classes[want] {
 			t.Fatalf("class %q missing from %d consecutive seeds (base %d)", want, profiles, base)
 		}
@@ -103,7 +114,7 @@ func TestChaosHostileDiskPinned(t *testing.T) {
 	if _, pinned := seedBase(t); pinned {
 		t.Skip("FSR_SEED replay runs through TestChaos")
 	}
-	for _, seed := range []int64{6, 13, 20, 27, 34, 41, 48, 55} {
+	for _, seed := range []int64{6, 16, 26, 36, 46, 56, 66, 76} {
 		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
 			sc := Generate(seed, false)
 			if got := profileName(sc); got != "hostile-disk" {
@@ -114,9 +125,67 @@ func TestChaosHostileDiskPinned(t *testing.T) {
 	}
 }
 
+// TestChaosHostileNetPinned replays a fixed set of hostile-network
+// scenarios every run: asymmetric partitions (seeds ≡ 7 mod profiles,
+// one-way blackholes and flapping ring edges driving false suspicion,
+// eviction and rejoin), WAN geo latency matrices (≡ 8), and version-skew
+// rolling upgrades (≡ 9, every member restarted one at a time under
+// traffic with the wire version flipped old→new). Pinned seeds keep
+// known-nasty schedules in every CI run; TestChaos layers fresh random
+// ones on top. The name contains "Chaos" so CI's -run Chaos selects it.
+func TestChaosHostileNetPinned(t *testing.T) {
+	if _, pinned := seedBase(t); pinned {
+		t.Skip("FSR_SEED replay runs through TestChaos")
+	}
+	for _, tc := range []struct {
+		profile string
+		seeds   []int64
+	}{
+		{"asym-partition", []int64{7, 17, 27}},
+		{"wan-geo", []int64{8, 18}},
+		{"rolling-upgrade", []int64{9, 19, 29}},
+	} {
+		for _, seed := range tc.seeds {
+			t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+				sc := Generate(seed, false)
+				if got := profileName(sc); got != tc.profile {
+					t.Fatalf("seed %d generated profile %q, want %s", seed, got, tc.profile)
+				}
+				RunScenario(t, sc)
+			})
+		}
+	}
+}
+
+// TestChaosWanGeoSoakPinned replays, at soak workload scale, the wan-geo
+// scenario that exposed the client-publish FIFO gate bug (bug #17): under
+// continental ack latency enough publishes stay in flight that a member's
+// backpressure bounds drop one publish while accepting its successors —
+// the client's sorted retry then committed the dropped one BEHIND them,
+// an interior hole in the per-origin FIFO stream. Fixed by sessSrv's
+// per-client gate (see TestClientPubFIFOGate in the root package); this
+// seed is the end-to-end regression. The name contains "Chaos" so CI's
+// -run Chaos selects it.
+func TestChaosWanGeoSoakPinned(t *testing.T) {
+	if _, pinned := seedBase(t); pinned {
+		t.Skip("FSR_SEED replay runs through TestChaos/TestChaosSoak")
+	}
+	const seed = 1786170100913705138
+	sc := Generate(seed, true)
+	if got := profileName(sc); got != "wan-geo" {
+		t.Fatalf("seed %d generated profile %q, want wan-geo", seed, got)
+	}
+	RunScenario(t, sc)
+}
+
 // TestChaosSoak runs scenarios until the FSR_CHAOS_SOAK budget (a Go
 // duration) is spent — the nightly unbounded mode. Failing seeds are also
 // appended to FSR_CHAOS_LOG when set, so CI can upload them as artifacts.
+// FSR_CHAOS_PROFILE restricts the sweep to one coverage class by name
+// (e.g. asym-partition), for the nightly matrix. Between scenarios the
+// soak also watches the post-GC heap watermark and fails on monotone
+// growth — a leak across thousands of scenarios would otherwise pass
+// every correctness check and still take the nightly host down.
 func TestChaosSoak(t *testing.T) {
 	budget := os.Getenv("FSR_CHAOS_SOAK")
 	if budget == "" {
@@ -127,14 +196,32 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("FSR_CHAOS_SOAK=%q: %v", budget, err)
 	}
 	base, pinned := seedBase(t)
+	wantProfile := os.Getenv("FSR_CHAOS_PROFILE")
 	deadline := time.Now().Add(d)
 	ran := 0
+	var heap []uint64
 	for i := int64(0); time.Now().Before(deadline); i++ {
 		seed := base + i
+		if wantProfile != "" && profileName(Generate(seed, true)) != wantProfile {
+			continue
+		}
 		ok := t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
 			Run(t, seed, true)
 		})
 		ran++
+		heap = append(heap, heapWatermark())
+		if n := len(heap); n >= 12 {
+			// Steady state is reached quickly; after that the post-GC heap
+			// must not keep climbing. Allow generous slack over the first
+			// half's peak — scenario sizes vary — but monotone growth past
+			// it is a leak.
+			peak := slices.Max(heap[:n/2])
+			limit := peak + peak/2 + 48<<20
+			if heap[n-1] > limit {
+				t.Errorf("soak heap watermark climbing: %d MiB after %d scenarios, limit %d MiB (history %v)",
+					heap[n-1]>>20, ran, limit>>20, heap)
+			}
+		}
 		if !ok {
 			if path := os.Getenv("FSR_CHAOS_LOG"); path != "" {
 				f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)

@@ -153,6 +153,12 @@ func profileName(sc Scenario) string {
 		return "edge-replicas"
 	case 6:
 		return "hostile-disk"
+	case 7:
+		return "asym-partition"
+	case 8:
+		return "wan-geo"
+	case 9:
+		return "rolling-upgrade"
 	default:
 		return "timing-only"
 	}

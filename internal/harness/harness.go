@@ -40,6 +40,7 @@ import (
 	"fsr/edge"
 	"fsr/internal/wal"
 	"fsr/internal/wal/walfault"
+	"fsr/internal/wire"
 	"fsr/transport/chaos"
 	"fsr/transport/mem"
 )
@@ -103,6 +104,19 @@ const (
 	// fail-stopped it) and its fault-layer disk drops every byte not
 	// honestly fsynced — including bytes a lying fsync claimed durable.
 	EvCrashDisk
+	// EvCutLink one-way blackholes the ring edge ids[Node] -> ids[Node+1]
+	// for Dur: frames vanish silently in that direction only, the reverse
+	// keeps flowing. The successor's FD must suspect its silent predecessor
+	// and the relayed suspicion must drive a view change (the asymmetric-
+	// partition trap: only the coordinator acts on suspicions it holds).
+	EvCutLink
+	// EvFlapLink flaps the same directed edge: down Dur, up Dur/3, twice.
+	EvFlapLink
+	// EvUpgrade is one step of a rolling upgrade: fail-stop member Node,
+	// flip its wire version from the previous release's to the current
+	// build's, and restart it from its durable state. The mixed-version
+	// ring must keep serving throughout.
+	EvUpgrade
 )
 
 var kindNames = map[EventKind]string{
@@ -110,7 +124,8 @@ var kindNames = map[EventKind]string{
 	EvRestart: "restart", EvRotate: "rotate", EvJoin: "join",
 	EvLeave: "leave", EvSlowNode: "slow-node", EvHealNode: "heal-node",
 	EvStallLink: "stall-link", EvCrashEdge: "crash-edge", EvRestartEdge: "restart-edge",
-	EvCrashDisk: "crash-disk",
+	EvCrashDisk: "crash-disk", EvCutLink: "cut-link", EvFlapLink: "flap-link",
+	EvUpgrade: "upgrade",
 }
 
 // Event is one scheduled fault: Kind fires At after the workload starts.
@@ -162,8 +177,20 @@ type Scenario struct {
 	// corrupt WAL at restart is wiped for a state-transfer rejoin.
 	Disk     *walfault.Options
 	DiskNode int
-	Net      chaos.Options
-	Events   []Event
+	// Rolling runs a version-skew rolling upgrade: every member boots
+	// speaking the previous wire release (wire.PrevVersion) and EvUpgrade
+	// events restart them one at a time onto wire.CurrentVersion, so the
+	// ring spends most of the scenario mixed-version.
+	Rolling bool
+	// ReviveAll restarts every member still down — crashed by schedule or
+	// fail-stopped after eviction — before final quiescence, so the checker
+	// holds the whole original membership to uniformity. The hostile-network
+	// profiles set it: an asymmetric cut routinely gets its victim evicted,
+	// and an evicted member's documented recovery is restart + state
+	// transfer, which these profiles must actually exercise.
+	ReviveAll bool
+	Net       chaos.Options
+	Events    []Event
 }
 
 // String renders the plan — two runs of one seed must render identically
@@ -174,6 +201,12 @@ func (s Scenario) String() string {
 		s.Seed, s.N, s.T, s.Senders, s.Messages, s.MaxPay, s.Gap,
 		s.Clients, s.ClientMsgs, s.Edges,
 		s.Net.MinDelay, s.Net.MaxDelay, s.Net.StallEvery, s.Net.MaxStall)
+	if s.Net.Geo != nil {
+		fmt.Fprintf(&b, " geo=%s", s.Net.Geo.Name)
+	}
+	if s.Rolling {
+		b.WriteString(" rolling")
+	}
 	if s.Disk != nil {
 		fmt.Fprintf(&b, " disk{node=%d torn=%d fsync=%d lie=%d enospc=%d flip=%d}",
 			s.DiskNode, s.Disk.TornEvery, s.Disk.FsyncErrEvery, s.Disk.LieEvery,
@@ -182,7 +215,8 @@ func (s Scenario) String() string {
 	for _, e := range s.Events {
 		fmt.Fprintf(&b, " @%v:%s", e.At.Round(time.Millisecond), kindNames[e.Kind])
 		switch e.Kind {
-		case EvSlowNode, EvHealNode, EvStallLink, EvCrashEdge, EvRestartEdge:
+		case EvSlowNode, EvHealNode, EvStallLink, EvCrashEdge, EvRestartEdge,
+			EvCutLink, EvFlapLink, EvUpgrade:
 			fmt.Fprintf(&b, "(%d)", e.Node)
 		}
 		if e.Dur > 0 {
@@ -192,15 +226,19 @@ func (s Scenario) String() string {
 	return b.String()
 }
 
-// Profile classes guarantee coverage across a seed range: every seventh
-// seed crashes the leader, every seventh crash-restarts a follower, every
-// seventh churns membership, every seventh drives non-member client
-// sessions through a serving-member crash, every seventh crash-restarts an
+// Profile classes guarantee coverage across a seed range: every tenth
+// seed crashes the leader, every tenth crash-restarts a follower, every
+// tenth churns membership, every tenth drives non-member client
+// sessions through a serving-member crash, every tenth crash-restarts an
 // edge replica under client traffic routed through the edge tier, every
-// seventh runs one durable member on a hostile disk (storage fault
-// injection with a power-cut crash-restart); the rest stress timing only.
-// Extra faults (rotations, slow nodes, stalls) sprinkle into all classes.
-const profiles = 7
+// tenth runs one durable member on a hostile disk (storage fault
+// injection with a power-cut crash-restart), every tenth hits a ring edge
+// with a one-way blackhole or a flapping link (asymmetric partition),
+// every tenth runs the whole ring on a WAN-shaped geo latency matrix,
+// every tenth performs a version-skew rolling upgrade under traffic; the
+// rest stress timing only. Extra faults (rotations, slow nodes, stalls)
+// sprinkle into all classes.
+const profiles = 10
 
 // Generate derives the scenario for a seed. Soak scales the workload up.
 func Generate(seed int64, soak bool) Scenario {
@@ -303,6 +341,58 @@ func Generate(seed int64, soak bool) Scenario {
 			Event{At: base, Kind: EvCrashDisk},
 			Event{At: base + 500*time.Millisecond + time.Duration(rng.Intn(300))*time.Millisecond, Kind: EvRestart},
 		)
+	case 7: // asymmetric partition: one-way blackhole or flapping ring edge
+		s.Clients = 1 + rng.Intn(2)
+		s.ClientMsgs = 10 + rng.Intn(15)
+		if soak {
+			s.ClientMsgs *= 3
+		}
+		s.ReviveAll = true
+		// Fault one directed ring edge, chosen by seed. The window outlasts
+		// FailureTimeout (300ms) so the successor's detector must fire; what
+		// follows — relayed suspicion, view change, eviction of a perfectly
+		// live member, its restart and state-transfer rejoin — is the
+		// scenario under test. Rotation may remap the edge mid-run; it stays
+		// a ring edge either way.
+		k := rng.Intn(s.N)
+		window := 450*time.Millisecond + time.Duration(rng.Intn(200))*time.Millisecond
+		if rng.Intn(2) == 0 {
+			s.Events = append(s.Events, Event{At: base, Kind: EvCutLink, Node: k, Dur: window})
+		} else {
+			// Flap: down long enough to be suspected, up briefly, down again.
+			s.Events = append(s.Events, Event{At: base, Kind: EvFlapLink, Node: k,
+				Dur: 350*time.Millisecond + time.Duration(rng.Intn(150))*time.Millisecond})
+		}
+		s.Events = append(s.Events,
+			Event{At: base + window + 700*time.Millisecond, Kind: EvRestart})
+	case 8: // wan-geo: the whole ring on a per-link geo latency matrix
+		s.Clients = 1 + rng.Intn(2)
+		s.ClientMsgs = 10 + rng.Intn(15)
+		if soak {
+			s.ClientMsgs *= 3
+		}
+		if rng.Intn(2) == 0 {
+			s.Net.Geo = &chaos.Metro3
+		} else {
+			s.Net.Geo = &chaos.Continental3
+		}
+		// Geo latency is pure timing stress: no scheduled faults beyond the
+		// sprinkles, the matrix itself is the adversary (cross-region RTT is
+		// close to the heartbeat interval under Continental3).
+	case 9: // rolling upgrade: restart every member once, old wire -> new
+		s.Rolling = true
+		s.ReviveAll = true
+		s.Clients = 1 + rng.Intn(2)
+		s.ClientMsgs = 12 + rng.Intn(12)
+		if soak {
+			s.ClientMsgs *= 3
+		}
+		for i := range s.N {
+			s.Events = append(s.Events, Event{
+				At:   base + time.Duration(i)*(700*time.Millisecond+time.Duration(rng.Intn(150))*time.Millisecond),
+				Kind: EvUpgrade, Node: i,
+			})
+		}
 	}
 	// Timing faults for everyone; rotation for half.
 	if rng.Intn(2) == 0 {
@@ -490,6 +580,22 @@ func RunScenario(t TB, sc Scenario) {
 	durBase := t.TempDir()
 	ccfg := fsr.ClusterConfig{N: sc.N, T: sc.T, NodeConfig: nodeCfg}.
 		WithDurableDir(durBase).WithStateMachines(reg.factory)
+	// Rolling upgrade: every member boots on the previous wire release;
+	// EvUpgrade flips its entry here before restarting it, and Restart
+	// re-consults this callback — the version shim the real deployment
+	// flips by installing a new binary.
+	var verMu sync.Mutex
+	upgraded := make(map[fsr.ProcID]bool)
+	if sc.Rolling {
+		ccfg.WireVersion = func(id fsr.ProcID) byte {
+			verMu.Lock()
+			defer verMu.Unlock()
+			if upgraded[id] {
+				return wire.CurrentVersion
+			}
+			return wire.PrevVersion
+		}
+	}
 	var diskFS *walfault.FS
 	if sc.Disk != nil {
 		// One fault-injecting disk for the scenario's hostile member,
@@ -513,7 +619,12 @@ func RunScenario(t TB, sc Scenario) {
 
 	run := &runner{t: t, sc: sc, reg: reg, ct: ct, cluster: cluster,
 		base: t.TempDir(), durBase: durBase, diskFS: diskFS,
-		nodeCfg: nodeCfg, log: logger}
+		nodeCfg: nodeCfg, log: logger,
+		markUpgraded: func(id fsr.ProcID) {
+			verMu.Lock()
+			upgraded[id] = true
+			verMu.Unlock()
+		}}
 	run.alive = make(map[fsr.ProcID]*fsr.Node, sc.N)
 	for i, id := range cluster.IDs() {
 		run.alive[id] = cluster.Node(i)
@@ -570,6 +681,7 @@ func RunScenario(t TB, sc Scenario) {
 
 	run.awaitReceipts()
 	run.reviveDisk()
+	run.reviveDown()
 	live := run.quiesce()
 	run.recordBatching()
 	if t.Failed() {
@@ -791,6 +903,10 @@ type runner struct {
 	diskFS  *walfault.FS // the hostile member's disk; nil outside profile 6
 	nodeCfg fsr.Config
 	log     *slog.Logger
+	// markUpgraded records a member as running the current wire version;
+	// the cluster's WireVersion callback (consulted on Restart) reads the
+	// same map. Only meaningful under Scenario.Rolling.
+	markUpgraded func(fsr.ProcID)
 
 	mu      sync.Mutex
 	alive   map[fsr.ProcID]*fsr.Node // nodes believed running (crashed/left removed)
@@ -1051,6 +1167,140 @@ func (r *runner) fire(ev Event) {
 		r.restartEdge(ev.Node)
 	case EvCrashDisk:
 		r.crashDisk()
+	case EvCutLink:
+		ids := r.cluster.IDs()
+		r.ct.CutLink(ids[ev.Node], ids[(ev.Node+1)%len(ids)], ev.Dur)
+	case EvFlapLink:
+		ids := r.cluster.IDs()
+		r.ct.FlapLink(ids[ev.Node], ids[(ev.Node+1)%len(ids)], ev.Dur, ev.Dur/3, 2)
+	case EvUpgrade:
+		r.upgradeMember(ev.Node)
+	}
+}
+
+// reapHalted books any member that fail-stopped on its own — typically
+// evicted after an (asymmetric-partition-induced) false suspicion — as a
+// crash, so restart/reviveDown can bring it back. The hostile-disk member
+// is left to reapPoisoned, which additionally asserts the fail-stop
+// contract on poisoning.
+func (r *runner) reapHalted() {
+	ids := r.cluster.IDs()
+	type down struct {
+		id  fsr.ProcID
+		idx int
+		err error
+	}
+	var reap []down
+	r.mu.Lock()
+	for id, n := range r.alive {
+		if r.diskFS != nil && id == fsr.ProcID(r.sc.DiskNode) {
+			continue
+		}
+		if n.Err() == nil {
+			continue
+		}
+		idx := slices.Index(ids, id)
+		if idx < 0 {
+			continue // mid-run joiner; not restartable through the Cluster
+		}
+		reap = append(reap, down{id, idx, n.Err()})
+	}
+	for _, d := range reap {
+		delete(r.alive, d.id)
+		if !slices.Contains(r.crashed, d.idx) {
+			r.crashed = append(r.crashed, d.idx)
+		}
+	}
+	r.mu.Unlock()
+	for _, d := range reap {
+		r.log.Info("chaos: reaping halted member", "node", uint32(d.id), "err", d.err)
+		// The process already halted itself; Crash severs its transport
+		// endpoint so peers observe clean silence.
+		r.cluster.Crash(d.idx)
+	}
+}
+
+// reviveDown restarts every member still down before final quiescence —
+// see Scenario.ReviveAll.
+func (r *runner) reviveDown() {
+	if !r.sc.ReviveAll {
+		return
+	}
+	r.reapHalted()
+	for {
+		r.mu.Lock()
+		if len(r.crashed) == 0 {
+			r.mu.Unlock()
+			return
+		}
+		idx := r.crashed[0]
+		r.crashed = r.crashed[1:]
+		r.mu.Unlock()
+		r.restartMember(idx)
+	}
+}
+
+// upgradeMember is one EvUpgrade step: fail-stop the member, flip its wire
+// version to the current build's, restart it from its durable state. If an
+// earlier fault already took the member down it is simply restarted
+// upgraded.
+func (r *runner) upgradeMember(idx int) {
+	r.reapHalted()
+	ids := r.cluster.IDs()
+	if idx >= len(ids) {
+		return
+	}
+	id := ids[idx]
+	r.mu.Lock()
+	_, isAlive := r.alive[id]
+	if isAlive {
+		delete(r.alive, id)
+	} else {
+		pos := slices.Index(r.crashed, idx)
+		if pos < 0 {
+			r.mu.Unlock()
+			return // departed membership; nothing to upgrade
+		}
+		r.crashed = slices.Delete(r.crashed, pos, pos+1)
+	}
+	r.mu.Unlock()
+	if isAlive {
+		r.cluster.Crash(idx)
+	}
+	if r.markUpgraded != nil {
+		r.markUpgraded(id)
+	}
+	r.log.Info("rolling upgrade: restarting member on current wire version",
+		"node", uint32(id))
+	// A beat of downtime, as a real binary swap has; the rest of the ring
+	// keeps serving around the hole.
+	time.Sleep(250 * time.Millisecond)
+	r.restartMember(idx)
+	// One at a time means one at a time: wait for the member to be
+	// readmitted and serving before the plan may take down the next one.
+	// Crashing member k+1 while member k is still an unadmitted joiner
+	// shrinks the installed group below recovery, and a full rolling pass
+	// done that way strands the whole ring as singleton joiners with no
+	// group left to admit them.
+	r.mu.Lock()
+	n := r.alive[id]
+	r.mu.Unlock()
+	if n == nil {
+		return // restart failed; restartMember already reported
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if n.Ready() == nil {
+			if v := n.CurrentView(); len(v.Members) > 1 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			failf(r.t, r.sc.Seed, "upgraded member %d never rejoined; group: %s",
+				idx, r.groupState())
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -1193,6 +1443,7 @@ func (r *runner) crash(leader bool) {
 
 // restart brings the oldest crashed member back from its durable dir.
 func (r *runner) restart() {
+	r.reapHalted()
 	r.mu.Lock()
 	if len(r.crashed) == 0 {
 		r.mu.Unlock()

@@ -38,6 +38,8 @@ func WriteNodeMetrics(w io.Writer, self uint32, m fsr.Metrics) error {
 	p.Counter("fsr_fairness_skips_total", "Relay items sent ahead of own traffic by the fairness rule.", m.FairnessSkips, "node", node)
 	p.Counter("fsr_standalone_acks_total", "Frames carrying only acknowledgments.", m.StandaloneAcks, "node", node)
 	p.Counter("fsr_multiseg_frames_total", "Outbound frames batching more than one data segment.", m.MultiSegFrames, "node", node)
+	p.Counter("fsr_skipped_version_total", "Payloads dropped for an incompatible wire protocol version.", m.SkippedVersion, "node", node)
+	p.Counter("fsr_skipped_unknown_total", "Payloads of an unknown channel kind or control type skipped.", m.SkippedUnknown, "node", node)
 
 	p.Gauge("fsr_relay_queue_depth", "Relay queue depth.", float64(m.RelayQueue), "node", node)
 	p.Gauge("fsr_own_queue_depth", "Own-message queue depth.", float64(m.OwnQueue), "node", node)

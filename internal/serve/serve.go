@@ -213,6 +213,7 @@ type clientOut struct {
 	dead     bool
 	tailSent uint64 // highest tail offset ever enqueued on this link
 	edge     bool   // announced RoleEdge in HELLO
+	ver      byte   // wire version the client announced (0 before HELLO)
 
 	attached map[uint64]*sub // subscriptions fed by the tail (guarded by Server.mu)
 }
@@ -378,11 +379,20 @@ func (s *Server) Handle(from ProcID, payload []byte) {
 		if o == nil {
 			return
 		}
-		if v.Role == wire.RoleEdge {
-			o.mu.Lock()
-			o.edge = true
-			o.mu.Unlock()
+		if !wire.CompatibleVersion(v.Version) {
+			// Major-incompatible client: refuse the session outright. The
+			// BYE still decodes on any version (the redirect envelope is
+			// stable across majors by policy), so the client learns why.
+			s.log.Warn("serve: rejected incompatible-version client",
+				"client", from,
+				"major", wire.VersionMajor(v.Version), "minor", wire.VersionMinor(v.Version))
+			o.pushDrop(s.redirect(wire.RedirectBye, 0))
+			return
 		}
+		o.mu.Lock()
+		o.ver = v.Version
+		o.edge = o.edge || v.Role == wire.RoleEdge
+		o.mu.Unlock()
 		o.pushDrop(s.redirect(wire.RedirectWelcome, 0))
 	case *wire.ClientPublish:
 		o := s.getClient(from)

@@ -22,10 +22,16 @@ const (
 	msgNewView
 	msgJoinReq
 	msgLeaveReq
+	msgSuspicion
 )
 
 // ErrBadControl reports an undecodable control payload.
 var ErrBadControl = errors.New("vsc: bad control payload")
+
+// ErrUnknownType reports a structurally sound control payload whose type
+// byte this build does not know — a newer-minor peer's message. Receivers
+// skip these (wire version policy: unknown kinds/types are not fatal).
+var ErrUnknownType = errors.New("vsc: unknown control message type")
 
 // Prepare opens a view change: the coordinator asks every proposed member
 // to freeze and report its recovery state.
@@ -64,6 +70,17 @@ type JoinReq struct {
 
 // LeaveReq asks the coordinator to exclude a (still live) process.
 type LeaveReq struct{ ID ring.ProcID }
+
+// Suspicion forwards a failure-detector suspicion to the coordinator.
+// Only the coordinator acts on suspicions (it drives the view change), so
+// under an ASYMMETRIC fault — the suspected member silent toward the
+// suspecting member but perfectly audible to the coordinator — the
+// suspicion would otherwise die where it was observed and the ring edge
+// through the silent pair would stay wedged forever (bug #16, found by the
+// asym-partition chaos profile). A non-coordinator therefore reports what
+// it saw; the coordinator treats the report exactly like a local
+// suspicion.
+type Suspicion struct{ ID ring.ProcID }
 
 type writer struct{ buf []byte }
 
@@ -196,6 +213,13 @@ func EncodeJoinReq(j *JoinReq) []byte {
 func EncodeLeaveReq(l *LeaveReq) []byte {
 	w := &writer{buf: []byte{wire.KindVSC, msgLeaveReq}}
 	w.u32(uint32(l.ID))
+	return w.buf
+}
+
+// EncodeSuspicion serializes a Suspicion.
+func EncodeSuspicion(s *Suspicion) []byte {
+	w := &writer{buf: []byte{wire.KindVSC, msgSuspicion}}
+	w.u32(uint32(s.ID))
 	return w.buf
 }
 
@@ -394,7 +418,13 @@ func Decode(payload []byte) (any, error) {
 			return nil, err
 		}
 		return &LeaveReq{ID: ring.ProcID(id)}, nil
+	case msgSuspicion:
+		id, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		return &Suspicion{ID: ring.ProcID(id)}, nil
 	default:
-		return nil, fmt.Errorf("%w: type %d", ErrBadControl, typ)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, typ)
 	}
 }

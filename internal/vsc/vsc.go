@@ -109,6 +109,11 @@ type Manager struct {
 	// (it kept exactly half the view but not its lowest-ID member — see the
 	// tie-break in startChange) and may proceed at the next retry.
 	halfDeferred bool
+	// suspFwdDue schedules the next re-forward of pending suspicions to the
+	// coordinator (see OnSuspect): forwards are best-effort sends, so a
+	// non-coordinator repeats them until some view change settles the
+	// membership.
+	suspFwdDue time.Time
 
 	// Coordinator-side collection state.
 	myEpoch   uint64
@@ -167,15 +172,26 @@ func (m *Manager) coordinator() (ring.ProcID, bool) {
 	return m.cfg.Self, true // everyone else gone: we are it
 }
 
-// OnSuspect feeds a failure-detector suspicion.
+// OnSuspect feeds a failure-detector suspicion (local, or relayed by a
+// Suspicion message). Only the coordinator can act on one; a
+// non-coordinator forwards it to whoever it believes coordinates, so that
+// an asymmetric fault — the suspect silent toward us but audible to the
+// coordinator — still reaches the one process that can fix the ring
+// (bug #16; Tick re-forwards until a view change resolves it). Safety does
+// not rest on the reporter being right: the quorum guard in startChange
+// still applies, and a falsely evicted live member fail-stops on the
+// NEWVIEW and rejoins.
 func (m *Manager) OnSuspect(p ring.ProcID, now time.Time) {
 	if p == m.cfg.Self || !m.alive[p] {
 		return
 	}
 	m.alive[p] = false
 	delete(m.joiners, p)
-	if _, isCoord := m.coordinator(); isCoord {
+	if coord, isCoord := m.coordinator(); isCoord {
 		m.startChange(now)
+	} else {
+		m.cfg.Callbacks.Send(coord, EncodeSuspicion(&Suspicion{ID: p}))
+		m.suspFwdDue = now.Add(m.cfg.ChangeTimeout)
 	}
 }
 
@@ -209,6 +225,31 @@ func (m *Manager) RequestLeave() {
 	m.startChange(time.Time{})
 }
 
+// RequestEvict asks the group to exclude target — the operator-driven
+// membership op behind `fsr-admin evict`, for removing a partitioned-but-
+// alive member without waiting for suspicion. Routed like a LeaveReq on
+// target's behalf: handled directly when self coordinates, forwarded to
+// the coordinator otherwise. Evicting self degenerates to a graceful
+// leave. Returns false when target is not a current member (nothing to
+// evict).
+func (m *Manager) RequestEvict(target ring.ProcID, now time.Time) bool {
+	if !m.installed || !m.view.Ring.Contains(target) {
+		return false
+	}
+	if target == m.cfg.Self {
+		m.RequestLeave()
+		return true
+	}
+	m.log.Info("evict requested", "target", uint32(target))
+	if coord, isSelf := m.coordinator(); !isSelf {
+		m.cfg.Callbacks.Send(coord, EncodeLeaveReq(&LeaveReq{ID: target}))
+		return true
+	}
+	m.leavers[target] = true
+	m.startChange(now)
+	return true
+}
+
 // RotateLeader triggers a view change whose only effect is shifting the
 // member order by one — the paper's §4.3.1 latency-balancing device ("the
 // role of the leader can be periodically moved to the next process").
@@ -222,13 +263,37 @@ func (m *Manager) RotateLeader(now time.Time) {
 }
 
 // Tick drives timeouts: a member stuck in a change asks the coordinator
-// role to restart it (it may BE the new coordinator).
+// role to restart it (it may BE the new coordinator), and a
+// non-coordinator with unresolved suspicions re-forwards them (the
+// forward is a best-effort send that the fault being reported may itself
+// have eaten).
 func (m *Manager) Tick(now time.Time) {
 	if m.changing && now.After(m.changeDue) {
 		if _, isSelf := m.coordinator(); isSelf {
 			m.startChange(now)
 		} else {
 			m.changeDue = now.Add(m.cfg.ChangeTimeout)
+		}
+	}
+	if !m.changing && m.installed && !m.suspFwdDue.IsZero() && now.After(m.suspFwdDue) {
+		coord, isCoord := m.coordinator()
+		if isCoord {
+			// Deaths since the last tick made us coordinator: act directly.
+			m.suspFwdDue = time.Time{}
+			m.startChange(now)
+			return
+		}
+		forwarded := false
+		for _, p := range m.view.Ring.Members() {
+			if !m.alive[p] && p != m.cfg.Self {
+				m.cfg.Callbacks.Send(coord, EncodeSuspicion(&Suspicion{ID: p}))
+				forwarded = true
+			}
+		}
+		if forwarded {
+			m.suspFwdDue = now.Add(m.cfg.ChangeTimeout)
+		} else {
+			m.suspFwdDue = time.Time{}
 		}
 	}
 }
@@ -392,10 +457,27 @@ func (m *Manager) HandlePayload(from ring.ProcID, payload []byte, now time.Time)
 		m.handleJoinReq(v, now)
 	case *LeaveReq:
 		m.handleLeaveReq(v, now)
+	case *Suspicion:
+		m.handleSuspicion(v, now)
 	default:
 		return fmt.Errorf("vsc: unhandled control message %T", msg)
 	}
 	return nil
+}
+
+// handleSuspicion folds a relayed suspicion in as if the local detector
+// had raised it. A report about self is ignored — we cannot fail-stop on
+// hearsay; if the group agrees, its NEWVIEW will exclude us and THAT is
+// the eviction signal. OnSuspect's own routing then applies: act if we
+// coordinate, forward along if someone earlier in the view is still alive
+// by our books (the report may race our own detector's view of the
+// coordinator).
+func (m *Manager) handleSuspicion(s *Suspicion, now time.Time) {
+	if s.ID == m.cfg.Self || !m.view.Ring.Contains(s.ID) {
+		return
+	}
+	m.log.Info("suspicion relayed", "suspect", uint32(s.ID))
+	m.OnSuspect(s.ID, now)
 }
 
 // prepareWins orders competing prepares: higher epoch wins; at equal epoch
@@ -548,6 +630,7 @@ func (m *Manager) handleNewView(nv *NewView, now time.Time) {
 	m.rotate = false
 	m.changing = false
 	m.halfDeferred = false
+	m.suspFwdDue = time.Time{}
 	m.snapshot = nil
 	m.collected = nil
 	m.hiEpoch = nv.Epoch

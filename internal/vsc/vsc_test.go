@@ -528,6 +528,10 @@ func TestMinoritySurvivorBlocks(t *testing.T) {
 	for _, id := range ids {
 		h.add(id, v, false)
 	}
+	// 7 and 8 really are down: were they alive, 9's relayed suspicion
+	// would let them form the legitimate majority view without 9.
+	h.crash(7)
+	h.crash(8)
 	h.managers[9].OnSuspect(7, h.now)
 	h.managers[9].OnSuspect(8, h.now)
 	h.pump()

@@ -23,6 +23,8 @@ const (
 	AdminWAL                      // durable-log stats
 	AdminSessions                 // client-session and subscriber counts
 	AdminSnapshot                 // trigger a state-machine snapshot
+	AdminEvict                    // force a member out of the view (Target)
+	AdminJoinHint                 // hand an unadmitted joiner contacts to join through
 )
 
 // Admin message types (second byte of a KindAdmin payload).
@@ -34,9 +36,15 @@ const (
 // ErrBadAdmin reports an undecodable admin payload.
 var ErrBadAdmin = errors.New("wire: bad admin payload")
 
-// AdminReq asks the receiving process for one piece of operator state.
+// AdminReq asks the receiving process for one piece of operator state, or
+// (AdminEvict, AdminJoinHint) one membership action.
 type AdminReq struct {
 	Op byte
+	// Target is the member to force out (AdminEvict only).
+	Target uint32
+	// Contacts are member IDs a joiner should request admission through
+	// (AdminJoinHint only).
+	Contacts []uint32
 }
 
 // AdminResp answers one AdminReq. Body is a JSON document whose schema is
@@ -48,9 +56,22 @@ type AdminResp struct {
 	Body []byte
 }
 
-// EncodeAdminReq serializes q, prefixed with KindAdmin.
+// EncodeAdminReq serializes q, prefixed with KindAdmin. Requests without a
+// target or contacts keep the original three-byte form, so the common query
+// ops stay byte-identical to what 1.0-era processes expect; the membership
+// ops carry a tail only those builds that know the ops can decode anyway.
 func EncodeAdminReq(q *AdminReq) []byte {
-	return []byte{KindAdmin, adminReq, q.Op}
+	if q.Target == 0 && len(q.Contacts) == 0 {
+		return []byte{KindAdmin, adminReq, q.Op}
+	}
+	buf := make([]byte, 0, 3+4+2+4*len(q.Contacts))
+	buf = append(buf, KindAdmin, adminReq, q.Op)
+	buf = binary.LittleEndian.AppendUint32(buf, q.Target)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(q.Contacts)))
+	for _, c := range q.Contacts {
+		buf = binary.LittleEndian.AppendUint32(buf, c)
+	}
+	return buf
 }
 
 // EncodeAdminResp serializes p, prefixed with KindAdmin.
@@ -85,6 +106,23 @@ func DecodeAdmin(buf []byte) (any, error) {
 		var q AdminReq
 		if q.Op, err = r.u8(); err != nil {
 			return nil, err
+		}
+		if r.rem() == 0 {
+			return &q, nil // the original three-byte request
+		}
+		if q.Target, err = r.u32(); err != nil {
+			return nil, err
+		}
+		n, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		for range n {
+			c, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			q.Contacts = append(q.Contacts, c)
 		}
 		if r.rem() != 0 {
 			return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadAdmin, r.rem())

@@ -61,6 +61,11 @@ type ClientHello struct {
 	MaxEventBytes uint32
 	// Role distinguishes ordinary clients from edge replicas (RoleEdge).
 	Role byte
+	// Version is the wire protocol version the client speaks (see
+	// version.go). Encoders stamp CurrentVersion when it is 0; 1.0 clients
+	// predate the field and the decoder fills in MakeVersion(1, 0) when the
+	// trailing byte is absent.
+	Version byte
 }
 
 // ClientPublish submits one payload for total order broadcast on the
@@ -164,14 +169,22 @@ type ClientRedirect struct {
 	// Sub names the subscription a RedirectCannotServe answers; 0 for
 	// session-wide redirects.
 	Sub uint64
+	// Version is the serving member's wire protocol version, echoed in the
+	// RedirectWelcome so a client can refuse a major-incompatible server.
+	// Same encode/decode defaulting as ClientHello.Version.
+	Version byte
 }
 
 // EncodeClientHello serializes h, prefixed with KindClient.
 func EncodeClientHello(h *ClientHello) []byte {
-	buf := make([]byte, 0, 2+4+1)
+	buf := make([]byte, 0, 2+4+1+1)
 	buf = append(buf, KindClient, clientHello)
 	buf = binary.LittleEndian.AppendUint32(buf, h.MaxEventBytes)
-	buf = append(buf, h.Role)
+	ver := h.Version
+	if ver == 0 {
+		ver = CurrentVersion
+	}
+	buf = append(buf, h.Role, ver)
 	return buf
 }
 
@@ -262,7 +275,7 @@ func AppendClientEvent(buf []byte, e *ClientEvent) []byte {
 
 // EncodeClientRedirect serializes r, prefixed with KindClient.
 func EncodeClientRedirect(r *ClientRedirect) []byte {
-	n := 2 + 1 + 8 + 8 + 2 + 4*len(r.Members) + 2
+	n := 2 + 1 + 8 + 8 + 2 + 4*len(r.Members) + 2 + 1
 	for _, a := range r.Addrs {
 		n += 2 + len(a)
 	}
@@ -280,6 +293,11 @@ func EncodeClientRedirect(r *ClientRedirect) []byte {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(a)))
 		buf = append(buf, a...)
 	}
+	ver := r.Version
+	if ver == 0 {
+		ver = CurrentVersion
+	}
+	buf = append(buf, ver)
 	return buf
 }
 
@@ -306,6 +324,9 @@ func DecodeClient(buf []byte) (any, error) {
 			return nil, err
 		}
 		if h.Role, err = r.u8(); err != nil {
+			return nil, err
+		}
+		if h.Version, err = versionTail(&r); err != nil {
 			return nil, err
 		}
 		return &h, trailing(&r)
@@ -445,6 +466,9 @@ func DecodeClient(buf []byte) (any, error) {
 			}
 			rd.Addrs = append(rd.Addrs, string(b))
 		}
+		if rd.Version, err = versionTail(&r); err != nil {
+			return nil, err
+		}
 		return &rd, trailing(&r)
 	default:
 		return nil, fmt.Errorf("%w: type %d", ErrBadClient, typ)
@@ -457,4 +481,14 @@ func trailing(r *reader) error {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadClient, r.rem())
 	}
 	return nil
+}
+
+// versionTail reads the optional trailing version byte of a handshake
+// message. Messages from 1.0 speakers end before it; their absence means
+// "version 1.0", which keeps old clients decodable forever.
+func versionTail(r *reader) (byte, error) {
+	if r.rem() == 0 {
+		return MakeVersion(1, 0), nil
+	}
+	return r.u8()
 }

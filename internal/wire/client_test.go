@@ -9,8 +9,8 @@ import (
 
 func TestClientCodecRoundTrip(t *testing.T) {
 	msgs := []any{
-		&ClientHello{MaxEventBytes: 1 << 20},
-		&ClientHello{},
+		&ClientHello{MaxEventBytes: 1 << 20, Version: CurrentVersion},
+		&ClientHello{Version: PrevVersion},
 		&ClientPublish{PubID: 7, Payload: []byte("payload")},
 		&ClientPublish{PubID: 1},
 		&ClientPubAck{PubID: 7, Seq: 1234},
@@ -23,8 +23,8 @@ func TestClientCodecRoundTrip(t *testing.T) {
 			{Seq: 91, Origin: 1<<31 + 5, Logical: 1, Payload: []byte("a")},
 			{Seq: 93, Origin: 2, Logical: 17, Payload: []byte("bb")},
 		}},
-		&ClientRedirect{Reason: RedirectWelcome, Applied: 55, Members: []ring.ProcID{1, 2, 3}},
-		&ClientRedirect{Reason: RedirectCannotServe, Sub: 3},
+		&ClientRedirect{Reason: RedirectWelcome, Applied: 55, Members: []ring.ProcID{1, 2, 3}, Version: CurrentVersion},
+		&ClientRedirect{Reason: RedirectCannotServe, Sub: 3, Version: PrevVersion},
 	}
 	for _, m := range msgs {
 		var enc []byte
@@ -89,7 +89,7 @@ func clientEqual(a, b any) bool {
 	case *ClientRedirect:
 		y, ok := b.(*ClientRedirect)
 		if !ok || x.Reason != y.Reason || x.Applied != y.Applied ||
-			x.Sub != y.Sub || len(x.Members) != len(y.Members) {
+			x.Sub != y.Sub || x.Version != y.Version || len(x.Members) != len(y.Members) {
 			return false
 		}
 		for i := range x.Members {

@@ -59,6 +59,21 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{KindFSR})
 	f.Add([]byte{KindCatchup, 2, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{})
+	// Version-skew corpus: frames stamped with a future minor (must decode)
+	// and a future major (must be refused as ErrVersion, not crash), plus
+	// the bare two-byte prefix of each.
+	futureMinor := EncodeFrame(sampleFrame())
+	futureMinor[1] = MakeVersion(ProtoMajor, 15)
+	f.Add(futureMinor)
+	futureMajor := EncodeFrame(sampleFrame())
+	futureMajor[1] = MakeVersion(ProtoMajor+1, 0)
+	f.Add(futureMajor)
+	f.Add([]byte{KindFSR, MakeVersion(ProtoMajor+1, 3)})
+	// A 1.0-era HELLO and welcome: no trailing version byte.
+	oldHello := EncodeClientHello(&ClientHello{MaxEventBytes: 1 << 16})
+	f.Add(oldHello[:len(oldHello)-1])
+	oldWelcome := EncodeClientRedirect(&ClientRedirect{Reason: RedirectWelcome, Applied: 5})
+	f.Add(oldWelcome[:len(oldWelcome)-1])
 	f.Fuzz(func(t *testing.T, b []byte) {
 		fr, err := DecodeFrame(b)
 		if err == nil && fr == nil {

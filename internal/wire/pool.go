@@ -31,6 +31,7 @@ func PutFrame(f *Frame) {
 	f.Data = f.Data[:0]
 	f.Acks = f.Acks[:0]
 	f.ViewID = 0
+	f.Ver = 0
 	framePool.Put(f)
 }
 

@@ -1,0 +1,62 @@
+// Wire protocol versioning.
+//
+// Every ring frame (KindFSR) carries a one-byte protocol version right
+// after the channel kind, and the client HELLO/REDIRECT handshake carries
+// the speaker's version, so a mixed-version membership (a rolling upgrade)
+// is expressible and testable.
+//
+// Compat policy, stated once and enforced everywhere:
+//
+//   - Same-major versions interoperate. A frame whose major matches ours
+//     must decode (minor bumps only ever append optional trailing fields,
+//     which same-major decoders tolerate).
+//   - A different major is rejected with ErrVersion. Receivers SKIP such
+//     frames (count them, drop them) rather than failing the process: a
+//     too-new peer must not crash an old member, it must merely not be
+//     understood.
+//   - Unknown channel kinds are skipped, not fatal, for the same reason —
+//     a future minor may introduce new kinds.
+//   - HELLOs and REDIRECTs without a trailing version byte are legacy 1.0
+//     speakers; decoders treat absence as Version(1, 0).
+
+package wire
+
+import "errors"
+
+// Protocol version of this build. The minor is bumped when the envelope
+// gains optional fields (1.1 added the version byte itself and the HELLO
+// negotiation); the major is bumped only for incompatible changes.
+const (
+	ProtoMajor = 1
+	ProtoMinor = 1
+)
+
+// MakeVersion packs a (major, minor) pair into the wire's version byte:
+// high nibble major, low nibble minor.
+func MakeVersion(major, minor int) byte {
+	return byte(major&0xf)<<4 | byte(minor&0xf)
+}
+
+// CurrentVersion is the version this build stamps on outbound frames by
+// default; PrevVersion is the previous release's version, kept addressable
+// so upgrade tests (and the harness's rolling-upgrade profile) can simulate
+// an old member.
+var (
+	CurrentVersion = MakeVersion(ProtoMajor, ProtoMinor)
+	PrevVersion    = MakeVersion(ProtoMajor, ProtoMinor-1)
+)
+
+// VersionMajor and VersionMinor unpack a wire version byte.
+func VersionMajor(v byte) int { return int(v >> 4) }
+func VersionMinor(v byte) int { return int(v & 0xf) }
+
+// CompatibleVersion reports whether a peer speaking v can interoperate
+// with this build: same major. (v == 0 — "unspecified" — is compatible;
+// encoders never emit 0.)
+func CompatibleVersion(v byte) bool {
+	return v == 0 || VersionMajor(v) == ProtoMajor
+}
+
+// ErrVersion reports a frame from an incompatible (different-major) peer.
+// Receivers must treat it as "skip this frame", never as a process fault.
+var ErrVersion = errors.New("wire: incompatible protocol version")

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestVersionHelpers(t *testing.T) {
+	if v := MakeVersion(1, 1); VersionMajor(v) != 1 || VersionMinor(v) != 1 {
+		t.Fatalf("MakeVersion(1,1) = %#x", v)
+	}
+	if v := MakeVersion(15, 15); VersionMajor(v) != 15 || VersionMinor(v) != 15 {
+		t.Fatalf("MakeVersion(15,15) = %#x", v)
+	}
+	if CurrentVersion != MakeVersion(ProtoMajor, ProtoMinor) {
+		t.Fatalf("CurrentVersion %#x does not match ProtoMajor/ProtoMinor", CurrentVersion)
+	}
+	// Zero is the pre-versioning wildcard: encoders stamp it to Current,
+	// decoders accept it.
+	if !CompatibleVersion(0) {
+		t.Fatal("version 0 must be compatible")
+	}
+	// Any minor under our major interops, both directions.
+	for minor := 0; minor <= 15; minor++ {
+		if !CompatibleVersion(MakeVersion(ProtoMajor, minor)) {
+			t.Fatalf("same-major minor %d rejected", minor)
+		}
+	}
+	// A different major does not.
+	if CompatibleVersion(MakeVersion(ProtoMajor+1, 0)) {
+		t.Fatal("future major accepted")
+	}
+}
+
+// TestFrameVersionNegotiation pins the frame-level compat policy: the
+// version byte rides every frame, same-major frames of any minor decode
+// (future minors included — their senders only add optional behavior),
+// and a foreign major is refused with ErrVersion so the receiving node
+// can skip the frame instead of fail-stopping on "corruption".
+func TestFrameVersionNegotiation(t *testing.T) {
+	fr := &Frame{ViewID: 3, Data: []DataItem{
+		{ID: MsgID{Origin: 1, Local: 2}, Seq: 9, Parts: 1, Body: []byte("x")},
+	}}
+	buf := EncodeFrame(fr)
+
+	// Encoders stamp the zero Ver to CurrentVersion on the wire.
+	if buf[1] != CurrentVersion {
+		t.Fatalf("encoded version byte %#x, want %#x", buf[1], CurrentVersion)
+	}
+	got, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ver != CurrentVersion {
+		t.Fatalf("decoded Ver %#x, want %#x", got.Ver, CurrentVersion)
+	}
+
+	// An explicit previous-minor version is preserved, not normalized: the
+	// receiver may want to know what its peer actually speaks.
+	fr.Ver = PrevVersion
+	got, err = DecodeFrame(EncodeFrame(fr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ver != PrevVersion {
+		t.Fatalf("decoded Ver %#x, want %#x", got.Ver, PrevVersion)
+	}
+
+	// A future minor of our major decodes fine.
+	future := append([]byte(nil), buf...)
+	future[1] = MakeVersion(ProtoMajor, 15)
+	if _, err := DecodeFrame(future); err != nil {
+		t.Fatalf("future minor rejected: %v", err)
+	}
+
+	// A foreign major is ErrVersion — from both decoders.
+	alien := append([]byte(nil), buf...)
+	alien[1] = MakeVersion(ProtoMajor+1, 0)
+	if _, err := DecodeFrame(alien); !errors.Is(err, ErrVersion) {
+		t.Fatalf("foreign major: err = %v, want ErrVersion", err)
+	}
+	reused := GetFrame()
+	defer PutFrame(reused)
+	if err := DecodeFrameInto(reused, alien); !errors.Is(err, ErrVersion) {
+		t.Fatalf("foreign major (pooled): err = %v, want ErrVersion", err)
+	}
+}
+
+// TestLegacyClientHelloDecodes drives the 1.0 client handshake by hand:
+// those encoders predate the trailing version byte, so the decoder must
+// treat its absence as wire version 1.0 — an old fsr-pub against a new
+// member keeps working, and a new client can spot an old server from its
+// welcome.
+func TestLegacyClientHelloDecodes(t *testing.T) {
+	// A current HELLO minus its trailing version byte is byte-identical to
+	// what a 1.0 client sends.
+	h := &ClientHello{MaxEventBytes: 1 << 20, Role: RoleEdge}
+	legacy := EncodeClientHello(h)
+	legacy = legacy[:len(legacy)-1]
+	v, err := DecodeClient(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*ClientHello)
+	if !ok {
+		t.Fatalf("decoded %T", v)
+	}
+	if got.Version != MakeVersion(1, 0) {
+		t.Fatalf("legacy HELLO decoded as version %#x, want 1.0", got.Version)
+	}
+	if got.MaxEventBytes != h.MaxEventBytes || got.Role != h.Role {
+		t.Fatalf("legacy HELLO fields lost: %+v", got)
+	}
+
+	// Same for the server's welcome/redirect.
+	r := &ClientRedirect{Reason: RedirectWelcome, Applied: 7}
+	legacyR := EncodeClientRedirect(r)
+	legacyR = legacyR[:len(legacyR)-1]
+	v, err = DecodeClient(legacyR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, ok := v.(*ClientRedirect)
+	if !ok {
+		t.Fatalf("decoded %T", v)
+	}
+	if gotR.Version != MakeVersion(1, 0) {
+		t.Fatalf("legacy redirect decoded as version %#x, want 1.0", gotR.Version)
+	}
+}

@@ -11,6 +11,11 @@
 //	KindClient  — the client sub-protocol (non-member publish/subscribe)
 //	KindAdmin   — the operator sub-protocol (status/introspection queries)
 //
+// Ring frames additionally carry a protocol version byte right after the
+// kind, and the client HELLO handshake negotiates a session version — see
+// version.go for the compat policy (same-major interop; unknown kinds and
+// incompatible-version frames are skipped by receivers, never fatal).
+//
 // The codec is hand-rolled little-endian (stdlib encoding/binary): the frame
 // encoder sits on the hot path of every hop, so it avoids reflection and
 // allocates exactly one buffer per frame.
@@ -75,6 +80,10 @@ type AckItem struct {
 // data segments plus piggybacked acks, all tagged with the sender's view
 // epoch so stale traffic from a previous view is discarded.
 type Frame struct {
+	// Ver is the protocol version the frame was encoded under (see
+	// version.go). Zero means "this build's CurrentVersion" on encode; the
+	// decoder records what the peer actually sent.
+	Ver    byte
 	ViewID uint64
 	Data   []DataItem
 	Acks   []AckItem
@@ -82,7 +91,7 @@ type Frame struct {
 
 // Encoded sizes of the fixed parts, used by EncodedSize and the decoder.
 const (
-	frameHeaderSize = 8 + 2 + 2             // viewID + nData + nAcks
+	frameHeaderSize = 1 + 8 + 2 + 2         // version + viewID + nData + nAcks
 	dataFixedSize   = 4 + 8 + 8 + 4 + 4 + 4 // origin local seq part parts bodyLen
 	ackSize         = 4 + 8 + 8 + 4 + 1     // origin local seq hops stable
 )
@@ -116,7 +125,11 @@ func AppendFrame(dst []byte, f *Frame) []byte {
 		copy(grown, buf)
 		buf = grown
 	}
-	buf = append(buf, KindFSR)
+	ver := f.Ver
+	if ver == 0 {
+		ver = CurrentVersion
+	}
+	buf = append(buf, KindFSR, ver)
 	buf = binary.LittleEndian.AppendUint64(buf, f.ViewID)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Data)))
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f.Acks)))
@@ -171,6 +184,15 @@ func DecodeFrameInto(f *Frame, buf []byte) error {
 	if kind != KindFSR {
 		return fmt.Errorf("wire: frame kind %d, want %d", kind, KindFSR)
 	}
+	ver, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if !CompatibleVersion(ver) {
+		return fmt.Errorf("%w: frame version %d.%d, this build speaks %d.x",
+			ErrVersion, VersionMajor(ver), VersionMinor(ver), ProtoMajor)
+	}
+	f.Ver = ver
 	f.Data = f.Data[:0]
 	f.Acks = f.Acks[:0]
 	if f.ViewID, err = r.u64(); err != nil {

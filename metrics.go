@@ -46,6 +46,14 @@ type Metrics struct {
 	// MultiSegFrames counts outbound frames that batched more than one
 	// data segment (the hot-path batching introduced with MaxFrameData).
 	MultiSegFrames uint64
+	// SkippedVersion counts inbound payloads dropped for an incompatible
+	// (different-major) wire protocol version; SkippedUnknown counts
+	// payloads of an unknown channel kind or control type. Both are skips,
+	// not faults — see the compat policy in internal/wire/version.go. A
+	// steadily climbing SkippedVersion means a mis-versioned peer is
+	// attached — page on this during upgrades.
+	SkippedVersion uint64
+	SkippedUnknown uint64
 
 	// RelayQueue, OwnQueue and AckQueue are the engine's current queue
 	// depths (load indicators; OwnQueue >= MaxPendingOwn means Broadcast

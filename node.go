@@ -135,6 +135,11 @@ type Node struct {
 	latency  []time.Duration
 	latNext  int
 	parked   []*wire.Frame
+	// Wire-compat skip counters (see version.go's policy): payloads dropped
+	// for an incompatible protocol version, and payloads of a kind or
+	// control type this build does not know.
+	skippedVersion uint64
+	skippedUnknown uint64
 
 	// Hot-path scratch, event-loop-owned and reused across passes so the
 	// steady-state frame pipeline allocates nothing: the batch-capable
@@ -920,6 +925,8 @@ func (n *Node) snapshotMetrics() Metrics {
 		FairnessSkips:    st.FairnessSkips,
 		StandaloneAcks:   st.StandaloneAcks,
 		MultiSegFrames:   st.MultiSegFrames,
+		SkippedVersion:   n.skippedVersion,
+		SkippedUnknown:   n.skippedUnknown,
 		RelayQueue:       relay,
 		OwnQueue:         own,
 		AckQueue:         acks,
@@ -993,6 +1000,7 @@ func (n *Node) sendReady() bool {
 			if !ok {
 				break
 			}
+			f.Ver = n.cfg.WireVersion
 			if err := n.tr.Send(succ, wire.EncodeFrame(f)); err != nil {
 				// Successor unreachable: the FD takes it from here.
 				if sent {
@@ -1007,6 +1015,7 @@ func (n *Node) sendReady() bool {
 		}
 		return sent
 	}
+	n.sendFrame.Ver = n.cfg.WireVersion
 	for n.engine.FillFrame(&n.sendFrame) {
 		b := wire.GetBuf()
 		b.B = wire.AppendFrame(b.B, &n.sendFrame)
@@ -1044,6 +1053,16 @@ func (n *Node) handlePayload(in inboundPayload) {
 		f := wire.GetFrame()
 		if err := wire.DecodeFrameInto(f, in.payload); err != nil {
 			wire.PutFrame(f)
+			if errors.Is(err, wire.ErrVersion) {
+				// Incompatible-major peer (a botched upgrade, or a too-new
+				// member talking to us): drop the frame, stay alive. The
+				// peer's traffic simply does not exist for us; membership
+				// sorts itself out through the failure detector.
+				n.skippedVersion++
+				n.cfg.Logger.Warn("fsr: dropped incompatible-version frame",
+					"from", in.from, "err", err)
+				return
+			}
 			n.fail(err)
 			return
 		}
@@ -1083,6 +1102,11 @@ func (n *Node) handlePayload(in inboundPayload) {
 		}
 	case wire.KindVSC:
 		if err := n.mgr.HandlePayload(in.from, in.payload, time.Now()); err != nil {
+			if errors.Is(err, vsc.ErrUnknownType) {
+				// A newer-minor peer's control message: skip, not fatal.
+				n.skippedUnknown++
+				return
+			}
 			n.fail(err)
 			return
 		}
@@ -1108,6 +1132,11 @@ func (n *Node) handlePayload(in inboundPayload) {
 		n.srv.Handle(in.from, in.payload)
 	case wire.KindAdmin:
 		n.handleAdmin(in.from, in.payload)
+	default:
+		// Unknown channel kind — a future minor's new sub-protocol. The
+		// compat policy (wire version.go) says skip, never fail: the sender
+		// knows we may not understand and gets no reply.
+		n.skippedUnknown++
 	}
 }
 

@@ -95,6 +95,42 @@ func (n *Node) handleAdmin(from ProcID, payload []byte) {
 			r.Reason = "no durable log or state machine"
 		}
 		body = &r
+	case wire.AdminEvict:
+		// Force a member out of the view — the operator override for a
+		// wedged or half-partitioned process the detector has not (or
+		// cannot) act on. handleAdmin runs on the event loop, so the
+		// membership manager may be called directly; the request is
+		// relayed to the coordinator when this node is not it, and
+		// evicting ourselves degrades to a graceful departure.
+		r := admin.EvictResult{Target: req.Target,
+			Requested: n.mgr.RequestEvict(ProcID(req.Target), time.Now())}
+		if !r.Requested {
+			r.Reason = "no installed view, or target not a member of it"
+		}
+		body = &r
+	case wire.AdminJoinHint:
+		// Hand an unadmitted joiner a contact list to request admission
+		// through — the operator nudge for a process that restarted with a
+		// stale or empty member list.
+		contacts := make([]ProcID, 0, len(req.Contacts))
+		for _, c := range req.Contacts {
+			contacts = append(contacts, ProcID(c))
+		}
+		var r admin.JoinHintResult
+		n.mu.Lock()
+		joined := n.joined
+		n.mu.Unlock()
+		switch {
+		case len(contacts) == 0:
+			r.Reason = "no contacts supplied"
+		case joined:
+			r.Reason = "already a member of an installed view"
+		case n.Join(contacts):
+			r.Accepted = true
+		default:
+			r.Reason = "a join request is already queued"
+		}
+		body = &r
 	default:
 		resp.Err = "unknown admin op"
 	}

@@ -300,8 +300,19 @@ type sessSrv struct {
 	inflight  map[pubKey]time.Time // broadcast issued, not yet applied; value = accept time
 	perClient map[ProcID]int       // in-flight publish count per client
 	parked    []parkedPub
-	memlog    *memLog       // non-durable members only
-	signal    chan struct{} // closed and replaced at every applied batch
+	// gates maps a client to the lowest pubID this member dropped while
+	// it remains uncommitted. Until that publish commits (possibly
+	// through another member) or is re-offered by the client's sorted
+	// retry, no HIGHER pubID from the client may be accepted: committing
+	// a successor first would leave an interior hole in the per-origin
+	// FIFO stream that the retry then fills out of order. A crash only
+	// ever costs a client stream a suffix; backpressure drops must not
+	// cost it an interior hole. Member-local and ephemeral (not part of
+	// the deterministic index): it shapes what this member admits, not
+	// what the order contains.
+	gates  map[ProcID]uint64
+	memlog *memLog       // non-durable members only
+	signal chan struct{} // closed and replaced at every applied batch
 
 	pubsAccepted uint64 // client publishes committed through this member
 	dupsFiltered uint64 // duplicate publishes filtered at apply time
@@ -335,6 +346,7 @@ func newSessSrv(n *Node) *sessSrv {
 		n:         n,
 		inflight:  make(map[pubKey]time.Time),
 		perClient: make(map[ProcID]int),
+		gates:     make(map[ProcID]uint64),
 		signal:    make(chan struct{}),
 	}
 }
@@ -361,6 +373,37 @@ func (s *sessSrv) removeInflight(key pubKey) (time.Time, bool) {
 		delete(s.perClient, key.cid)
 	}
 	return accepted, true
+}
+
+// gateDrop arms (or lowers) cid's FIFO gate after dropping pubID
+// uncommitted. Callers hold s.mu.
+func (s *sessSrv) gateDrop(cid ProcID, pubID uint64) {
+	if g, ok := s.gates[cid]; !ok || pubID < g {
+		s.gates[cid] = pubID
+	}
+}
+
+// gateAllows reports whether cid's FIFO gate admits pubID, first resolving
+// a gate whose publish has since committed (through this member or any
+// other — the index is global). Admitting the gated pubID itself lifts the
+// gate; if this very call then drops it again, gateDrop re-arms. Callers
+// hold s.mu.
+func (s *sessSrv) gateAllows(cid ProcID, pubID uint64) bool {
+	g, ok := s.gates[cid]
+	if !ok {
+		return true
+	}
+	if _, committed := s.index.committed(cid, g); committed {
+		delete(s.gates, cid)
+		return true
+	}
+	if pubID > g {
+		return false
+	}
+	if pubID == g {
+		delete(s.gates, cid)
+	}
+	return true
 }
 
 // watch returns a channel closed at the next applied batch.
@@ -562,19 +605,36 @@ func (n *Node) handleClientPublish(from ProcID, p *wire.ClientPublish) {
 		s.mu.Unlock()
 		return // retry of an in-flight publish: the apply-time ack covers it
 	}
+	if !s.gateAllows(from, p.PubID) {
+		// An earlier publish from this client was dropped here and is
+		// still uncommitted; admitting this one would commit the
+		// client's stream out of FIFO order once the sorted retry
+		// re-offers the dropped one. Refuse both — the retry re-offers
+		// them lowest-first.
+		s.pubsBounded++
+		s.mu.Unlock()
+		return
+	}
 	if s.perClient[from] >= maxInflightClientPubs {
 		// One client may not monopolize the ring: drop, the client's
 		// ack-timeout retry (paced by its window) is the backpressure.
+		s.gateDrop(from, p.PubID)
 		s.pubsBounded++
 		s.mu.Unlock()
 		return
 	}
 	s.addInflight(key)
-	if blocked {
+	// Queue behind the parked backlog even when broadcasting just
+	// unblocked: a publish parked during the blocked window must reach
+	// the engine before anything that arrived after it, or the ring
+	// sequences the client's stream out of FIFO order (the parked-queue
+	// overtake twin of the gate above).
+	if blocked || len(s.parked) > 0 {
 		if len(s.parked) < maxParkedClientPubs {
 			s.parked = append(s.parked, parkedPub{cid: from, pub: p.PubID, payload: p.Payload})
 		} else {
 			s.removeInflight(key) // dropped: the client's retry is the backpressure
+			s.gateDrop(from, p.PubID)
 		}
 		s.mu.Unlock()
 		return
@@ -590,6 +650,7 @@ func (n *Node) broadcastClientPub(cid ProcID, pubID uint64, payload []byte) {
 		s := n.sess
 		s.mu.Lock()
 		s.removeInflight(pubKey{cid: cid, pub: pubID})
+		s.gateDrop(cid, pubID)
 		s.mu.Unlock()
 	}
 }

@@ -615,8 +615,15 @@ func (s *remoteSession) handleFrame(gen uint64, payload []byte) {
 			}
 			s.failover(gen, fmt.Errorf("fsr: serving node is read-only; moving to a writable member"))
 		default:
-			// Welcome / view change: informational. The dialer's rotation
-			// is the discovery mechanism; nothing to update here.
+			// Welcome / view change: informational (the dialer's rotation
+			// is the discovery mechanism) — except that a welcome from a
+			// major-incompatible server means this link cannot be trusted
+			// to frame events correctly; fail over and let the dialer find
+			// a same-major member.
+			if v.Reason == wire.RedirectWelcome && !wire.CompatibleVersion(v.Version) {
+				s.failover(gen, fmt.Errorf("fsr: server speaks wire version %d.%d, client speaks %d.x",
+					wire.VersionMajor(v.Version), wire.VersionMinor(v.Version), wire.ProtoMajor))
+			}
 		}
 	}
 }

@@ -466,6 +466,50 @@ func TestSessionFailover10k(t *testing.T) {
 	t.Logf("applied frontier %d; duplicates filtered: %d (node1)", m1.Applied, m1.SessionDuplicates)
 }
 
+// TestClientPubFIFOGate pins the backpressure-drop FIFO invariant: once a
+// member drops a client publish uncommitted (per-client bound, parked
+// overflow, broadcast error), it must refuse every HIGHER pubID from that
+// client until the dropped one commits or is re-offered. Without the gate
+// a selective drop leaves an interior hole in the client's stream that
+// the sorted retry later fills out of FIFO order — found by the wan-geo
+// chaos profile at soak scale, where WAN ack latency keeps enough
+// publishes in flight to trip the bounds (see
+// TestChaosWanGeoSoakPinned in internal/harness).
+func TestClientPubFIFOGate(t *testing.T) {
+	s := newSessSrv(nil)
+	const cid = ClientIDBase + 9
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.gateAllows(cid, 30) {
+		t.Fatal("gate refused with nothing dropped")
+	}
+	s.gateDrop(cid, 29)
+	if s.gateAllows(cid, 30) {
+		t.Fatal("pub 30 admitted past dropped, uncommitted 29")
+	}
+	if !s.gateAllows(cid, 28) {
+		t.Fatal("pub 28 refused: an ID below the gate is always FIFO-safe")
+	}
+	if !s.gateAllows(cid, 29) {
+		t.Fatal("re-offered 29 refused")
+	}
+	if !s.gateAllows(cid, 30) {
+		t.Fatal("pub 30 refused after the gate lifted")
+	}
+	// Dropping twice keeps the lowest hole as the gate.
+	s.gateDrop(cid, 44)
+	s.gateDrop(cid, 41)
+	if s.gateAllows(cid, 42) {
+		t.Fatal("pub 42 admitted past dropped 41")
+	}
+	// A gate also resolves when its publish commits through ANOTHER member
+	// (the index is global state): the client will never re-offer it here.
+	s.index.add(cid, 41, 107)
+	if !s.gateAllows(cid, 42) {
+		t.Fatal("pub 42 refused after 41 committed elsewhere")
+	}
+}
+
 // TestNodeSessionInProcess: Node.Session gives the identical interface in
 // process — publish through one member's session, subscribe on another's.
 func TestNodeSessionInProcess(t *testing.T) {

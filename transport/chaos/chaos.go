@@ -1,11 +1,11 @@
 // Package chaos decorates a cluster transport with seeded, deterministic
-// fault injection: per-link delay and jitter, link stalls, slow nodes and
-// atomic crash purges, all derived from one integer seed. It is the
-// traffic-shaping half of the repository's FoundationDB-style simulation
-// testing (see internal/harness for the workload driver and the
-// total-order property checker): a failing run prints its seed, and
-// re-running with the same seed regenerates the identical injection
-// schedule.
+// fault injection: per-link delay and jitter, geo latency matrices, link
+// stalls, one-way blackholes, slow nodes and atomic crash purges, all
+// derived from one integer seed. It is the traffic-shaping half of the
+// repository's FoundationDB-style simulation testing (see internal/harness
+// for the workload driver and the total-order property checker): a failing
+// run prints its seed, and re-running with the same seed regenerates the
+// identical injection schedule.
 //
 // # Determinism
 //
@@ -19,16 +19,28 @@
 // replayable. (The protocol stack above still runs on real goroutines and
 // real time; the seed pins the faults, not the scheduler.)
 //
-// # FIFO preservation
+// The geo latency matrix (Options.Geo) is deterministic the same way:
+// region placement hashes (seed, node), and every frame's one-way latency
+// hashes (seed, link, frame index) within the profile's bounds.
+//
+// # FIFO preservation, and where loss is allowed
 //
 // The wrapped transports promise reliable per-link FIFO, and FSR depends
 // on it, so injection must never reorder a link. Each link releases frames
 // through one queue in send order: frame i becomes releasable at
 // max(release(i-1), enqueue(i)+delay(i)), i.e. jitter stretches and bunches
 // traffic but never overtakes. A stall simply pushes the link's release
-// horizon forward, holding (not dropping) everything behind it — dropped
-// traffic on a live link would violate the reliable-channel assumption the
-// paper's protocol is built on (its failure model is crash, not loss).
+// horizon forward, holding (not dropping) everything behind it.
+//
+// Loss exists only inside explicitly injected blackhole windows (CutLink,
+// FlapLink): a directed link that is down swallows everything sent on it
+// while the window lasts, modeling a one-way partition — A→B dead while
+// B→A flows. This deliberately breaks the paper's reliable-channel
+// assumption, which is the point: the protocol is expected to survive it
+// the same way it survives a crash, via failure suspicion and a view
+// change that excludes someone, and the harness's asym-partition profile
+// holds it to that. Frames that ARE delivered still obey per-link FIFO;
+// a link never reorders, it only ever has a hole where a window was.
 //
 // # Usage
 //
@@ -78,7 +90,38 @@ type Options struct {
 	StallEvery int
 	// MaxStall bounds one injected stall.
 	MaxStall time.Duration
+
+	// Geo, when set, lays a WAN latency matrix under the jitter above:
+	// nodes are hashed into Geo.Regions regions and every frame pays the
+	// profile's one-way intra- or inter-region latency for its link. Nil
+	// models a LAN (no base latency).
+	Geo *GeoProfile
 }
+
+// GeoProfile names one WAN geography: how many regions there are and what
+// a round trip costs within and between them. Latencies are RTTs (what
+// ping would print); each frame pays half, one way, plus a seeded jitter
+// up to Jitter. Region placement is a pure hash of (seed, node), so one
+// seed pins the whole geography.
+type GeoProfile struct {
+	Name     string
+	Regions  int
+	IntraRTT time.Duration
+	InterRTT time.Duration
+	Jitter   time.Duration
+}
+
+// Predefined geographies for the harness's wan-geo profile. RTTs are kept
+// well under the protocol timeouts the harness runs with, so geography
+// skews timing without starving the failure detector outright.
+var (
+	// Metro3 is three datacenters in one metro area: sub-millisecond
+	// within a site, a few milliseconds across.
+	Metro3 = GeoProfile{Name: "metro3", Regions: 3, IntraRTT: 500 * time.Microsecond, InterRTT: 4 * time.Millisecond, Jitter: 500 * time.Microsecond}
+	// Continental3 is three regions on one continent: the inter-region
+	// hop dominates every ring round trip.
+	Continental3 = GeoProfile{Name: "continental3", Regions: 3, IntraRTT: time.Millisecond, InterRTT: 12 * time.Millisecond, Jitter: 2 * time.Millisecond}
+)
 
 // Transport is the fault-injecting decorator. It implements the
 // fsr.ClusterTransport surface and hands nodes wrapped endpoints whose
@@ -89,11 +132,15 @@ type Transport struct {
 
 	mu      sync.Mutex
 	links   map[[2]transport.ProcID]*link
-	nodeLag map[transport.ProcID]time.Duration // extra per-frame delay, either direction
-	stalled map[[2]transport.ProcID]time.Time  // explicit stall horizon per link
+	nodeLag map[transport.ProcID]time.Duration  // extra per-frame delay, either direction
+	stalled map[[2]transport.ProcID]time.Time   // explicit stall horizon per link
+	cuts    map[[2]transport.ProcID][]cutWindow // blackhole windows per directed link
 	crashed map[transport.ProcID]bool
 	closed  bool
 }
+
+// cutWindow is one scheduled blackhole interval on a directed link.
+type cutWindow struct{ start, end time.Time }
 
 // New wraps inner with seeded fault injection.
 func New(inner Inner, opts Options) *Transport {
@@ -106,6 +153,7 @@ func New(inner Inner, opts Options) *Transport {
 		links:   make(map[[2]transport.ProcID]*link),
 		nodeLag: make(map[transport.ProcID]time.Duration),
 		stalled: make(map[[2]transport.ProcID]time.Time),
+		cuts:    make(map[[2]transport.ProcID][]cutWindow),
 		crashed: make(map[transport.ProcID]bool),
 	}
 }
@@ -166,10 +214,16 @@ func (t *Transport) detachLinksLocked(id transport.ProcID, outboundOnly bool) []
 	}
 	if !outboundOnly {
 		// A crash (or a restart's rejoin) tears the node's links down
-		// entirely; pending stall horizons die with them.
+		// entirely; pending stall horizons and blackhole windows die with
+		// them — a restarted process gets fresh links, not old faults.
 		for key := range t.stalled {
 			if key[0] == id || key[1] == id {
 				delete(t.stalled, key)
+			}
+		}
+		for key := range t.cuts {
+			if key[0] == id || key[1] == id {
+				delete(t.cuts, key)
 			}
 		}
 	}
@@ -223,18 +277,102 @@ func (t *Transport) StallLink(from, to transport.ProcID, d time.Duration) {
 	}
 }
 
+// CutLink blackholes the directed link from->to for d, starting now:
+// everything sent on it while the window lasts is silently swallowed
+// (the sender sees success — that is what a one-way partition looks
+// like), while to->from keeps flowing. Windows compose: overlapping cuts
+// union. See the package comment for why loss is legal here and nowhere
+// else.
+func (t *Transport) CutLink(from, to transport.ProcID, d time.Duration) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := [2]transport.ProcID{from, to}
+	t.cuts[key] = append(t.cuts[key], cutWindow{start: now, end: now.Add(d)})
+}
+
+// FlapLink schedules cycles alternating down/up windows on from->to,
+// starting down now — a flapping route. The whole flap schedule is laid
+// out at call time, so it stays a pure function of when the (seeded)
+// fault plan fired it.
+func (t *Transport) FlapLink(from, to transport.ProcID, down, up time.Duration, cycles int) {
+	at := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := [2]transport.ProcID{from, to}
+	for range cycles {
+		t.cuts[key] = append(t.cuts[key], cutWindow{start: at, end: at.Add(down)})
+		at = at.Add(down + up)
+	}
+}
+
+// HealLink cancels every pending blackhole window on from->to.
+func (t *Transport) HealLink(from, to transport.ProcID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.cuts, [2]transport.ProcID{from, to})
+}
+
+// cutNow reports whether from->to is inside a blackhole window, pruning
+// expired windows as it goes.
+func (t *Transport) cutNow(from, to transport.ProcID) bool {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := [2]transport.ProcID{from, to}
+	ws := t.cuts[key]
+	if len(ws) == 0 {
+		return false
+	}
+	i := 0
+	for i < len(ws) && now.After(ws[i].end) {
+		i++
+	}
+	if i > 0 {
+		ws = ws[i:]
+		if len(ws) == 0 {
+			delete(t.cuts, key)
+			return false
+		}
+		t.cuts[key] = ws
+	}
+	return !now.Before(ws[0].start)
+}
+
+// Region returns the geo region a node hashes into under Options.Geo
+// (0 when no geo profile is set) — exposed so tests and the harness can
+// reason about which ring hops cross regions.
+func (t *Transport) Region(id transport.ProcID) int {
+	g := t.opts.Geo
+	if g == nil || g.Regions <= 0 {
+		return 0
+	}
+	return int(mix(uint64(t.opts.Seed)^mix(uint64(id)^0x9e0c0de)) % uint64(g.Regions))
+}
+
 // Inner returns the wrapped transport, for callers that need backend
 // specifics (e.g. the mem hub for CutLink).
 func (t *Transport) Inner() Inner { return t.inner }
 
-// delayFor computes frame i's injected delay on (from, to): the seeded
-// jitter plus any node slowdown, plus a seeded stall when the hash says so.
+// delayFor computes frame i's injected delay on (from, to): the geo
+// matrix's one-way base latency, the seeded jitter, any node slowdown,
+// plus a seeded stall when the hash says so.
 func (t *Transport) delayFor(from, to transport.ProcID, i uint64) time.Duration {
 	t.mu.Lock()
 	lag := t.nodeLag[from] + t.nodeLag[to]
 	t.mu.Unlock()
 	d := lag
 	h := mix(uint64(t.opts.Seed) ^ mix(uint64(from)<<32|uint64(to)) ^ mix(i))
+	if g := t.opts.Geo; g != nil && g.Regions > 0 {
+		rtt := g.IntraRTT
+		if t.Region(from) != t.Region(to) {
+			rtt = g.InterRTT
+		}
+		d += rtt / 2
+		if g.Jitter > 0 {
+			d += time.Duration(mix(h^0x9e0aff5e7) % uint64(g.Jitter))
+		}
+	}
 	if t.opts.MaxDelay > 0 {
 		span := uint64(t.opts.MaxDelay - t.opts.MinDelay + 1)
 		d += t.opts.MinDelay + time.Duration(h%span)
@@ -305,12 +443,18 @@ func (e *endpoint) SetHandler(h transport.Handler) { e.inner.SetHandler(h) }
 
 // Send queues payload on the from->to injection link; the link's release
 // goroutine forwards it to the inner transport after the scheduled delay,
-// in FIFO order.
+// in FIFO order. Inside a blackhole window (CutLink/FlapLink) the payload
+// is swallowed after the liveness checks: the sender sees success, nothing
+// travels, and the drop does not advance the link's frame counter — the
+// delay schedule of delivered frames is unperturbed by the cut.
 func (e *endpoint) Send(to transport.ProcID, payload []byte) error {
 	from := e.inner.Self()
 	l, err := e.t.linkFor(from, to, func(p []byte) error { return e.inner.Send(to, p) })
 	if err != nil {
 		return err
+	}
+	if e.t.cutNow(from, to) {
+		return nil
 	}
 	return l.enqueue(payload)
 }

@@ -214,6 +214,175 @@ func TestCrashDropsQueuedFrames(t *testing.T) {
 	}
 }
 
+// TestCutLinkIsOneWay: a blackholed A→B swallows silently while B→A keeps
+// flowing, and A→B resumes once the window expires — the asymmetric
+// partition primitive.
+func TestCutLinkIsOneWay(t *testing.T) {
+	ct, eps := newChaos(t, Options{Seed: 1})
+	s1, s2 := &sink{}, &sink{}
+	eps[1].SetHandler(s1.handler)
+	eps[2].SetHandler(s2.handler)
+
+	const window = 150 * time.Millisecond
+	ct.CutLink(1, 2, window)
+	// Down direction: swallowed without error (that is what loss looks
+	// like to a sender).
+	if err := eps[1].Send(2, []byte("lost")); err != nil {
+		t.Fatalf("send into blackhole errored: %v", err)
+	}
+	// Reverse direction unaffected.
+	if err := eps[2].Send(1, []byte("upstream")); err != nil {
+		t.Fatal(err)
+	}
+	got := s1.waitN(t, 1)
+	if got[0] != "2:upstream" {
+		t.Fatalf("reverse direction: got %v", got)
+	}
+	// After the window the link carries traffic again — with a hole, not a
+	// reorder: "lost" must never surface.
+	time.Sleep(window + 20*time.Millisecond)
+	if err := eps[1].Send(2, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	got = s2.waitN(t, 1)
+	if len(got) != 1 || got[0] != "1:after" {
+		t.Fatalf("post-window traffic: got %v", got)
+	}
+}
+
+// TestHealLinkCancelsWindows: HealLink lifts a long cut immediately.
+func TestHealLinkCancelsWindows(t *testing.T) {
+	ct, eps := newChaos(t, Options{Seed: 1})
+	s := &sink{}
+	eps[2].SetHandler(s.handler)
+	ct.CutLink(1, 2, time.Hour)
+	if err := eps[1].Send(2, []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	ct.HealLink(1, 2)
+	if err := eps[1].Send(2, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	got := s.waitN(t, 1)
+	if len(got) != 1 || got[0] != "1:back" {
+		t.Fatalf("healed link: got %v", got)
+	}
+}
+
+// TestFlapLinkAlternates: a flapping link drops during down windows and
+// delivers during up windows.
+func TestFlapLinkAlternates(t *testing.T) {
+	ct, eps := newChaos(t, Options{Seed: 1})
+	s := &sink{}
+	eps[2].SetHandler(s.handler)
+	const down, up = 60 * time.Millisecond, 60 * time.Millisecond
+	ct.FlapLink(1, 2, down, up, 2)
+	// Inside the first down window.
+	if err := eps[1].Send(2, []byte("flap0")); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the first up window.
+	time.Sleep(down + up/2)
+	if err := eps[1].Send(2, []byte("up0")); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the second down window.
+	time.Sleep(up/2 + down/2)
+	if err := eps[1].Send(2, []byte("flap1")); err != nil {
+		t.Fatal(err)
+	}
+	// After the whole flap schedule.
+	time.Sleep(down/2 + up + 20*time.Millisecond)
+	if err := eps[1].Send(2, []byte("done")); err != nil {
+		t.Fatal(err)
+	}
+	got := s.waitN(t, 2)
+	if len(got) != 2 || got[0] != "1:up0" || got[1] != "1:done" {
+		t.Fatalf("flap schedule delivered %v, want [1:up0 1:done]", got)
+	}
+}
+
+// TestCrashClearsCuts: a crash (and the rejoin after it) tears down the
+// node's blackhole windows along with its links — a restarted process
+// gets a fresh network, not stale faults.
+func TestCrashClearsCuts(t *testing.T) {
+	ct, eps := newChaos(t, Options{Seed: 1})
+	s := &sink{}
+	eps[2].SetHandler(s.handler)
+	ct.CutLink(1, 2, time.Hour)
+	ct.Crash(1)
+	ep1, err := ct.Join(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep1.Send(2, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	got := s.waitN(t, 1)
+	if len(got) != 1 || got[0] != "1:fresh" {
+		t.Fatalf("restarted sender still cut: %v", got)
+	}
+}
+
+// TestStallLinkBeforeFirstFrame: a stall set before the link has carried
+// anything still applies to the link's first frame (the pending-horizon
+// path in linkFor).
+func TestStallLinkBeforeFirstFrame(t *testing.T) {
+	ct, eps := newChaos(t, Options{Seed: 1})
+	s := &sink{}
+	eps[2].SetHandler(s.handler)
+	const stall = 80 * time.Millisecond
+	ct.StallLink(1, 2, stall)
+	start := time.Now()
+	if err := eps[1].Send(2, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	s.waitN(t, 1)
+	if el := time.Since(start); el < stall-10*time.Millisecond {
+		t.Fatalf("pre-link stall ignored: first frame arrived after %v, want >= %v", el, stall)
+	}
+}
+
+// TestGeoProfileShapesLatency: region placement is a pure function of
+// (seed, node); intra-region hops are cheap, inter-region hops pay the
+// profile's RTT — and the whole matrix is seed-deterministic.
+func TestGeoProfileShapesLatency(t *testing.T) {
+	geo := &GeoProfile{Name: "test2", Regions: 2, IntraRTT: time.Millisecond,
+		InterRTT: 40 * time.Millisecond, Jitter: time.Millisecond}
+	opts := Options{Seed: 11, Geo: geo}
+	a := New(&memInner{net: mem.NewNetwork(mem.Options{})}, opts)
+	b := New(&memInner{net: mem.NewNetwork(mem.Options{})}, opts)
+
+	// Placement and schedule agree across instances with one seed.
+	var intra, inter []transport.ProcID
+	for id := transport.ProcID(1); id <= 16; id++ {
+		if a.Region(id) != b.Region(id) {
+			t.Fatalf("node %d: region differs across equal-seed instances", id)
+		}
+		if a.Region(id) == a.Region(1) {
+			intra = append(intra, id)
+		} else {
+			inter = append(inter, id)
+		}
+		for i := uint64(0); i < 50; i++ {
+			if a.delayFor(1, id, i) != b.delayFor(1, id, i) {
+				t.Fatalf("link 1->%d frame %d: geo delay differs across equal-seed instances", id, i)
+			}
+		}
+	}
+	if len(intra) < 2 || len(inter) < 1 {
+		t.Fatalf("degenerate placement for this seed: intra=%v inter=%v", intra, inter)
+	}
+	// An inter-region hop costs at least InterRTT/2; an intra-region hop
+	// stays under IntraRTT/2 + Jitter.
+	if d := a.delayFor(1, inter[0], 0); d < geo.InterRTT/2 {
+		t.Fatalf("inter-region delay %v < one-way RTT %v", d, geo.InterRTT/2)
+	}
+	if d := a.delayFor(1, intra[1], 0); d >= geo.IntraRTT/2+geo.Jitter {
+		t.Fatalf("intra-region delay %v >= bound %v", d, geo.IntraRTT/2+geo.Jitter)
+	}
+}
+
 // TestZeroOptionsTransparent: the zero-value decorator is pass-through.
 func TestZeroOptionsTransparent(t *testing.T) {
 	_, eps := newChaos(t, Options{})
